@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of explanation generation (the Fig. 4 quantity):
+//! ExEA vs the perturbation baselines on one trained model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ea_baselines::{BaselineMethod, PerturbationExplainer};
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_models::{build_model, ModelKind, TrainConfig};
+use exea_core::{ExEa, ExeaConfig, Explainer};
+use std::hint::black_box;
+
+fn bench_explanation_generation(c: &mut Criterion) {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::DualAmn, TrainConfig::fast()).train(&pair);
+    let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+    let pairs: Vec<_> = pair.reference.iter().take(10).collect();
+
+    let mut group = c.benchmark_group("explanation_generation");
+    group.sample_size(10);
+    group.bench_function("exea_first_order", |b| {
+        b.iter(|| {
+            for p in &pairs {
+                black_box(exea.explain(p.source, p.target));
+            }
+        })
+    });
+    for method in [BaselineMethod::EaLime, BaselineMethod::EaShapley] {
+        let explainer = PerturbationExplainer::new(&pair, &trained, method);
+        group.bench_function(method.label(), |b| {
+            b.iter(|| {
+                for p in &pairs {
+                    black_box(explainer.explain_pair(p.source, p.target, 6));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adg_construction(c: &mut Criterion) {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::GcnAlign, TrainConfig::fast()).train(&pair);
+    let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+    let pairs: Vec<_> = pair.reference.iter().take(20).collect();
+    let explanations: Vec<_> = pairs
+        .iter()
+        .map(|p| exea.explain(p.source, p.target))
+        .collect();
+    c.bench_function("adg_construction", |b| {
+        b.iter(|| {
+            for e in &explanations {
+                black_box(exea.adg(e, true));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_explanation_generation, bench_adg_construction);
+criterion_main!(benches);

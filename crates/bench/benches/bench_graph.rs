@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the graph substrate (neighbourhood queries,
+//! functionality, path enumeration, dataset generation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_graph::{paths::enumerate_paths, RelationFunctionality};
+use std::hint::black_box;
+
+fn bench_graph_queries(c: &mut Criterion) {
+    let pair = load(DatasetName::FrEn, DatasetScale::Small);
+    let entities: Vec<_> = pair.source.entity_ids().take(100).collect();
+
+    c.bench_function("two_hop_triples", |b| {
+        b.iter(|| {
+            for &e in &entities {
+                black_box(pair.source.triples_within_hops(e, 2));
+            }
+        })
+    });
+    c.bench_function("path_enumeration_len2", |b| {
+        b.iter(|| {
+            for &e in &entities {
+                black_box(enumerate_paths(&pair.source, e, 2));
+            }
+        })
+    });
+    c.bench_function("relation_functionality", |b| {
+        b.iter(|| black_box(RelationFunctionality::compute(&pair.source)))
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_generation");
+    group.sample_size(10);
+    group.bench_function("zh_en_small", |b| {
+        b.iter(|| black_box(load(DatasetName::ZhEn, DatasetScale::Small)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_queries, bench_dataset_generation);
+criterion_main!(benches);

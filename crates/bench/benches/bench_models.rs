@@ -1,0 +1,28 @@
+//! Criterion benchmarks of model training and alignment inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_models::{build_model, ModelKind, TrainConfig};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let mut group = c.benchmark_group("model_training");
+    group.sample_size(10);
+    for kind in [ModelKind::MTransE, ModelKind::GcnAlign, ModelKind::DualAmn] {
+        let model = build_model(kind, TrainConfig::fast());
+        group.bench_function(kind.label(), |b| b.iter(|| black_box(model.train(&pair))));
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::DualAmn, TrainConfig::fast()).train(&pair);
+    c.bench_function("greedy_alignment_inference", |b| {
+        b.iter(|| black_box(trained.predict(&pair)))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_inference);
+criterion_main!(benches);

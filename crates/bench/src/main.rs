@@ -1,0 +1,87 @@
+//! `exea-bench` — regenerates every table and figure of the ExEA paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! exea-bench <experiment> [--scale small|bench] [--samples N]
+//!
+//! experiments:
+//!   table1   explanation generation, first-order candidates (fidelity/sparsity)
+//!   table2   explanation generation, second-order candidates (Dual-AMN)
+//!   fig4     wall-clock time of explanation generation (Dual-AMN, ZH-EN)
+//!   fig5     case study: explanations of one source entity under all models
+//!   table3   EA repair accuracy (base vs ExEA) on all datasets
+//!   table4   ablation study of the conflict resolvers (MTransE)
+//!   fig6     ablation across models on ZH-EN
+//!   table5   ExEA vs simulated-LLM explainers (ZH-EN, DBP-WD)
+//!   table6   EA verification precision/recall/F1
+//!   table7   explanation generation under seed noise
+//!   table8   EA repair under seed noise
+//!   all      run everything above in sequence
+//! ```
+//!
+//! `--scale small` (default) finishes in minutes on a laptop; `--scale bench`
+//! uses larger synthetic datasets and is what `EXPERIMENTS.md` reports.
+
+mod experiments;
+
+use experiments::{BenchConfig, Experiment};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return;
+    }
+    let mut config = BenchConfig::default();
+    let mut experiment = args[0].clone();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                config.scale = match args[i + 1].as_str() {
+                    "bench" => ea_data::DatasetScale::Bench,
+                    "paper" => ea_data::DatasetScale::Paper,
+                    _ => ea_data::DatasetScale::Small,
+                };
+                i += 2;
+            }
+            "--samples" if i + 1 < args.len() => {
+                config.fidelity_samples = args[i + 1].parse().unwrap_or(config.fidelity_samples);
+                i += 2;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other:?}");
+                i += 1;
+            }
+        }
+    }
+    if experiment == "all" {
+        for e in Experiment::all() {
+            run(e, &config);
+        }
+        return;
+    }
+    experiment.make_ascii_lowercase();
+    match Experiment::parse(&experiment) {
+        Some(e) => run(e, &config),
+        None => {
+            eprintln!("unknown experiment {experiment:?}");
+            print_usage();
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(experiment: Experiment, config: &BenchConfig) {
+    let started = std::time::Instant::now();
+    experiments::run_experiment(experiment, config);
+    eprintln!("[{experiment:?} finished in {:.1?}]", started.elapsed());
+}
+
+fn print_usage() {
+    println!(
+        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|all> \
+         [--scale small|bench|paper] [--samples N]"
+    );
+}

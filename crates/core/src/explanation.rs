@@ -1,0 +1,410 @@
+//! Semantic-matching-subgraph explanations (paper §III-A).
+//!
+//! The heuristic behind ExEA: *two entities are aligned because their relation
+//! triples share similar semantics*. An explanation for a predicted pair
+//! `(e1, e2)` is therefore built by
+//!
+//! 1. finding neighbour entities of `e1` and `e2` that are themselves aligned
+//!    (by the model's predictions or the seed alignment),
+//! 2. collecting the relation paths from each central entity to its matched
+//!    neighbours,
+//! 3. matching those paths bidirectionally by path-embedding similarity
+//!    (mutual nearest neighbours), and
+//! 4. taking the triples along matched paths as the explanation subgraph.
+
+use crate::relation_embed::{path_embedding, RelationEmbeddings};
+use ea_embed::vector;
+use ea_graph::{AlignmentSet, EntityId, KgPair, RelationPath, Subgraph};
+use ea_models::TrainedAlignment;
+use std::collections::HashMap;
+
+/// A pair of relation paths — one around the source entity, one around the
+/// target entity — judged to carry the same semantics.
+#[derive(Debug, Clone)]
+pub struct MatchedPath {
+    /// Path from the source central entity to a matched source neighbour.
+    pub source: RelationPath,
+    /// Path from the target central entity to the matched target neighbour.
+    pub target: RelationPath,
+    /// Cosine similarity of the two path embeddings.
+    pub similarity: f32,
+}
+
+/// The explanation for one predicted alignment pair: the semantic matching
+/// subgraph around the two entities.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The source entity being explained.
+    pub source_entity: EntityId,
+    /// The target entity being explained.
+    pub target_entity: EntityId,
+    /// The matched relation-path pairs forming the explanation.
+    pub matched_paths: Vec<MatchedPath>,
+    /// Source-side triples of the matching subgraph.
+    pub source_triples: Subgraph,
+    /// Target-side triples of the matching subgraph.
+    pub target_triples: Subgraph,
+}
+
+impl Explanation {
+    /// An explanation with no matched paths (the model's decision cannot be
+    /// grounded in matching structure).
+    pub fn empty(source_entity: EntityId, target_entity: EntityId) -> Self {
+        Self {
+            source_entity,
+            target_entity,
+            matched_paths: Vec::new(),
+            source_triples: Subgraph::new(),
+            target_triples: Subgraph::new(),
+        }
+    }
+
+    /// Whether the explanation contains no evidence at all.
+    pub fn is_empty(&self) -> bool {
+        self.matched_paths.is_empty()
+    }
+
+    /// Total number of triples selected by the explanation (both sides).
+    pub fn num_triples(&self) -> usize {
+        self.source_triples.len() + self.target_triples.len()
+    }
+
+    /// Distinct matched neighbour pairs `(source neighbour, target neighbour)`
+    /// together with the best path similarity observed for the pair.
+    pub fn matched_neighbors(&self) -> Vec<(EntityId, EntityId, f32)> {
+        let mut best: HashMap<(EntityId, EntityId), f32> = HashMap::new();
+        for m in &self.matched_paths {
+            let key = (m.source.end(), m.target.end());
+            let entry = best.entry(key).or_insert(f32::NEG_INFINITY);
+            if m.similarity > *entry {
+                *entry = m.similarity;
+            }
+        }
+        let mut result: Vec<(EntityId, EntityId, f32)> = best
+            .into_iter()
+            .map(|((s, t), sim)| (s, t, sim))
+            .collect();
+        result.sort_by_key(|&(s, t, _)| (s, t));
+        result
+    }
+
+    /// Sparsity (Eq. 13): `1 - |explanation| / |candidates|`, where the
+    /// candidate count is the number of triples within `h` hops of the two
+    /// entities. Returns 1.0 when there are no candidates.
+    pub fn sparsity(&self, candidate_triples: usize) -> f64 {
+        if candidate_triples == 0 {
+            return 1.0;
+        }
+        1.0 - self.num_triples() as f64 / candidate_triples as f64
+    }
+
+    /// Renders the explanation with entity/relation names for display
+    /// (the Fig. 5 case-study format).
+    pub fn render(&self, pair: &KgPair) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "explanation for ({} ≡ {})\n",
+            pair.source
+                .entity_name(self.source_entity)
+                .unwrap_or("?"),
+            pair.target
+                .entity_name(self.target_entity)
+                .unwrap_or("?"),
+        ));
+        if self.is_empty() {
+            out.push_str("  (no matching structure found)\n");
+            return out;
+        }
+        for m in &self.matched_paths {
+            out.push_str(&format!(
+                "  {}  <=>  {}   (sim {:.3})\n",
+                m.source.render(&pair.source),
+                m.target.render(&pair.target),
+                m.similarity
+            ));
+        }
+        out
+    }
+}
+
+/// Generates the semantic matching subgraph for the pair `(e1, e2)`.
+///
+/// `alignment` is the alignment state used to decide which neighbours count
+/// as matched — the union of the seed alignment and the model's current
+/// predictions (or the partially repaired alignment during repair).
+/// `source_paths` / `target_paths` are the relation paths of length `<= hops`
+/// starting at `e1` / `e2` (typically precomputed and cached by [`crate::ExEa`]).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_explanation(
+    trained: &TrainedAlignment,
+    alignment: &AlignmentSet,
+    e1: EntityId,
+    e2: EntityId,
+    source_paths: &[RelationPath],
+    target_paths: &[RelationPath],
+    source_relations: &RelationEmbeddings,
+    target_relations: &RelationEmbeddings,
+) -> Explanation {
+    // Step 1: matched neighbour pairs — path endpoints that the current
+    // alignment state says are the same entity.
+    let mut by_pair: HashMap<(EntityId, EntityId), (Vec<&RelationPath>, Vec<&RelationPath>)> =
+        HashMap::new();
+    for p in source_paths {
+        let n1 = p.end();
+        if n1 == e1 {
+            continue;
+        }
+        if let Some(n2) = alignment.target_of(n1) {
+            by_pair.entry((n1, n2)).or_default().0.push(p);
+        }
+    }
+    for p in target_paths {
+        let n2 = p.end();
+        if n2 == e2 {
+            continue;
+        }
+        for ((pn1, pn2), entry) in by_pair.iter_mut() {
+            let _ = pn1;
+            if *pn2 == n2 {
+                entry.1.push(p);
+            }
+        }
+    }
+
+    let source_entities = trained.entities(ea_graph::KgSide::Source);
+    let target_entities = trained.entities(ea_graph::KgSide::Target);
+
+    // Step 2: per matched neighbour pair, bidirectional (mutual-best) path
+    // matching by path-embedding cosine similarity.
+    let mut matched_paths = Vec::new();
+    let mut source_triples = Subgraph::new();
+    let mut target_triples = Subgraph::new();
+    for ((_n1, _n2), (p1s, p2s)) in by_pair {
+        if p1s.is_empty() || p2s.is_empty() {
+            continue;
+        }
+        let emb1: Vec<Vec<f32>> = p1s
+            .iter()
+            .map(|p| path_embedding(p, source_entities, source_relations))
+            .collect();
+        let emb2: Vec<Vec<f32>> = p2s
+            .iter()
+            .map(|p| path_embedding(p, target_entities, target_relations))
+            .collect();
+
+        // The two sides may have different embedding dimensionality when the
+        // relation tables differ (e.g. Dual-AMN gates); compare on the
+        // shortest common prefix, which aligns the entity parts first.
+        let dim = emb1[0].len().min(emb2[0].len());
+        let sim = |a: &[f32], b: &[f32]| vector::cosine(&a[..dim], &b[..dim]);
+
+        let best_for_p1: Vec<usize> = emb1
+            .iter()
+            .map(|a| {
+                (0..emb2.len())
+                    .max_by(|&x, &y| {
+                        sim(a, &emb2[x])
+                            .partial_cmp(&sim(a, &emb2[y]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("p2s is non-empty")
+            })
+            .collect();
+        let best_for_p2: Vec<usize> = emb2
+            .iter()
+            .map(|b| {
+                (0..emb1.len())
+                    .max_by(|&x, &y| {
+                        sim(&emb1[x], b)
+                            .partial_cmp(&sim(&emb1[y], b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("p1s is non-empty")
+            })
+            .collect();
+
+        for (i, &j) in best_for_p1.iter().enumerate() {
+            if best_for_p2[j] != i {
+                continue;
+            }
+            let similarity = sim(&emb1[i], &emb2[j]);
+            for t in p1s[i].triples() {
+                source_triples.insert(t);
+            }
+            for t in p2s[j].triples() {
+                target_triples.insert(t);
+            }
+            matched_paths.push(MatchedPath {
+                source: p1s[i].clone(),
+                target: p2s[j].clone(),
+                similarity,
+            });
+        }
+    }
+
+    // Deterministic order regardless of hash-map iteration.
+    matched_paths.sort_by(|a, b| {
+        (a.source.end(), a.target.end(), a.source.len(), a.target.len())
+            .cmp(&(b.source.end(), b.target.end(), b.source.len(), b.target.len()))
+    });
+
+    Explanation {
+        source_entity: e1,
+        target_entity: e2,
+        matched_paths,
+        source_triples,
+        target_triples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation_embed::RelationEmbeddings;
+    use ea_data::datasets::{load, DatasetName, DatasetScale};
+    use ea_graph::paths::enumerate_paths;
+    use ea_graph::KgSide;
+    use ea_models::{build_model, ModelKind, TrainConfig};
+
+    fn setup() -> (
+        ea_graph::KgPair,
+        TrainedAlignment,
+        AlignmentSet,
+        RelationEmbeddings,
+        RelationEmbeddings,
+    ) {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let trained = build_model(ModelKind::GcnAlign, TrainConfig::fast()).train(&pair);
+        let mut alignment = trained.predict(&pair);
+        alignment.extend_from(&pair.seed);
+        let rel_s = RelationEmbeddings::for_side(&trained, &pair.source, KgSide::Source);
+        let rel_t = RelationEmbeddings::for_side(&trained, &pair.target, KgSide::Target);
+        (pair, trained, alignment, rel_s, rel_t)
+    }
+
+    fn explain_one(
+        pair: &ea_graph::KgPair,
+        trained: &TrainedAlignment,
+        alignment: &AlignmentSet,
+        rel_s: &RelationEmbeddings,
+        rel_t: &RelationEmbeddings,
+        e1: EntityId,
+        e2: EntityId,
+    ) -> Explanation {
+        let p1 = enumerate_paths(&pair.source, e1, 1);
+        let p2 = enumerate_paths(&pair.target, e2, 1);
+        generate_explanation(trained, alignment, e1, e2, &p1, &p2, rel_s, rel_t)
+    }
+
+    #[test]
+    fn correct_pairs_get_nonempty_explanations_mostly() {
+        let (pair, trained, alignment, rel_s, rel_t) = setup();
+        let mut non_empty = 0usize;
+        let mut total = 0usize;
+        for p in pair.reference.iter().take(50) {
+            let exp = explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+            total += 1;
+            if !exp.is_empty() {
+                non_empty += 1;
+            }
+        }
+        assert!(
+            non_empty * 2 > total,
+            "most correct pairs should have matching structure ({non_empty}/{total})"
+        );
+    }
+
+    #[test]
+    fn explanation_triples_come_from_the_right_graphs() {
+        let (pair, trained, alignment, rel_s, rel_t) = setup();
+        let p = pair.reference.iter().next().unwrap();
+        let exp = explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+        for t in exp.source_triples.triples() {
+            assert!(pair.source.contains_triple(&t));
+        }
+        for t in exp.target_triples.triples() {
+            assert!(pair.target.contains_triple(&t));
+        }
+    }
+
+    #[test]
+    fn matched_paths_start_at_the_central_entities() {
+        let (pair, trained, alignment, rel_s, rel_t) = setup();
+        for p in pair.reference.iter().take(20) {
+            let exp =
+                explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+            for m in &exp.matched_paths {
+                assert_eq!(m.source.start, p.source);
+                assert_eq!(m.target.start, p.target);
+                // Matched endpoints must be aligned in the current state.
+                assert_eq!(alignment.target_of(m.source.end()), Some(m.target.end()));
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_is_in_unit_interval() {
+        let (pair, trained, alignment, rel_s, rel_t) = setup();
+        for p in pair.reference.iter().take(20) {
+            let exp =
+                explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+            let candidates = pair.source.triples_within_hops(p.source, 1).len()
+                + pair.target.triples_within_hops(p.target, 1).len();
+            let s = exp.sparsity(candidates);
+            assert!((0.0..=1.0).contains(&s), "sparsity {s} out of range");
+        }
+        let empty = Explanation::empty(EntityId(0), EntityId(0));
+        assert_eq!(empty.sparsity(0), 1.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.num_triples(), 0);
+    }
+
+    #[test]
+    fn matched_neighbors_deduplicate_paths() {
+        let (pair, trained, alignment, rel_s, rel_t) = setup();
+        let p = pair
+            .reference
+            .iter()
+            .find(|p| {
+                !explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target)
+                    .is_empty()
+            })
+            .expect("at least one explainable pair");
+        let exp = explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+        let neighbors = exp.matched_neighbors();
+        assert!(!neighbors.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for (s, t, sim) in &neighbors {
+            assert!(seen.insert((*s, *t)), "duplicate neighbour pair");
+            assert!(sim.is_finite());
+        }
+    }
+
+    #[test]
+    fn render_mentions_entity_names() {
+        let (pair, trained, alignment, rel_s, rel_t) = setup();
+        let p = pair.reference.iter().next().unwrap();
+        let exp = explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+        let rendered = exp.render(&pair);
+        assert!(rendered.contains("explanation for"));
+        assert!(rendered.contains(pair.source.entity_name(p.source).unwrap()));
+    }
+
+    #[test]
+    fn unaligned_neighbors_produce_empty_explanation() {
+        let (pair, trained, _alignment, rel_s, rel_t) = setup();
+        // With an empty alignment state nothing can match.
+        let empty_alignment = AlignmentSet::new();
+        let p = pair.reference.iter().next().unwrap();
+        let exp = explain_one(
+            &pair,
+            &trained,
+            &empty_alignment,
+            &rel_s,
+            &rel_t,
+            p.source,
+            p.target,
+        );
+        assert!(exp.is_empty());
+    }
+}

@@ -1,0 +1,350 @@
+//! The ExEA framework object: caches, explanation and ADG entry points.
+
+use crate::adg::Adg;
+use crate::config::ExeaConfig;
+use crate::explanation::{generate_explanation, Explanation};
+use crate::relation_embed::RelationEmbeddings;
+use crate::rules::{mine_not_same_as_rules, relation_alignment, NotSameAsRules, RelationAlignment};
+use ea_graph::paths::enumerate_paths;
+use ea_graph::{
+    AlignmentSet, Direction, EntityId, KgPair, KgSide, RelationFunctionality, RelationPath,
+};
+use ea_models::TrainedAlignment;
+
+/// The ExEA framework bound to one KG pair and one trained EA model.
+///
+/// Construction precomputes everything the explanation and repair loops need
+/// repeatedly: relation paths around every entity (up to the configured hop
+/// count), relation embeddings, relation functionalities, the cross-KG
+/// relation alignment and the ¬sameAs rules of the target graph.
+pub struct ExEa<'a> {
+    pair: &'a KgPair,
+    trained: &'a TrainedAlignment,
+    config: ExeaConfig,
+    source_relations: RelationEmbeddings,
+    target_relations: RelationEmbeddings,
+    source_functionality: RelationFunctionality,
+    target_functionality: RelationFunctionality,
+    source_paths: Vec<Vec<RelationPath>>,
+    target_paths: Vec<Vec<RelationPath>>,
+    relation_alignment: RelationAlignment,
+    target_rules: NotSameAsRules,
+    predictions: AlignmentSet,
+}
+
+impl<'a> ExEa<'a> {
+    /// Builds the framework for a KG pair and a trained model.
+    pub fn new(pair: &'a KgPair, trained: &'a TrainedAlignment, config: ExeaConfig) -> Self {
+        config.validate();
+        let source_relations = RelationEmbeddings::for_side(trained, &pair.source, KgSide::Source);
+        let target_relations = RelationEmbeddings::for_side(trained, &pair.target, KgSide::Target);
+        let source_functionality = RelationFunctionality::compute(&pair.source);
+        let target_functionality = RelationFunctionality::compute(&pair.target);
+        let source_paths = pair
+            .source
+            .entity_ids()
+            .map(|e| enumerate_paths(&pair.source, e, config.hops))
+            .collect();
+        let target_paths = pair
+            .target
+            .entity_ids()
+            .map(|e| enumerate_paths(&pair.target, e, config.hops))
+            .collect();
+        let relation_alignment = relation_alignment(pair, trained);
+        let target_rules = mine_not_same_as_rules(&pair.target);
+        let predictions = trained.predict(pair);
+        Self {
+            pair,
+            trained,
+            config,
+            source_relations,
+            target_relations,
+            source_functionality,
+            target_functionality,
+            source_paths,
+            target_paths,
+            relation_alignment,
+            target_rules,
+            predictions,
+        }
+    }
+
+    /// The KG pair the framework operates on.
+    pub fn pair(&self) -> &KgPair {
+        self.pair
+    }
+
+    /// The trained model artifact in use.
+    pub fn trained(&self) -> &TrainedAlignment {
+        self.trained
+    }
+
+    /// The framework configuration.
+    pub fn config(&self) -> &ExeaConfig {
+        &self.config
+    }
+
+    /// The model's raw greedy predictions (`Ares`).
+    pub fn predictions(&self) -> &AlignmentSet {
+        &self.predictions
+    }
+
+    /// The mined cross-KG relation alignment.
+    pub fn relation_alignment(&self) -> &RelationAlignment {
+        &self.relation_alignment
+    }
+
+    /// The mined ¬sameAs rules of the target graph.
+    pub fn target_rules(&self) -> &NotSameAsRules {
+        &self.target_rules
+    }
+
+    /// The alignment state explanations should be generated against: the
+    /// model predictions plus the seed alignment.
+    pub fn default_alignment_state(&self) -> AlignmentSet {
+        let mut state = self.predictions.clone();
+        state.extend_from(&self.pair.seed);
+        state
+    }
+
+    /// Number of candidate triples (within the configured hop count around
+    /// both entities) for sparsity computation.
+    pub fn candidate_triples(&self, e1: EntityId, e2: EntityId) -> usize {
+        self.pair.source.triples_within_hops(e1, self.config.hops).len()
+            + self.pair.target.triples_within_hops(e2, self.config.hops).len()
+    }
+
+    /// Generates the explanation for the pair `(e1, e2)` under an explicit
+    /// alignment state.
+    pub fn explain_with_state(
+        &self,
+        e1: EntityId,
+        e2: EntityId,
+        state: &AlignmentSet,
+    ) -> Explanation {
+        generate_explanation(
+            self.trained,
+            state,
+            e1,
+            e2,
+            &self.source_paths[e1.index()],
+            &self.target_paths[e2.index()],
+            &self.source_relations,
+            &self.target_relations,
+        )
+    }
+
+    /// Generates the explanation for the pair `(e1, e2)` under the default
+    /// alignment state (predictions plus seed).
+    pub fn explain(&self, e1: EntityId, e2: EntityId) -> Explanation {
+        self.explain_with_state(e1, e2, &self.default_alignment_state())
+    }
+
+    /// Builds the ADG for an explanation. When `apply_relation_conflicts` is
+    /// set, neighbour nodes whose connecting relations are inferred to imply
+    /// `¬sameAs` (relation-alignment conflicts, §IV-A) are removed before the
+    /// confidence is computed.
+    pub fn adg(&self, explanation: &Explanation, apply_relation_conflicts: bool) -> Adg {
+        let mut adg = Adg::build(
+            explanation,
+            self.trained,
+            &self.source_functionality,
+            &self.target_functionality,
+            &self.config,
+        );
+        if apply_relation_conflicts {
+            let conflicting = self.relation_conflict_neighbors(explanation, &adg);
+            if !conflicting.is_empty() {
+                adg.remove_neighbors(conflicting);
+            }
+        }
+        adg
+    }
+
+    /// Explanation confidence of a pair under a given alignment state.
+    pub fn confidence_with_state(
+        &self,
+        e1: EntityId,
+        e2: EntityId,
+        state: &AlignmentSet,
+        apply_relation_conflicts: bool,
+    ) -> f64 {
+        let explanation = self.explain_with_state(e1, e2, state);
+        self.adg(&explanation, apply_relation_conflicts).confidence()
+    }
+
+    /// Indexes of ADG neighbour nodes that are in relation-alignment conflict
+    /// with the central pair: the direct relations connecting them to the two
+    /// central entities map (through the relation alignment) to a relation
+    /// pair that the target KG's ¬sameAs rules declare object-disjoint.
+    pub fn relation_conflict_neighbors(&self, explanation: &Explanation, adg: &Adg) -> Vec<usize> {
+        let mut conflicting = Vec::new();
+        for (idx, node) in adg.neighbors.iter().enumerate() {
+            let conflict = explanation.matched_paths.iter().any(|m| {
+                if !(m.source.is_direct() && m.target.is_direct()) {
+                    return false;
+                }
+                if m.source.end() != node.source || m.target.end() != node.target {
+                    return false;
+                }
+                // Only the head-sharing rule shape is mined: both central
+                // entities must be the heads of their triples (cross-KG triple
+                // (e2, r1, n1) plus (e2, r2, n2)).
+                if m.source.first_direction() != Direction::Forward
+                    || m.target.first_direction() != Direction::Forward
+                {
+                    return false;
+                }
+                let r1 = m.source.steps[0].relation;
+                let r2 = m.target.steps[0].relation;
+                match self.relation_alignment.target_of(r1) {
+                    // Aligned relations support the match; different relations
+                    // that provably never share objects contradict it.
+                    Some(mapped) => mapped != r2 && self.target_rules.implies_not_same(mapped, r2),
+                    None => false,
+                }
+            });
+            if conflict {
+                conflicting.push(idx);
+            }
+        }
+        conflicting
+    }
+
+    /// Convenience: explanation plus ADG (with relation-conflict adjustment)
+    /// for a pair under the default state.
+    pub fn explain_and_score(&self, e1: EntityId, e2: EntityId) -> (Explanation, Adg) {
+        let state = self.default_alignment_state();
+        let explanation = self.explain_with_state(e1, e2, &state);
+        let adg = self.adg(&explanation, true);
+        (explanation, adg)
+    }
+
+    /// Renders a Fig. 5-style case study for one source entity: the predicted
+    /// counterpart, the explanation subgraph and the confidence.
+    pub fn render_case_study(&self, source: EntityId) -> String {
+        let Some(target) = self.predictions.target_of(source) else {
+            return format!(
+                "{}: no prediction available",
+                self.pair.source.entity_name(source).unwrap_or("?")
+            );
+        };
+        let (explanation, adg) = self.explain_and_score(source, target);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "model {} predicts: {} ≡ {}  (confidence {:.3})\n",
+            self.trained.model_name(),
+            self.pair.source.entity_name(source).unwrap_or("?"),
+            self.pair.target.entity_name(target).unwrap_or("?"),
+            adg.confidence()
+        ));
+        out.push_str(&explanation.render(self.pair));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_data::datasets::{load, DatasetName, DatasetScale};
+    use ea_models::{build_model, ModelKind, TrainConfig};
+
+    fn setup() -> (ea_graph::KgPair, TrainedAlignment) {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let trained = build_model(ModelKind::GcnAlign, TrainConfig::fast()).train(&pair);
+        (pair, trained)
+    }
+
+    #[test]
+    fn framework_builds_and_exposes_components() {
+        let (pair, trained) = setup();
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        assert_eq!(exea.predictions().len(), pair.reference.len());
+        assert!(!exea.relation_alignment().is_empty());
+        assert_eq!(exea.pair().name, pair.name);
+        assert_eq!(exea.trained().model_name(), "GCN-Align");
+        assert_eq!(exea.config().hops, 1);
+        let state = exea.default_alignment_state();
+        assert_eq!(state.len(), pair.reference.len() + pair.seed.len());
+    }
+
+    #[test]
+    fn explanations_for_correct_pairs_raise_confidence() {
+        let (pair, trained) = setup();
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        // Average confidence over correctly predicted pairs should exceed the
+        // average over deliberately wrong pairs.
+        let predictions = exea.predictions().clone();
+        let mut correct_conf = Vec::new();
+        let mut wrong_conf = Vec::new();
+        for p in pair.reference.iter().take(80) {
+            let predicted = predictions.target_of(p.source);
+            if predicted == Some(p.target) {
+                let (_, adg) = exea.explain_and_score(p.source, p.target);
+                correct_conf.push(adg.confidence());
+            }
+            // A deliberately mismatched target: shift by one reference pair.
+            let wrong_target = pair
+                .reference
+                .iter()
+                .find(|q| q.target != p.target)
+                .unwrap()
+                .target;
+            let (_, adg) = exea.explain_and_score(p.source, wrong_target);
+            wrong_conf.push(adg.confidence());
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            avg(&correct_conf) > avg(&wrong_conf),
+            "correct pairs should have higher confidence ({:.3} vs {:.3})",
+            avg(&correct_conf),
+            avg(&wrong_conf)
+        );
+    }
+
+    #[test]
+    fn candidate_triples_match_hop_neighbourhoods() {
+        let (pair, trained) = setup();
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        let p = pair.reference.iter().next().unwrap();
+        let expected = pair.source.triples_within_hops(p.source, 1).len()
+            + pair.target.triples_within_hops(p.target, 1).len();
+        assert_eq!(exea.candidate_triples(p.source, p.target), expected);
+    }
+
+    #[test]
+    fn confidence_with_state_matches_explicit_pipeline() {
+        let (pair, trained) = setup();
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        let state = exea.default_alignment_state();
+        let p = pair.reference.iter().next().unwrap();
+        let via_helper = exea.confidence_with_state(p.source, p.target, &state, false);
+        let explanation = exea.explain_with_state(p.source, p.target, &state);
+        let via_pipeline = exea.adg(&explanation, false).confidence();
+        assert!((via_helper - via_pipeline).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case_study_rendering_mentions_model_and_entities() {
+        let (pair, trained) = setup();
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        let p = pair.reference.iter().next().unwrap();
+        let text = exea.render_case_study(p.source);
+        assert!(text.contains("GCN-Align"));
+        assert!(text.contains(pair.source.entity_name(p.source).unwrap()));
+        assert!(text.contains("confidence"));
+    }
+
+    #[test]
+    fn relation_conflict_adjustment_never_raises_confidence() {
+        let (pair, trained) = setup();
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        for p in pair.reference.iter().take(40) {
+            let state = exea.default_alignment_state();
+            let explanation = exea.explain_with_state(p.source, p.target, &state);
+            let plain = exea.adg(&explanation, false).confidence();
+            let adjusted = exea.adg(&explanation, true).confidence();
+            assert!(adjusted <= plain + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Baseline explanation methods for embedding-based entity alignment.
+//!
+//! The paper compares ExEA against four transferred explanation baselines
+//! (EALime, EAShapley, Anchor, LORE — §V-B1) and two ChatGPT-based methods
+//! (§V-D). This crate implements all of them behind the common
+//! [`exea_core::Explainer`] interface:
+//!
+//! * [`perturb`] — the perturbation family. A shared perturbation engine
+//!   treats every candidate triple as a binary feature, re-encodes the two
+//!   entities from the included triples and uses the embedding similarity as
+//!   the model's response (Eqs. 10–12). EALime fits a weighted linear
+//!   surrogate, EAShapley estimates Shapley values by Monte-Carlo sampling,
+//!   Anchor greedily grows a high-precision rule and LORE fits a shallow
+//!   decision tree and reads the positive rule path.
+//! * [`llm`] — offline stand-ins for the ChatGPT baselines (see `DESIGN.md`
+//!   §3): a name-overlap triple matcher with configurable hallucination noise
+//!   and digit insensitivity, used both for explanation generation
+//!   (ChatGPT-match / ChatGPT-perturb) and for EA verification.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod llm;
+pub mod perturb;
+
+pub use llm::{LlmVerifier, SimulatedLlmExplainer};
+pub use perturb::{BaselineMethod, PerturbationExplainer};

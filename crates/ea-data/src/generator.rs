@@ -1,0 +1,549 @@
+//! Synthetic KG-pair generator.
+//!
+//! The generator derives two observable knowledge graphs from one latent
+//! "world" graph:
+//!
+//! 1. A world graph over `world_entities` entities and `world_relations`
+//!    relation concepts is grown by preferential attachment (hub-heavy degree
+//!    distribution, like real encyclopaedic KGs) plus extra random triples up
+//!    to a target density. A subset of relation concepts is marked
+//!    *functional* (at most one object per subject), which gives the relation
+//!    functionality distribution that ExEA's ADG edge weights rely on.
+//! 2. Each side keeps every world triple independently with probability
+//!    `source_keep` / `target_keep` (KG incompleteness), adds side-specific
+//!    extra entities attached to random world entities, and adds a small rate
+//!    of noise triples.
+//! 3. Every world entity appears on both sides, giving the gold alignment;
+//!    a `seed_ratio` fraction becomes the seed (training) alignment and the
+//!    rest the reference (test) alignment.
+//!
+//! Cross-lingual pairs (DBP15K-style) use the *same* relation concepts on
+//! both sides under different surface names; heterogeneous pairs
+//! (OpenEA-style) additionally merge groups of relation concepts on the
+//! target side so the two schemata genuinely disagree.
+
+use ea_graph::{AlignmentPair, AlignmentSet, KgPair, KnowledgeGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Configuration of the synthetic KG-pair generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Dataset name carried into the produced [`KgPair`].
+    pub name: String,
+    /// Number of latent world entities (= number of gold alignment pairs).
+    pub world_entities: usize,
+    /// Number of latent relation concepts.
+    pub world_relations: usize,
+    /// Target average number of triples per entity in the world graph.
+    pub avg_world_degree: f64,
+    /// Probability of keeping a world triple in the source graph.
+    pub source_keep: f64,
+    /// Probability of keeping a world triple in the target graph.
+    pub target_keep: f64,
+    /// Side-specific entities added to each graph (not aligned to anything).
+    pub extra_entities_per_side: usize,
+    /// Noise triples per entity added to each side.
+    pub extra_triple_rate: f64,
+    /// Whether the target side uses a merged (heterogeneous) relation schema.
+    pub heterogeneous_schema: bool,
+    /// How many world relation concepts are merged into one target relation
+    /// when `heterogeneous_schema` is set (1 = no merging).
+    pub relation_merge_factor: usize,
+    /// Fraction of gold alignment pairs used as seed (training) alignment.
+    pub seed_ratio: f64,
+    /// Name prefix for source-side entities and relations.
+    pub source_prefix: String,
+    /// Name prefix for target-side entities and relations.
+    pub target_prefix: String,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub rng_seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            name: "synthetic".to_owned(),
+            world_entities: 500,
+            world_relations: 24,
+            avg_world_degree: 4.0,
+            source_keep: 0.85,
+            target_keep: 0.85,
+            extra_entities_per_side: 50,
+            extra_triple_rate: 0.3,
+            heterogeneous_schema: false,
+            relation_merge_factor: 1,
+            seed_ratio: 0.3,
+            source_prefix: "src".to_owned(),
+            target_prefix: "tgt".to_owned(),
+            rng_seed: 42,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Validates the configuration, panicking with a descriptive message on
+    /// nonsensical values. Called by [`SyntheticGenerator::new`].
+    fn validate(&self) {
+        assert!(self.world_entities >= 10, "need at least 10 world entities");
+        assert!(self.world_relations >= 2, "need at least 2 relations");
+        assert!(
+            (0.0..=1.0).contains(&self.source_keep) && (0.0..=1.0).contains(&self.target_keep),
+            "keep probabilities must be in [0,1]"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.seed_ratio),
+            "seed ratio must be in [0,1)"
+        );
+        assert!(self.relation_merge_factor >= 1, "merge factor must be >= 1");
+        assert!(self.avg_world_degree >= 1.0, "average degree must be >= 1");
+    }
+}
+
+/// A latent world triple expressed over world entity / relation indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WorldTriple {
+    head: usize,
+    relation: usize,
+    tail: usize,
+}
+
+/// Deterministic synthetic KG-pair generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticGenerator {
+    config: SyntheticConfig,
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator after validating the configuration.
+    pub fn new(config: SyntheticConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Accesses the configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// Generates the KG pair.
+    pub fn generate(&self) -> KgPair {
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.rng_seed);
+
+        let world = self.generate_world(&mut rng);
+
+        let (source, source_entity_ids) = self.build_side(
+            &world,
+            cfg.source_keep,
+            &cfg.source_prefix,
+            false,
+            &mut rng,
+        );
+        let (target, target_entity_ids) = self.build_side(
+            &world,
+            cfg.target_keep,
+            &cfg.target_prefix,
+            cfg.heterogeneous_schema,
+            &mut rng,
+        );
+
+        // Gold alignment: world entity i ↔ its incarnation on both sides.
+        let mut gold: Vec<AlignmentPair> = (0..cfg.world_entities)
+            .map(|i| AlignmentPair::new(source_entity_ids[i], target_entity_ids[i]))
+            .collect();
+        gold.shuffle(&mut rng);
+        let seed_count = (gold.len() as f64 * cfg.seed_ratio).round() as usize;
+        let seed: AlignmentSet = gold[..seed_count].iter().copied().collect();
+        let reference: AlignmentSet = gold[seed_count..].iter().copied().collect();
+
+        KgPair::new(cfg.name.clone(), source, target, seed, reference)
+            .expect("generator produces consistent alignment by construction")
+    }
+
+    /// Grows the latent world graph.
+    fn generate_world(&self, rng: &mut ChaCha8Rng) -> Vec<WorldTriple> {
+        let cfg = &self.config;
+        let n = cfg.world_entities;
+        let target_triples = (n as f64 * cfg.avg_world_degree / 2.0).ceil() as usize;
+
+        let mut triples: Vec<WorldTriple> = Vec::with_capacity(target_triples);
+        let mut triple_set: HashSet<WorldTriple> = HashSet::with_capacity(target_triples);
+        let mut degree = vec![0usize; n];
+        // Relations with index < functional_count behave functionally: a head
+        // entity carries at most one triple of that relation.
+        let functional_count = cfg.world_relations / 3;
+        let mut functional_used: HashSet<(usize, usize)> = HashSet::new();
+
+        let push = |head: usize,
+                        relation: usize,
+                        tail: usize,
+                        triples: &mut Vec<WorldTriple>,
+                        triple_set: &mut HashSet<WorldTriple>,
+                        degree: &mut Vec<usize>,
+                        functional_used: &mut HashSet<(usize, usize)>|
+         -> bool {
+            if head == tail {
+                return false;
+            }
+            if relation < functional_count && !functional_used.insert((head, relation)) {
+                return false;
+            }
+            let t = WorldTriple {
+                head,
+                relation,
+                tail,
+            };
+            if !triple_set.insert(t) {
+                if relation < functional_count {
+                    // keep the marker, the triple exists anyway
+                }
+                return false;
+            }
+            triples.push(t);
+            degree[head] += 1;
+            degree[tail] += 1;
+            true
+        };
+
+        // Phase 1: preferential attachment backbone. Entity i (from 2..n)
+        // connects to `m` earlier entities chosen proportionally to degree+1.
+        let m = 2usize;
+        push(
+            0,
+            self.sample_relation(rng),
+            1,
+            &mut triples,
+            &mut triple_set,
+            &mut degree,
+            &mut functional_used,
+        );
+        for i in 2..n {
+            for _ in 0..m {
+                let other = sample_preferential(&degree[..i], rng);
+                let relation = self.sample_relation(rng);
+                // Orientation varies so both in- and out-degrees grow.
+                if rng.gen_bool(0.5) {
+                    push(
+                        i,
+                        relation,
+                        other,
+                        &mut triples,
+                        &mut triple_set,
+                        &mut degree,
+                        &mut functional_used,
+                    );
+                } else {
+                    push(
+                        other,
+                        relation,
+                        i,
+                        &mut triples,
+                        &mut triple_set,
+                        &mut degree,
+                        &mut functional_used,
+                    );
+                }
+            }
+        }
+
+        // Phase 2: densify to the target triple count with preferential
+        // endpoints, which creates the hub structure of real KGs.
+        let mut attempts = 0usize;
+        while triples.len() < target_triples && attempts < target_triples * 20 {
+            attempts += 1;
+            let head = sample_preferential(&degree, rng);
+            let tail = sample_preferential(&degree, rng);
+            let relation = self.sample_relation(rng);
+            push(
+                head,
+                relation,
+                tail,
+                &mut triples,
+                &mut triple_set,
+                &mut degree,
+                &mut functional_used,
+            );
+        }
+        triples
+    }
+
+    /// Zipf-like relation sampling: squaring a uniform variate concentrates
+    /// mass on low relation indexes, mimicking the skewed relation frequency
+    /// of encyclopaedic KGs.
+    fn sample_relation(&self, rng: &mut ChaCha8Rng) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        let skewed = u * u;
+        ((skewed * self.config.world_relations as f64) as usize)
+            .min(self.config.world_relations - 1)
+    }
+
+    /// Materialises one observable side of the pair.
+    fn build_side(
+        &self,
+        world: &[WorldTriple],
+        keep: f64,
+        prefix: &str,
+        heterogeneous: bool,
+        rng: &mut ChaCha8Rng,
+    ) -> (KnowledgeGraph, Vec<ea_graph::EntityId>) {
+        let cfg = &self.config;
+        let merge = if heterogeneous {
+            cfg.relation_merge_factor.max(1)
+        } else {
+            1
+        };
+        let side_relations = cfg.world_relations.div_ceil(merge);
+
+        let mut kg = KnowledgeGraph::with_capacity(
+            cfg.world_entities + cfg.extra_entities_per_side,
+            side_relations,
+            world.len(),
+        );
+
+        // World entities first so alignment can be reconstructed by index.
+        let entity_ids: Vec<ea_graph::EntityId> = (0..cfg.world_entities)
+            .map(|i| kg.add_entity(&format!("{prefix}:ent_{}", entity_token(i))))
+            .collect();
+        let relation_ids: Vec<ea_graph::RelationId> = (0..side_relations)
+            .map(|r| {
+                if heterogeneous {
+                    kg.add_relation(&format!("{prefix}:P{:03}", r * 7 + 13))
+                } else {
+                    kg.add_relation(&format!("{prefix}:rel_{r}"))
+                }
+            })
+            .collect();
+
+        // Keep world triples with the side's completeness probability.
+        for t in world {
+            if rng.gen_bool(keep) {
+                let relation = relation_ids[t.relation / merge];
+                let triple =
+                    ea_graph::Triple::new(entity_ids[t.head], relation, entity_ids[t.tail]);
+                let _ = kg.add_triple(triple);
+            }
+        }
+
+        // Guarantee that every aligned (world) entity is structurally present
+        // on this side: an isolated entity could never be aligned from
+        // structure alone and would also be lost by the TSV serialisation.
+        for (i, &eid) in entity_ids.iter().enumerate() {
+            if kg.degree(eid) == 0 {
+                let mut other = rng.gen_range(0..cfg.world_entities);
+                if other == i {
+                    other = (other + 1) % cfg.world_entities;
+                }
+                let relation = relation_ids[rng.gen_range(0..side_relations)];
+                let _ = kg.add_triple(ea_graph::Triple::new(eid, relation, entity_ids[other]));
+            }
+        }
+
+        // Side-specific entities attached to random world entities.
+        for j in 0..cfg.extra_entities_per_side {
+            let extra = kg.add_entity(&format!("{prefix}:only_{j}"));
+            let links = rng.gen_range(1..=3);
+            for _ in 0..links {
+                let anchor = entity_ids[rng.gen_range(0..cfg.world_entities)];
+                let relation = relation_ids[rng.gen_range(0..side_relations)];
+                let triple = if rng.gen_bool(0.5) {
+                    ea_graph::Triple::new(extra, relation, anchor)
+                } else {
+                    ea_graph::Triple::new(anchor, relation, extra)
+                };
+                let _ = kg.add_triple(triple);
+            }
+        }
+
+        // Noise triples between random world entities.
+        let noise_count = (cfg.world_entities as f64 * cfg.extra_triple_rate) as usize;
+        for _ in 0..noise_count {
+            let h = entity_ids[rng.gen_range(0..cfg.world_entities)];
+            let t = entity_ids[rng.gen_range(0..cfg.world_entities)];
+            if h == t {
+                continue;
+            }
+            let r = relation_ids[rng.gen_range(0..side_relations)];
+            let _ = kg.add_triple(ea_graph::Triple::new(h, r, t));
+        }
+
+        (kg, entity_ids)
+    }
+}
+
+/// Encodes a world-entity index as a short pseudo-word, so entity names are
+/// not purely numeric. A fraction of entities additionally carries a numeric
+/// "generation" suffix (like product lines in DBpedia), which is what makes
+/// name-only matching genuinely ambiguous for them.
+pub fn entity_token(index: usize) -> String {
+    let mut n = index;
+    let mut word = String::new();
+    loop {
+        word.push((b'a' + (n % 26) as u8) as char);
+        n /= 26;
+        if n == 0 {
+            break;
+        }
+    }
+    if index % 7 == 3 {
+        format!("{word}_{}", index % 10)
+    } else {
+        word
+    }
+}
+
+/// Samples an index proportionally to `weights[i] + 1`.
+fn sample_preferential<R: Rng>(weights: &[usize], rng: &mut R) -> usize {
+    let total: usize = weights.iter().map(|&w| w + 1).sum();
+    if total == 0 || weights.is_empty() {
+        return 0;
+    }
+    let mut pick = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        let w = w + 1;
+        if pick < w {
+            return i;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SyntheticConfig {
+        SyntheticConfig {
+            name: "test-small".to_owned(),
+            world_entities: 120,
+            world_relations: 10,
+            avg_world_degree: 4.0,
+            extra_entities_per_side: 15,
+            ..SyntheticConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticGenerator::new(small_config()).generate();
+        let b = SyntheticGenerator::new(small_config()).generate();
+        assert_eq!(a.source.num_triples(), b.source.num_triples());
+        assert_eq!(a.target.num_triples(), b.target.num_triples());
+        assert_eq!(a.seed.to_vec(), b.seed.to_vec());
+        assert_eq!(a.reference.to_vec(), b.reference.to_vec());
+    }
+
+    #[test]
+    fn different_seeds_produce_different_graphs() {
+        let mut cfg = small_config();
+        let a = SyntheticGenerator::new(cfg.clone()).generate();
+        cfg.rng_seed = 7;
+        let b = SyntheticGenerator::new(cfg).generate();
+        assert_ne!(
+            (a.source.num_triples(), a.target.num_triples()),
+            (b.source.num_triples(), b.target.num_triples())
+        );
+    }
+
+    #[test]
+    fn alignment_counts_match_configuration() {
+        let cfg = small_config();
+        let pair = SyntheticGenerator::new(cfg.clone()).generate();
+        let total = pair.seed.len() + pair.reference.len();
+        assert_eq!(total, cfg.world_entities);
+        let expected_seed = (cfg.world_entities as f64 * cfg.seed_ratio).round() as usize;
+        assert_eq!(pair.seed.len(), expected_seed);
+        assert!(pair.seed.is_one_to_one());
+        assert!(pair.reference.is_one_to_one());
+    }
+
+    #[test]
+    fn both_sides_contain_all_world_entities() {
+        let cfg = small_config();
+        let pair = SyntheticGenerator::new(cfg.clone()).generate();
+        assert_eq!(
+            pair.source.num_entities(),
+            cfg.world_entities + cfg.extra_entities_per_side
+        );
+        assert_eq!(
+            pair.target.num_entities(),
+            cfg.world_entities + cfg.extra_entities_per_side
+        );
+        // Source-prefixed names on the source side only.
+        assert!(pair.source.entity_by_name("src:ent_a").is_some());
+        assert!(pair.source.entity_by_name("tgt:ent_a").is_none());
+        assert!(pair.target.entity_by_name("tgt:ent_a").is_some());
+    }
+
+    #[test]
+    fn keep_probability_controls_completeness() {
+        let mut sparse_cfg = small_config();
+        sparse_cfg.source_keep = 0.5;
+        sparse_cfg.target_keep = 1.0;
+        let pair = SyntheticGenerator::new(sparse_cfg).generate();
+        assert!(
+            pair.source.num_triples() < pair.target.num_triples(),
+            "source with keep=0.5 should be sparser than target with keep=1.0"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_schema_merges_relations() {
+        let mut cfg = small_config();
+        cfg.heterogeneous_schema = true;
+        cfg.relation_merge_factor = 2;
+        let pair = SyntheticGenerator::new(cfg.clone()).generate();
+        assert_eq!(pair.source.num_relations(), cfg.world_relations);
+        assert_eq!(
+            pair.target.num_relations(),
+            cfg.world_relations.div_ceil(2)
+        );
+        // Heterogeneous relation names follow the P-number scheme.
+        assert!(pair.target.relation_by_name("tgt:P013").is_some());
+    }
+
+    #[test]
+    fn graphs_are_reasonably_dense() {
+        let pair = SyntheticGenerator::new(small_config()).generate();
+        let stats = pair.stats();
+        assert!(stats.source.average_degree > 1.5);
+        assert!(stats.target.average_degree > 1.5);
+        // Hubs exist thanks to preferential attachment.
+        assert!(stats.source.max_degree >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 world entities")]
+    fn tiny_world_is_rejected() {
+        let cfg = SyntheticConfig {
+            world_entities: 3,
+            ..SyntheticConfig::default()
+        };
+        let _ = SyntheticGenerator::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed ratio")]
+    fn invalid_seed_ratio_is_rejected() {
+        let cfg = SyntheticConfig {
+            seed_ratio: 1.5,
+            ..SyntheticConfig::default()
+        };
+        let _ = SyntheticGenerator::new(cfg);
+    }
+
+    #[test]
+    fn preferential_sampling_prefers_heavy_nodes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let weights = vec![100usize, 0, 0, 0];
+        let mut hits = [0usize; 4];
+        for _ in 0..1000 {
+            hits[sample_preferential(&weights, &mut rng)] += 1;
+        }
+        assert!(hits[0] > 900, "heavy node should dominate: {hits:?}");
+    }
+}

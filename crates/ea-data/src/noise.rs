@@ -1,0 +1,122 @@
+//! Seed-alignment noise injection for the robustness experiments.
+//!
+//! Section V-E of the paper corrupts 750 of the 4,500 seed alignment pairs by
+//! "randomly disrupting the entities", i.e. replacing the target entity of a
+//! corrupted pair with a random different target entity. The corrupted seed is
+//! then used to retrain models and re-run explanation generation and repair
+//! (Tables VII and VIII).
+
+use ea_graph::{AlignmentPair, AlignmentSet, KgPair};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+/// Returns a copy of `seed` in which `num_corrupted` pairs have their target
+/// entity replaced by a random *different* target entity drawn from the
+/// target graph of `pair`.
+///
+/// If `num_corrupted` exceeds the seed size, every pair is corrupted. The
+/// corruption is deterministic for a given `rng_seed`.
+pub fn corrupt_seed_alignment(
+    pair: &KgPair,
+    seed: &AlignmentSet,
+    num_corrupted: usize,
+    rng_seed: u64,
+) -> AlignmentSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+    let mut pairs = seed.to_vec();
+    pairs.shuffle(&mut rng);
+    let num_corrupted = num_corrupted.min(pairs.len());
+    let n_targets = pair.target.num_entities();
+
+    let mut corrupted = AlignmentSet::new();
+    for (i, p) in pairs.iter().enumerate() {
+        if i < num_corrupted && n_targets > 1 {
+            let mut wrong = p.target;
+            while wrong == p.target {
+                wrong = ea_graph::EntityId(rng.gen_range(0..n_targets as u32));
+            }
+            corrupted.insert(AlignmentPair::new(p.source, wrong));
+        } else {
+            corrupted.insert(*p);
+        }
+    }
+    corrupted
+}
+
+/// Convenience wrapper: returns a new [`KgPair`] whose seed alignment has
+/// `fraction` of its pairs corrupted (rounded to the nearest integer).
+pub fn with_noisy_seed(pair: &KgPair, fraction: f64, rng_seed: u64) -> KgPair {
+    let num = (pair.seed.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
+    let noisy = corrupt_seed_alignment(pair, &pair.seed, num, rng_seed);
+    pair.with_seed(noisy)
+        .expect("corrupted seed only references existing entities")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetName, DatasetScale};
+
+    #[test]
+    fn corruption_changes_requested_number_of_pairs() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let corrupted = corrupt_seed_alignment(&pair, &pair.seed, 20, 7);
+        assert_eq!(corrupted.len(), pair.seed.len());
+        let changed = pair
+            .seed
+            .iter()
+            .filter(|p| corrupted.target_of(p.source) != Some(p.target))
+            .count();
+        assert_eq!(changed, 20);
+    }
+
+    #[test]
+    fn zero_corruption_is_identity() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let corrupted = corrupt_seed_alignment(&pair, &pair.seed, 0, 7);
+        assert_eq!(corrupted.to_vec(), pair.seed.to_vec());
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let a = corrupt_seed_alignment(&pair, &pair.seed, 15, 3);
+        let b = corrupt_seed_alignment(&pair, &pair.seed, 15, 3);
+        assert_eq!(a.to_vec(), b.to_vec());
+        let c = corrupt_seed_alignment(&pair, &pair.seed, 15, 4);
+        assert_ne!(a.to_vec(), c.to_vec());
+    }
+
+    #[test]
+    fn oversized_corruption_is_clamped() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let corrupted = corrupt_seed_alignment(&pair, &pair.seed, 10_000, 1);
+        assert_eq!(corrupted.len(), pair.seed.len());
+        let unchanged = pair
+            .seed
+            .iter()
+            .filter(|p| corrupted.target_of(p.source) == Some(p.target))
+            .count();
+        // With every pair corrupted, essentially none should keep its target.
+        assert!(unchanged < pair.seed.len() / 20);
+    }
+
+    #[test]
+    fn with_noisy_seed_follows_paper_fraction() {
+        // The paper corrupts 750 / 4500 = 1/6 of the seed.
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let noisy = with_noisy_seed(&pair, 1.0 / 6.0, 99);
+        assert_eq!(noisy.seed.len(), pair.seed.len());
+        let changed = pair
+            .seed
+            .iter()
+            .filter(|p| noisy.seed.target_of(p.source) != Some(p.target))
+            .count();
+        let expected = (pair.seed.len() as f64 / 6.0).round() as usize;
+        assert_eq!(changed, expected);
+        // Reference alignment untouched.
+        assert_eq!(noisy.reference.to_vec(), pair.reference.to_vec());
+    }
+}

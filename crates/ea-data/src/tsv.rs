@@ -1,0 +1,220 @@
+//! TSV import/export in the DBP15K file layout.
+//!
+//! The DBP15K and OpenEA distributions describe a dataset as a directory of
+//! tab-separated files:
+//!
+//! * `triples_1` / `triples_2` — one `head<TAB>relation<TAB>tail` triple per
+//!   line for the source and target KG respectively.
+//! * `ent_links` (or `ref_ent_ids`) — one `source<TAB>target` alignment pair
+//!   per line.
+//!
+//! This module serialises a [`KgPair`] to that layout and parses it back, so
+//! the synthetic datasets can be inspected with standard tools and the real
+//! benchmark files can be dropped in without code changes.
+
+use ea_graph::{AlignmentPair, AlignmentSet, GraphError, KgPair, KnowledgeGraph};
+use std::fs;
+use std::path::Path;
+
+/// Serialises one knowledge graph as `head<TAB>relation<TAB>tail` lines.
+pub fn kg_to_tsv(kg: &KnowledgeGraph) -> String {
+    let mut out = String::new();
+    for t in kg.triples() {
+        out.push_str(kg.entity_name(t.head).unwrap_or("?"));
+        out.push('\t');
+        out.push_str(kg.relation_name(t.relation).unwrap_or("?"));
+        out.push('\t');
+        out.push_str(kg.entity_name(t.tail).unwrap_or("?"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a knowledge graph from `head<TAB>relation<TAB>tail` lines.
+///
+/// Empty lines are ignored; malformed lines produce a
+/// [`GraphError::ParseError`] with a 1-based line number.
+pub fn kg_from_tsv(text: &str) -> Result<KnowledgeGraph, GraphError> {
+    let mut kg = KnowledgeGraph::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (h, r, t) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(h), Some(r), Some(t)) if !h.is_empty() && !r.is_empty() && !t.is_empty() => {
+                (h, r, t)
+            }
+            _ => {
+                return Err(GraphError::ParseError {
+                    line: i + 1,
+                    detail: format!("expected 3 tab-separated fields, got {line:?}"),
+                })
+            }
+        };
+        kg.add_triple_by_names(h, r, t);
+    }
+    Ok(kg)
+}
+
+/// Serialises an alignment set as `source_name<TAB>target_name` lines.
+pub fn alignment_to_tsv(
+    alignment: &AlignmentSet,
+    source: &KnowledgeGraph,
+    target: &KnowledgeGraph,
+) -> String {
+    let mut out = String::new();
+    for p in alignment.iter() {
+        out.push_str(source.entity_name(p.source).unwrap_or("?"));
+        out.push('\t');
+        out.push_str(target.entity_name(p.target).unwrap_or("?"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses an alignment set from `source_name<TAB>target_name` lines, resolving
+/// names against the two graphs.
+pub fn alignment_from_tsv(
+    text: &str,
+    source: &KnowledgeGraph,
+    target: &KnowledgeGraph,
+) -> Result<AlignmentSet, GraphError> {
+    let mut set = AlignmentSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let (s_name, t_name) = match (fields.next(), fields.next()) {
+            (Some(s), Some(t)) if !s.is_empty() && !t.is_empty() => (s, t),
+            _ => {
+                return Err(GraphError::ParseError {
+                    line: i + 1,
+                    detail: format!("expected 2 tab-separated fields, got {line:?}"),
+                })
+            }
+        };
+        let s = source
+            .entity_by_name(s_name)
+            .ok_or_else(|| GraphError::UnknownEntityName(s_name.to_owned()))?;
+        let t = target
+            .entity_by_name(t_name)
+            .ok_or_else(|| GraphError::UnknownEntityName(t_name.to_owned()))?;
+        set.insert(AlignmentPair::new(s, t));
+    }
+    Ok(set)
+}
+
+/// Writes a KG pair to `dir` in the DBP15K layout (`triples_1`, `triples_2`,
+/// `ent_links_train`, `ent_links_test`).
+pub fn save_pair(pair: &KgPair, dir: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("triples_1"), kg_to_tsv(&pair.source))?;
+    fs::write(dir.join("triples_2"), kg_to_tsv(&pair.target))?;
+    fs::write(
+        dir.join("ent_links_train"),
+        alignment_to_tsv(&pair.seed, &pair.source, &pair.target),
+    )?;
+    fs::write(
+        dir.join("ent_links_test"),
+        alignment_to_tsv(&pair.reference, &pair.source, &pair.target),
+    )?;
+    Ok(())
+}
+
+/// Loads a KG pair from a directory written by [`save_pair`].
+pub fn load_pair(name: &str, dir: &Path) -> Result<KgPair, Box<dyn std::error::Error>> {
+    let source = kg_from_tsv(&fs::read_to_string(dir.join("triples_1"))?)?;
+    let target = kg_from_tsv(&fs::read_to_string(dir.join("triples_2"))?)?;
+    let seed = alignment_from_tsv(
+        &fs::read_to_string(dir.join("ent_links_train"))?,
+        &source,
+        &target,
+    )?;
+    let reference = alignment_from_tsv(
+        &fs::read_to_string(dir.join("ent_links_test"))?,
+        &source,
+        &target,
+    )?;
+    Ok(KgPair::new(name, source, target, seed, reference)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetName, DatasetScale};
+
+    #[test]
+    fn kg_tsv_roundtrip_preserves_structure() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let text = kg_to_tsv(&pair.source);
+        let parsed = kg_from_tsv(&text).unwrap();
+        assert_eq!(parsed.num_triples(), pair.source.num_triples());
+        assert_eq!(parsed.num_entities(), pair.source.num_entities() - count_isolated(&pair.source));
+        // Every original triple still exists under its names.
+        for t in pair.source.triples().iter().take(50) {
+            let h = pair.source.entity_name(t.head).unwrap();
+            let r = pair.source.relation_name(t.relation).unwrap();
+            let ta = pair.source.entity_name(t.tail).unwrap();
+            let h2 = parsed.entity_by_name(h).unwrap();
+            let r2 = parsed.relation_by_name(r).unwrap();
+            let t2 = parsed.entity_by_name(ta).unwrap();
+            assert!(parsed.contains_triple(&ea_graph::Triple::new(h2, r2, t2)));
+        }
+    }
+
+    fn count_isolated(kg: &KnowledgeGraph) -> usize {
+        kg.entity_ids().filter(|&e| kg.degree(e) == 0).count()
+    }
+
+    #[test]
+    fn malformed_triple_lines_are_reported_with_line_numbers() {
+        let bad = "a\tr\tb\nmalformed line without tabs\n";
+        let err = kg_from_tsv(bad).unwrap_err();
+        match err {
+            GraphError::ParseError { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alignment_tsv_roundtrip() {
+        let pair = load(DatasetName::FrEn, DatasetScale::Small);
+        let text = alignment_to_tsv(&pair.seed, &pair.source, &pair.target);
+        let parsed = alignment_from_tsv(&text, &pair.source, &pair.target).unwrap();
+        assert_eq!(parsed.to_vec(), pair.seed.to_vec());
+    }
+
+    #[test]
+    fn alignment_with_unknown_entity_is_rejected() {
+        let pair = load(DatasetName::FrEn, DatasetScale::Small);
+        let err = alignment_from_tsv("nonexistent\talso_nonexistent\n", &pair.source, &pair.target)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownEntityName(_)));
+    }
+
+    #[test]
+    fn save_and_load_pair_roundtrip() {
+        let pair = load(DatasetName::DbpWd, DatasetScale::Small);
+        let dir = std::env::temp_dir().join(format!("exea_tsv_test_{}", std::process::id()));
+        save_pair(&pair, &dir).unwrap();
+        let loaded = load_pair("DBP-WD", &dir).unwrap();
+        assert_eq!(loaded.source.num_triples(), pair.source.num_triples());
+        assert_eq!(loaded.target.num_triples(), pair.target.num_triples());
+        assert_eq!(loaded.seed.len(), pair.seed.len());
+        assert_eq!(loaded.reference.len(), pair.reference.len());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_lines_are_ignored() {
+        let kg = kg_from_tsv("\n\na\tr\tb\n\n").unwrap();
+        assert_eq!(kg.num_triples(), 1);
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let alignment = alignment_from_tsv("\n\n", &pair.source, &pair.target).unwrap();
+        assert!(alignment.is_empty());
+    }
+}

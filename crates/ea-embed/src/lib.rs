@@ -1,0 +1,34 @@
+//! Dense embedding substrate for entity-alignment models.
+//!
+//! This crate contains everything numerical that the EA models in
+//! `ea-models` are built from, implemented from scratch on plain `Vec<f32>`
+//! storage:
+//!
+//! * [`vector`] — small dense-vector kernels (dot product, cosine, norms,
+//!   axpy-style updates) used throughout training and explanation code.
+//! * [`EmbeddingTable`] — a row-major matrix of embeddings with Xavier
+//!   initialisation, row normalisation and gradient update helpers.
+//! * [`optimizer`] — SGD and AdaGrad optimisers applied per-row (sparse
+//!   updates, which is how EA training touches parameters).
+//! * [`sampling`] — uniform and hard (similarity-ranked) negative sampling.
+//! * [`similarity`] — similarity matrices, top-k nearest-neighbour search,
+//!   greedy alignment inference and CSLS re-scoring.
+//!
+//! The crate is deliberately framework-free: no BLAS, no autograd. Gradients
+//! of the margin-based losses used by the models are simple enough to write
+//! by hand, and keeping the dependency surface small makes the reproduction
+//! easy to audit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod embedding;
+pub mod optimizer;
+pub mod sampling;
+pub mod similarity;
+pub mod vector;
+
+pub use embedding::EmbeddingTable;
+pub use optimizer::{Adagrad, Optimizer, Sgd};
+pub use sampling::{HardNegativeCache, Negatives, NegativeSampler};
+pub use similarity::{greedy_alignment, top_k_targets, SimilarityMatrix};

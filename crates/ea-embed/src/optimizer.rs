@@ -1,0 +1,168 @@
+//! Per-row optimisers for sparse embedding updates.
+//!
+//! Entity-alignment training touches only the embeddings that appear in the
+//! current mini-batch, so optimisers are exposed as "apply this gradient to
+//! this row" operations rather than whole-table steps.
+
+use crate::embedding::EmbeddingTable;
+
+/// A per-row gradient-descent optimiser.
+pub trait Optimizer {
+    /// Applies a gradient (of the loss w.r.t. the row) to row `row` of
+    /// `table`, moving the parameters in the direction that *decreases* the
+    /// loss.
+    fn step(&mut self, table: &mut EmbeddingTable, row: usize, grad: &[f32]);
+
+    /// The base learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, table: &mut EmbeddingTable, row: usize, grad: &[f32]) {
+        table.add_to_row(row, grad, -self.lr);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// AdaGrad with per-parameter accumulated squared gradients.
+///
+/// AdaGrad suits EA training because rare entities (seen in few triples)
+/// keep a large effective learning rate while frequent entities settle down.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    /// Accumulated squared gradients, lazily sized to the table it is used on.
+    accum: Vec<f32>,
+    dim: usize,
+}
+
+impl Adagrad {
+    /// Creates an AdaGrad optimiser with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            eps: 1e-8,
+            accum: Vec::new(),
+            dim: 0,
+        }
+    }
+
+    fn ensure_capacity(&mut self, rows: usize, dim: usize) {
+        if self.accum.len() < rows * dim || self.dim != dim {
+            self.accum = vec![0.0; rows * dim];
+            self.dim = dim;
+        }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step(&mut self, table: &mut EmbeddingTable, row: usize, grad: &[f32]) {
+        self.ensure_capacity(table.rows(), table.dim());
+        let dim = table.dim();
+        let acc = &mut self.accum[row * dim..(row + 1) * dim];
+        let target = table.row_mut(row);
+        for ((a, g), t) in acc.iter_mut().zip(grad).zip(target.iter_mut()) {
+            *a += g * g;
+            *t -= self.lr * g / (a.sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(x: &[f32]) -> Vec<f32> {
+        // Gradient of f(x) = ||x - 1||^2 is 2 (x - 1).
+        x.iter().map(|&v| 2.0 * (v - 1.0)).collect()
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut table = EmbeddingTable::zeros(1, 4);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let grad = quadratic_grad(table.row(0));
+            opt.step(&mut table, 0, &grad);
+        }
+        for &v in table.row(0) {
+            assert!((v - 1.0).abs() < 1e-3, "value {v} did not converge to 1");
+        }
+        assert_eq!(opt.learning_rate(), 0.1);
+    }
+
+    #[test]
+    fn adagrad_descends_a_quadratic() {
+        let mut table = EmbeddingTable::zeros(1, 4);
+        let mut opt = Adagrad::new(0.5);
+        for _ in 0..500 {
+            let grad = quadratic_grad(table.row(0));
+            opt.step(&mut table, 0, &grad);
+        }
+        for &v in table.row(0) {
+            assert!((v - 1.0).abs() < 1e-2, "value {v} did not converge to 1");
+        }
+        assert_eq!(opt.learning_rate(), 0.5);
+    }
+
+    #[test]
+    fn sgd_only_touches_target_row() {
+        let mut table = EmbeddingTable::zeros(3, 2);
+        let mut opt = Sgd::new(1.0);
+        opt.step(&mut table, 1, &[1.0, -1.0]);
+        assert_eq!(table.row(0), &[0.0, 0.0]);
+        assert_eq!(table.row(1), &[-1.0, 1.0]);
+        assert_eq!(table.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_rate_with_repeated_gradients() {
+        let mut table = EmbeddingTable::zeros(1, 1);
+        let mut opt = Adagrad::new(1.0);
+        opt.step(&mut table, 0, &[1.0]);
+        let first_step = -table.row(0)[0];
+        opt.step(&mut table, 0, &[1.0]);
+        let second_step = -table.row(0)[0] - first_step;
+        assert!(second_step < first_step, "AdaGrad step should shrink");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_learning_rate_rejected() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn adagrad_reallocates_for_new_table_shapes() {
+        let mut opt = Adagrad::new(0.1);
+        let mut small = EmbeddingTable::zeros(2, 2);
+        opt.step(&mut small, 0, &[1.0, 1.0]);
+        let mut large = EmbeddingTable::zeros(4, 3);
+        // Must not panic even though the accumulator was sized for the small table.
+        opt.step(&mut large, 3, &[1.0, 1.0, 1.0]);
+        assert!(large.row(3).iter().all(|&v| v < 0.0));
+    }
+}

@@ -1,0 +1,351 @@
+//! Negative sampling strategies for margin-based alignment training.
+//!
+//! TransE-style and GNN-style EA models both learn by contrasting positive
+//! triples / alignment pairs against corrupted ("negative") ones. The paper's
+//! models differ mainly in *how* they pick negatives:
+//!
+//! * MTransE / GCN-Align — uniform corruption.
+//! * AlignE / Dual-AMN — *hard* negatives: entities whose current embeddings
+//!   are close to the positive counterpart, which is what lets those models
+//!   distinguish similar entities (paper §V-B5, §V-C4).
+
+use crate::embedding::EmbeddingTable;
+use crate::vector;
+use rand::Rng;
+
+/// Anything that can propose negative entities for contrastive training.
+///
+/// Implemented by [`NegativeSampler`] (stateless uniform / similarity-guided
+/// sampling) and [`HardNegativeCache`] (precomputed nearest-neighbour lists,
+/// the fast path used by AlignE and Dual-AMN).
+pub trait Negatives {
+    /// Samples a negative entity index different from `exclude`, guided by the
+    /// embedding of `positive` where the strategy uses similarity.
+    fn negative<R: Rng>(
+        &self,
+        rng: &mut R,
+        embeddings: &EmbeddingTable,
+        positive: usize,
+        exclude: usize,
+    ) -> Option<usize>;
+}
+
+/// Negative-sampling strategies over a fixed candidate entity universe.
+#[derive(Debug, Clone)]
+pub enum NegativeSampler {
+    /// Corrupt by sampling entities uniformly at random from `0..universe`.
+    Uniform {
+        /// Number of candidate entities.
+        universe: usize,
+    },
+    /// Corrupt by sampling from the `k` entities most similar to the true
+    /// counterpart under the current embeddings ("hard" negatives), falling
+    /// back to uniform sampling with probability `uniform_prob`.
+    Hard {
+        /// Number of candidate entities.
+        universe: usize,
+        /// Number of nearest neighbours to draw hard negatives from.
+        k: usize,
+        /// Probability of using a uniform sample instead of a hard one.
+        uniform_prob: f64,
+    },
+}
+
+impl NegativeSampler {
+    /// Creates a uniform sampler over `universe` entities.
+    pub fn uniform(universe: usize) -> Self {
+        NegativeSampler::Uniform { universe }
+    }
+
+    /// Creates a hard-negative sampler over `universe` entities.
+    pub fn hard(universe: usize, k: usize, uniform_prob: f64) -> Self {
+        NegativeSampler::Hard {
+            universe,
+            k: k.max(1),
+            uniform_prob: uniform_prob.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Number of candidate entities.
+    pub fn universe(&self) -> usize {
+        match self {
+            NegativeSampler::Uniform { universe } => *universe,
+            NegativeSampler::Hard { universe, .. } => *universe,
+        }
+    }
+
+    /// Samples a negative entity index different from `exclude`.
+    ///
+    /// For [`NegativeSampler::Hard`], `embeddings` and `positive` guide the
+    /// choice: the negative is drawn from the `k` rows of `embeddings` most
+    /// similar to `embeddings[positive]`. For [`NegativeSampler::Uniform`]
+    /// they are ignored.
+    ///
+    /// Returns `None` when the universe has fewer than two entities (no
+    /// negative exists).
+    pub fn sample<R: Rng>(
+        &self,
+        rng: &mut R,
+        embeddings: &EmbeddingTable,
+        positive: usize,
+        exclude: usize,
+    ) -> Option<usize> {
+        let universe = self.universe();
+        if universe < 2 {
+            return None;
+        }
+        match self {
+            NegativeSampler::Uniform { .. } => Some(uniform_excluding(rng, universe, exclude)),
+            NegativeSampler::Hard {
+                k, uniform_prob, ..
+            } => {
+                if rng.gen_bool(*uniform_prob) {
+                    return Some(uniform_excluding(rng, universe, exclude));
+                }
+                let neighbors = nearest_rows(embeddings, positive, *k + 1, universe);
+                let candidates: Vec<usize> = neighbors
+                    .into_iter()
+                    .filter(|&i| i != exclude && i != positive)
+                    .collect();
+                if candidates.is_empty() {
+                    Some(uniform_excluding(rng, universe, exclude))
+                } else {
+                    Some(candidates[rng.gen_range(0..candidates.len())])
+                }
+            }
+        }
+    }
+}
+
+impl Negatives for NegativeSampler {
+    fn negative<R: Rng>(
+        &self,
+        rng: &mut R,
+        embeddings: &EmbeddingTable,
+        positive: usize,
+        exclude: usize,
+    ) -> Option<usize> {
+        self.sample(rng, embeddings, positive, exclude)
+    }
+}
+
+/// Precomputed hard-negative candidate lists.
+///
+/// Scanning the full entity table for nearest neighbours on every sample is
+/// prohibitively slow inside a training loop; the cache computes, once per
+/// refresh, the `k` most similar entities of every entity and then samples
+/// from those lists in O(1). Models rebuild the cache every few epochs so the
+/// negatives track the moving embeddings.
+#[derive(Debug, Clone)]
+pub struct HardNegativeCache {
+    candidates: Vec<Vec<u32>>,
+    uniform_prob: f64,
+    universe: usize,
+}
+
+impl HardNegativeCache {
+    /// Builds the cache from the current embeddings: for every row in
+    /// `0..universe`, the `k` most cosine-similar other rows.
+    pub fn build(table: &EmbeddingTable, k: usize, universe: usize, uniform_prob: f64) -> Self {
+        let universe = universe.min(table.rows());
+        let mut candidates = Vec::with_capacity(universe);
+        for i in 0..universe {
+            let neighbors: Vec<u32> = nearest_rows(table, i, k + 1, universe)
+                .into_iter()
+                .filter(|&j| j != i)
+                .map(|j| j as u32)
+                .take(k)
+                .collect();
+            candidates.push(neighbors);
+        }
+        Self {
+            candidates,
+            uniform_prob: uniform_prob.clamp(0.0, 1.0),
+            universe,
+        }
+    }
+
+    /// Number of entities covered by the cache.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+}
+
+impl Negatives for HardNegativeCache {
+    fn negative<R: Rng>(
+        &self,
+        rng: &mut R,
+        _embeddings: &EmbeddingTable,
+        positive: usize,
+        exclude: usize,
+    ) -> Option<usize> {
+        if self.universe < 2 {
+            return None;
+        }
+        if positive < self.candidates.len() && !rng.gen_bool(self.uniform_prob) {
+            let list: Vec<usize> = self.candidates[positive]
+                .iter()
+                .map(|&j| j as usize)
+                .filter(|&j| j != exclude)
+                .collect();
+            if !list.is_empty() {
+                return Some(list[rng.gen_range(0..list.len())]);
+            }
+        }
+        Some(uniform_excluding(rng, self.universe, exclude))
+    }
+}
+
+fn uniform_excluding<R: Rng>(rng: &mut R, universe: usize, exclude: usize) -> usize {
+    loop {
+        let candidate = rng.gen_range(0..universe);
+        if candidate != exclude {
+            return candidate;
+        }
+    }
+}
+
+/// Indexes of the `k` rows of `table` (restricted to `0..universe`) most
+/// similar to row `query` by cosine similarity, in decreasing similarity
+/// order. The query row itself may be included.
+pub fn nearest_rows(table: &EmbeddingTable, query: usize, k: usize, universe: usize) -> Vec<usize> {
+    let universe = universe.min(table.rows());
+    let q = table.row(query);
+    let mut scored: Vec<(usize, f32)> = (0..universe)
+        .map(|i| (i, vector::cosine(q, table.row(i))))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().take(k).map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clustered_table() -> EmbeddingTable {
+        // Rows 0-2 point towards +x, rows 3-5 towards +y.
+        let mut t = EmbeddingTable::zeros(6, 2);
+        for i in 0..3 {
+            t.row_mut(i).copy_from_slice(&[1.0, 0.1 * i as f32]);
+        }
+        for i in 3..6 {
+            t.row_mut(i).copy_from_slice(&[0.1 * (i - 3) as f32, 1.0]);
+        }
+        t
+    }
+
+    #[test]
+    fn uniform_sampler_never_returns_excluded() {
+        let sampler = NegativeSampler::uniform(10);
+        let table = EmbeddingTable::zeros(10, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let s = sampler.sample(&mut rng, &table, 0, 3).unwrap();
+            assert_ne!(s, 3);
+            assert!(s < 10);
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_on_tiny_universe() {
+        let sampler = NegativeSampler::uniform(1);
+        let table = EmbeddingTable::zeros(1, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sampler.sample(&mut rng, &table, 0, 0), None);
+    }
+
+    #[test]
+    fn hard_sampler_prefers_similar_rows() {
+        let table = clustered_table();
+        let sampler = NegativeSampler::hard(6, 2, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 6];
+        for _ in 0..300 {
+            let s = sampler.sample(&mut rng, &table, 0, 0).unwrap();
+            counts[s] += 1;
+        }
+        // Hard negatives for row 0 should come from the +x cluster (rows 1,2).
+        let x_cluster: usize = counts[1] + counts[2];
+        let y_cluster: usize = counts[3] + counts[4] + counts[5];
+        assert!(x_cluster > y_cluster, "hard sampler ignored similarity: {counts:?}");
+    }
+
+    #[test]
+    fn hard_sampler_with_full_uniform_prob_behaves_uniformly() {
+        let table = clustered_table();
+        let sampler = NegativeSampler::hard(6, 2, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(sampler.sample(&mut rng, &table, 0, 0).unwrap());
+        }
+        // All non-excluded rows should eventually be drawn.
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn nearest_rows_orders_by_similarity() {
+        let table = clustered_table();
+        let nn = nearest_rows(&table, 0, 3, 6);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0], 0); // most similar to itself
+        assert!(nn.contains(&1) || nn.contains(&2));
+        // Restricting the universe excludes later rows entirely.
+        let nn_small = nearest_rows(&table, 0, 6, 3);
+        assert!(nn_small.iter().all(|&i| i < 3));
+    }
+
+    #[test]
+    fn sampler_universe_accessor() {
+        assert_eq!(NegativeSampler::uniform(5).universe(), 5);
+        assert_eq!(NegativeSampler::hard(9, 3, 0.2).universe(), 9);
+    }
+
+    #[test]
+    fn hard_cache_prefers_similar_rows() {
+        let table = clustered_table();
+        let cache = HardNegativeCache::build(&table, 2, 6, 0.0);
+        assert_eq!(cache.universe(), 6);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0usize; 6];
+        for _ in 0..300 {
+            let s = cache.negative(&mut rng, &table, 0, 0).unwrap();
+            counts[s] += 1;
+        }
+        let x_cluster = counts[1] + counts[2];
+        let y_cluster = counts[3] + counts[4] + counts[5];
+        assert!(x_cluster > y_cluster, "cache ignored similarity: {counts:?}");
+    }
+
+    #[test]
+    fn hard_cache_excludes_requested_entity() {
+        let table = clustered_table();
+        let cache = HardNegativeCache::build(&table, 3, 6, 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = cache.negative(&mut rng, &table, 2, 1).unwrap();
+            assert_ne!(s, 1);
+        }
+    }
+
+    #[test]
+    fn hard_cache_tiny_universe_returns_none() {
+        let table = EmbeddingTable::zeros(1, 2);
+        let cache = HardNegativeCache::build(&table, 3, 1, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(cache.negative(&mut rng, &table, 0, 0), None);
+    }
+
+    #[test]
+    fn negatives_trait_is_object_usable_through_generics() {
+        fn draw<N: Negatives>(n: &N, table: &EmbeddingTable) -> Option<usize> {
+            let mut rng = StdRng::seed_from_u64(1);
+            n.negative(&mut rng, table, 0, 0)
+        }
+        let table = clustered_table();
+        assert!(draw(&NegativeSampler::uniform(6), &table).is_some());
+        assert!(draw(&HardNegativeCache::build(&table, 2, 6, 0.1), &table).is_some());
+    }
+}

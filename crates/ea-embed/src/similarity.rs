@@ -1,0 +1,307 @@
+//! Similarity matrices, nearest-neighbour search and alignment inference.
+//!
+//! The alignment-inference phase of every embedding-based EA model is the
+//! same: compute a similarity between source and target entity embeddings and
+//! greedily pick, for each source entity, the most similar target entity.
+//! ExEA's repair algorithms additionally need ranked candidate lists (the
+//! matrix `M` of Algorithm 1) and, optionally, CSLS re-scoring to reduce
+//! hubness.
+
+use crate::embedding::EmbeddingTable;
+use crate::vector;
+use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
+
+/// A dense similarity matrix between a list of source entities and a list of
+/// target entities, with cached descending-similarity rankings per source.
+#[derive(Debug, Clone)]
+pub struct SimilarityMatrix {
+    source_ids: Vec<EntityId>,
+    target_ids: Vec<EntityId>,
+    /// Row-major `sources x targets` similarity values.
+    values: Vec<f32>,
+    /// Per-source ranking of target column indexes, most similar first.
+    rankings: Vec<Vec<u32>>,
+}
+
+impl SimilarityMatrix {
+    /// Computes cosine similarities between the embeddings of `source_ids`
+    /// (rows of `source_table`) and `target_ids` (rows of `target_table`).
+    pub fn compute(
+        source_table: &EmbeddingTable,
+        source_ids: &[EntityId],
+        target_table: &EmbeddingTable,
+        target_ids: &[EntityId],
+    ) -> Self {
+        let n_s = source_ids.len();
+        let n_t = target_ids.len();
+        let mut values = vec![0.0f32; n_s * n_t];
+        for (i, &s) in source_ids.iter().enumerate() {
+            let s_vec = source_table.row(s.index());
+            for (j, &t) in target_ids.iter().enumerate() {
+                values[i * n_t + j] = vector::cosine(s_vec, target_table.row(t.index()));
+            }
+        }
+        let mut matrix = Self {
+            source_ids: source_ids.to_vec(),
+            target_ids: target_ids.to_vec(),
+            values,
+            rankings: Vec::new(),
+        };
+        matrix.recompute_rankings();
+        matrix
+    }
+
+    fn recompute_rankings(&mut self) {
+        let n_t = self.target_ids.len();
+        self.rankings = (0..self.source_ids.len())
+            .map(|i| {
+                let mut cols: Vec<u32> = (0..n_t as u32).collect();
+                cols.sort_by(|&a, &b| {
+                    let sa = self.values[i * n_t + a as usize];
+                    let sb = self.values[i * n_t + b as usize];
+                    sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                cols
+            })
+            .collect();
+    }
+
+    /// Applies CSLS (cross-domain similarity local scaling) re-scoring in
+    /// place: each similarity is penalised by the average similarity of its
+    /// row and column neighbourhoods, which suppresses "hub" target entities
+    /// that are close to everything.
+    pub fn apply_csls(&mut self, k: usize) {
+        let n_s = self.source_ids.len();
+        let n_t = self.target_ids.len();
+        if n_s == 0 || n_t == 0 {
+            return;
+        }
+        let k = k.max(1);
+        let row_avg: Vec<f32> = (0..n_s)
+            .map(|i| {
+                let mut row: Vec<f32> = self.values[i * n_t..(i + 1) * n_t].to_vec();
+                row.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                row.iter().take(k).sum::<f32>() / k.min(row.len()).max(1) as f32
+            })
+            .collect();
+        let col_avg: Vec<f32> = (0..n_t)
+            .map(|j| {
+                let mut col: Vec<f32> = (0..n_s).map(|i| self.values[i * n_t + j]).collect();
+                col.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                col.iter().take(k).sum::<f32>() / k.min(col.len()).max(1) as f32
+            })
+            .collect();
+        for i in 0..n_s {
+            for j in 0..n_t {
+                self.values[i * n_t + j] = 2.0 * self.values[i * n_t + j] - row_avg[i] - col_avg[j];
+            }
+        }
+        self.recompute_rankings();
+    }
+
+    /// Source entities (row labels).
+    pub fn source_ids(&self) -> &[EntityId] {
+        &self.source_ids
+    }
+
+    /// Target entities (column labels).
+    pub fn target_ids(&self) -> &[EntityId] {
+        &self.target_ids
+    }
+
+    /// Row index of a source entity, if present.
+    pub fn source_index(&self, source: EntityId) -> Option<usize> {
+        self.source_ids.iter().position(|&s| s == source)
+    }
+
+    /// Column index of a target entity, if present.
+    pub fn target_index(&self, target: EntityId) -> Option<usize> {
+        self.target_ids.iter().position(|&t| t == target)
+    }
+
+    /// Similarity between the `i`-th source and `j`-th target entity.
+    pub fn value(&self, i: usize, j: usize) -> f32 {
+        self.values[i * self.target_ids.len() + j]
+    }
+
+    /// Similarity between two entities by id; `None` if either is not indexed.
+    pub fn similarity(&self, source: EntityId, target: EntityId) -> Option<f32> {
+        let i = self.source_index(source)?;
+        let j = self.target_index(target)?;
+        Some(self.value(i, j))
+    }
+
+    /// The target entity at rank `rank` (0 = most similar) for the `i`-th
+    /// source entity — the paper's `M[i][j]` access in Algorithm 1.
+    pub fn ranked_target(&self, i: usize, rank: usize) -> Option<EntityId> {
+        self.rankings
+            .get(i)
+            .and_then(|r| r.get(rank))
+            .map(|&col| self.target_ids[col as usize])
+    }
+
+    /// The `k` most similar target entities for a source entity, with scores.
+    pub fn top_k(&self, source: EntityId, k: usize) -> Vec<(EntityId, f32)> {
+        let Some(i) = self.source_index(source) else {
+            return Vec::new();
+        };
+        self.rankings[i]
+            .iter()
+            .take(k)
+            .map(|&col| (self.target_ids[col as usize], self.value(i, col as usize)))
+            .collect()
+    }
+
+    /// Greedy alignment: each source entity is aligned to its most similar
+    /// target entity (ties broken by column order).
+    pub fn greedy_alignment(&self) -> AlignmentSet {
+        let mut set = AlignmentSet::new();
+        for (i, &s) in self.source_ids.iter().enumerate() {
+            if let Some(t) = self.ranked_target(i, 0) {
+                set.insert(AlignmentPair::new(s, t));
+            }
+        }
+        set
+    }
+}
+
+/// Convenience wrapper: greedy alignment straight from embedding tables.
+pub fn greedy_alignment(
+    source_table: &EmbeddingTable,
+    source_ids: &[EntityId],
+    target_table: &EmbeddingTable,
+    target_ids: &[EntityId],
+) -> AlignmentSet {
+    SimilarityMatrix::compute(source_table, source_ids, target_table, target_ids)
+        .greedy_alignment()
+}
+
+/// Convenience wrapper: top-k targets for one source entity.
+pub fn top_k_targets(
+    source_table: &EmbeddingTable,
+    source: EntityId,
+    target_table: &EmbeddingTable,
+    target_ids: &[EntityId],
+    k: usize,
+) -> Vec<(EntityId, f32)> {
+    let q = source_table.row(source.index());
+    let mut scored: Vec<(EntityId, f32)> = target_ids
+        .iter()
+        .map(|&t| (t, vector::cosine(q, target_table.row(t.index()))))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Source rows 0..3 and target rows 0..3 where source i matches target i.
+    fn matched_tables() -> (EmbeddingTable, EmbeddingTable, Vec<EntityId>, Vec<EntityId>) {
+        let mut s = EmbeddingTable::zeros(3, 3);
+        let mut t = EmbeddingTable::zeros(3, 3);
+        let basis = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        for i in 0..3 {
+            s.row_mut(i).copy_from_slice(&basis[i]);
+            // Target vectors slightly perturbed but still closest to the
+            // matching basis vector.
+            let mut v = basis[i];
+            v[(i + 1) % 3] = 0.1;
+            t.row_mut(i).copy_from_slice(&v);
+        }
+        let ids: Vec<EntityId> = (0..3).map(EntityId).collect();
+        (s, t, ids.clone(), ids)
+    }
+
+    #[test]
+    fn similarity_matrix_recovers_identity_alignment() {
+        let (s, t, sids, tids) = matched_tables();
+        let m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        let alignment = m.greedy_alignment();
+        for i in 0..3u32 {
+            assert_eq!(alignment.target_of(EntityId(i)), Some(EntityId(i)));
+        }
+        assert!(alignment.is_one_to_one());
+    }
+
+    #[test]
+    fn ranked_targets_and_topk_are_ordered() {
+        let (s, t, sids, tids) = matched_tables();
+        let m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        assert_eq!(m.ranked_target(0, 0), Some(EntityId(0)));
+        let top = m.top_k(EntityId(0), 3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+        assert_eq!(top[0].0, EntityId(0));
+        assert!(m.top_k(EntityId(99), 3).is_empty());
+        assert_eq!(m.ranked_target(0, 99), None);
+    }
+
+    #[test]
+    fn value_and_similarity_lookups_agree() {
+        let (s, t, sids, tids) = matched_tables();
+        let m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        let by_index = m.value(1, 2);
+        let by_id = m.similarity(EntityId(1), EntityId(2)).unwrap();
+        assert_eq!(by_index, by_id);
+        assert_eq!(m.similarity(EntityId(9), EntityId(0)), None);
+        assert_eq!(m.source_ids().len(), 3);
+        assert_eq!(m.target_ids().len(), 3);
+        assert_eq!(m.source_index(EntityId(2)), Some(2));
+        assert_eq!(m.target_index(EntityId(7)), None);
+    }
+
+    #[test]
+    fn csls_preserves_correct_matches_on_clean_data() {
+        let (s, t, sids, tids) = matched_tables();
+        let mut m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        m.apply_csls(2);
+        let alignment = m.greedy_alignment();
+        for i in 0..3u32 {
+            assert_eq!(alignment.target_of(EntityId(i)), Some(EntityId(i)));
+        }
+    }
+
+    #[test]
+    fn csls_penalizes_hub_targets() {
+        // Target 0 is a "hub": moderately similar to both sources; targets 1
+        // and 2 are the true matches but slightly less similar than the hub
+        // for source 1.
+        let mut s = EmbeddingTable::zeros(2, 2);
+        s.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        s.row_mut(1).copy_from_slice(&[0.0, 1.0]);
+        let mut t = EmbeddingTable::zeros(3, 2);
+        t.row_mut(0).copy_from_slice(&[0.8, 0.75]); // hub
+        t.row_mut(1).copy_from_slice(&[1.0, 0.0]); // match of source 0
+        t.row_mut(2).copy_from_slice(&[0.1, 1.0]); // match of source 1
+        let sids: Vec<EntityId> = (0..2).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..3).map(EntityId).collect();
+        let mut m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        m.apply_csls(1);
+        let alignment = m.greedy_alignment();
+        assert_eq!(alignment.target_of(EntityId(0)), Some(EntityId(1)));
+        assert_eq!(alignment.target_of(EntityId(1)), Some(EntityId(2)));
+    }
+
+    #[test]
+    fn wrapper_functions_match_matrix_results() {
+        let (s, t, sids, tids) = matched_tables();
+        let direct = greedy_alignment(&s, &sids, &t, &tids);
+        let via_matrix = SimilarityMatrix::compute(&s, &sids, &t, &tids).greedy_alignment();
+        assert_eq!(direct.to_vec(), via_matrix.to_vec());
+        let topk = top_k_targets(&s, EntityId(0), &t, &tids, 2);
+        assert_eq!(topk[0].0, EntityId(0));
+        assert_eq!(topk.len(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let s = EmbeddingTable::zeros(1, 2);
+        let t = EmbeddingTable::zeros(1, 2);
+        let mut m = SimilarityMatrix::compute(&s, &[], &t, &[]);
+        m.apply_csls(3);
+        assert!(m.greedy_alignment().is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Dense-vector kernels.
+//!
+//! All embedding math in the workspace goes through these functions. They are
+//! written as straightforward loops over `f32` slices; the compiler
+//! auto-vectorises them well enough for the dataset scales used in the
+//! benchmark harness, and avoiding a BLAS dependency keeps the build
+//! self-contained.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two vectors.
+#[inline]
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// L1 (Manhattan) distance between two vectors.
+#[inline]
+pub fn l1_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Cosine similarity. Returns 0.0 when either vector is (numerically) zero so
+/// that degenerate embeddings never dominate a nearest-neighbour search.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// `out += alpha * x` (axpy).
+#[inline]
+pub fn add_scaled(out: &mut [f32], x: &[f32], alpha: f32) {
+    debug_assert_eq!(out.len(), x.len());
+    for (o, v) in out.iter_mut().zip(x) {
+        *o += alpha * v;
+    }
+}
+
+/// Element-wise sum of two vectors into a new vector.
+#[inline]
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` into a new vector.
+#[inline]
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scales a vector in place.
+#[inline]
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for v in a.iter_mut() {
+        *v *= alpha;
+    }
+}
+
+/// Normalises a vector to unit L2 norm in place. Zero vectors are left
+/// untouched.
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > f32::EPSILON {
+        scale(a, 1.0 / n);
+    }
+}
+
+/// Arithmetic mean of a set of vectors. Returns a zero vector of length `dim`
+/// when the set is empty.
+pub fn mean<'a, I: IntoIterator<Item = &'a [f32]>>(vectors: I, dim: usize) -> Vec<f32> {
+    let mut acc = vec![0.0f32; dim];
+    let mut count = 0usize;
+    for v in vectors {
+        add_scaled(&mut acc, v, 1.0);
+        count += 1;
+    }
+    if count > 0 {
+        scale(&mut acc, 1.0 / count as f32);
+    }
+    acc
+}
+
+/// Concatenates two vectors (the `⊕` of the paper's path representation,
+/// Eq. 2).
+pub fn concat(a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l1_distance(&[0.0, 0.0], &[3.0, -4.0]), 7.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_and_orthogonal() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert_eq!(cosine(&[1.0, 1.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_elementwise_ops() {
+        let mut out = vec![1.0, 1.0];
+        add_scaled(&mut out, &[2.0, 4.0], 0.5);
+        assert_eq!(out, vec![2.0, 3.0]);
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn normalize_produces_unit_vectors() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut zero = vec![0.0, 0.0];
+        normalize(&mut zero);
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 6.0];
+        let m = mean([a.as_slice(), b.as_slice()], 2);
+        assert_eq!(m, vec![2.0, 4.0]);
+        let empty = mean(std::iter::empty(), 3);
+        assert_eq!(empty, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        assert_eq!(concat(&[1.0], &[2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_bounded() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!(sigmoid(1000.0) <= 1.0);
+        // Symmetry: sigmoid(-x) = 1 - sigmoid(x)
+        let x = 1.37;
+        assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the embedding substrate.
+
+use ea_embed::{vector, EmbeddingTable, SimilarityMatrix};
+use ea_graph::EntityId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_is_symmetric_and_bounded(a in vec_strategy(8), b in vec_strategy(8)) {
+        let ab = vector::cosine(&a, &b);
+        let ba = vector::cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+    }
+
+    /// The Cauchy–Schwarz inequality holds for the dot product.
+    #[test]
+    fn cauchy_schwarz(a in vec_strategy(6), b in vec_strategy(6)) {
+        let lhs = vector::dot(&a, &b).abs();
+        let rhs = vector::norm(&a) * vector::norm(&b);
+        prop_assert!(lhs <= rhs + 1e-3);
+    }
+
+    /// Normalising any non-zero vector yields a unit vector pointing the same way.
+    #[test]
+    fn normalize_preserves_direction(a in vec_strategy(5)) {
+        prop_assume!(vector::norm(&a) > 1e-3);
+        let mut n = a.clone();
+        vector::normalize(&mut n);
+        prop_assert!((vector::norm(&n) - 1.0).abs() < 1e-4);
+        prop_assert!(vector::cosine(&a, &n) > 0.999);
+    }
+
+    /// sigmoid maps into (0,1) and is monotone.
+    #[test]
+    fn sigmoid_properties(x in -30.0f64..30.0, dx in 0.001f64..10.0) {
+        let s = vector::sigmoid(x);
+        prop_assert!(s > 0.0 && s < 1.0);
+        prop_assert!(vector::sigmoid(x + dx) >= s);
+    }
+
+    /// Mean of k copies of the same vector is the vector itself.
+    #[test]
+    fn mean_of_identical_vectors(a in vec_strategy(4), k in 1usize..5) {
+        let copies: Vec<&[f32]> = (0..k).map(|_| a.as_slice()).collect();
+        let m = vector::mean(copies, 4);
+        for (x, y) in m.iter().zip(&a) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Greedy alignment from a similarity matrix always aligns each source to
+    /// a target with maximal similarity in its row.
+    #[test]
+    fn greedy_alignment_picks_row_maxima(seed in 0u64..1000, n_s in 1usize..8, n_t in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = EmbeddingTable::xavier(n_s, 6, &mut rng);
+        let t = EmbeddingTable::xavier(n_t, 6, &mut rng);
+        let sids: Vec<EntityId> = (0..n_s as u32).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..n_t as u32).map(EntityId).collect();
+        let m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        let alignment = m.greedy_alignment();
+        prop_assert_eq!(alignment.len(), n_s);
+        for (i, &sid) in sids.iter().enumerate() {
+            let chosen = alignment.target_of(sid).unwrap();
+            let chosen_sim = m.similarity(sid, chosen).unwrap();
+            for j in 0..n_t {
+                prop_assert!(chosen_sim >= m.value(i, j) - 1e-6);
+            }
+        }
+    }
+
+    /// Rankings exposed through ranked_target are non-increasing in similarity.
+    #[test]
+    fn rankings_are_sorted(seed in 0u64..1000, n in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = EmbeddingTable::xavier(n, 4, &mut rng);
+        let t = EmbeddingTable::xavier(n, 4, &mut rng);
+        let ids: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let m = SimilarityMatrix::compute(&s, &ids, &t, &ids);
+        for i in 0..n {
+            let mut prev = f32::INFINITY;
+            for rank in 0..n {
+                let target = m.ranked_target(i, rank).unwrap();
+                let sim = m.similarity(ids[i], target).unwrap();
+                prop_assert!(sim <= prev + 1e-6);
+                prev = sim;
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Alignment pairs and alignment sets.
+//!
+//! An alignment set records which source-KG entities are believed to be the
+//! same real-world entity as which target-KG entities. Model predictions,
+//! seed (training) alignment, reference (test) alignment and repaired outputs
+//! are all [`AlignmentSet`]s.
+//!
+//! Each source entity has at most one target counterpart (EA inference is a
+//! per-source decision), but several source entities may point at the same
+//! target entity — that is exactly the *one-to-many conflict* ExEA repairs.
+
+use crate::ids::EntityId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A single alignment decision: `source ≡ target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AlignmentPair {
+    /// Entity in the source KG.
+    pub source: EntityId,
+    /// Entity in the target KG.
+    pub target: EntityId,
+}
+
+impl AlignmentPair {
+    /// Creates an alignment pair.
+    #[inline]
+    pub fn new(source: EntityId, target: EntityId) -> Self {
+        Self { source, target }
+    }
+}
+
+impl fmt::Display for AlignmentPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ≡ {})", self.source, self.target)
+    }
+}
+
+/// A set of alignment pairs with bidirectional indexes.
+///
+/// Invariant: each source entity maps to at most one target entity. The
+/// reverse direction may be one-to-many (that is a detectable conflict, not a
+/// violation).
+#[derive(Debug, Clone, Default)]
+pub struct AlignmentSet {
+    forward: HashMap<EntityId, EntityId>,
+    reverse: HashMap<EntityId, Vec<EntityId>>,
+}
+
+impl AlignmentSet {
+    /// Creates an empty alignment set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from an iterator of pairs. Later pairs override earlier
+    /// pairs with the same source entity.
+    pub fn from_pairs<I: IntoIterator<Item = AlignmentPair>>(pairs: I) -> Self {
+        let mut set = Self::new();
+        for p in pairs {
+            set.insert(p);
+        }
+        set
+    }
+
+    /// Inserts a pair. If the source entity already had a counterpart, the old
+    /// pair is removed first and returned.
+    pub fn insert(&mut self, pair: AlignmentPair) -> Option<AlignmentPair> {
+        let previous = self.remove_source(pair.source);
+        self.forward.insert(pair.source, pair.target);
+        self.reverse.entry(pair.target).or_default().push(pair.source);
+        previous
+    }
+
+    /// Removes a specific pair. Returns `true` if it was present.
+    pub fn remove(&mut self, pair: &AlignmentPair) -> bool {
+        match self.forward.get(&pair.source) {
+            Some(&t) if t == pair.target => {
+                self.remove_source(pair.source);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes whatever pair the given source entity participates in.
+    pub fn remove_source(&mut self, source: EntityId) -> Option<AlignmentPair> {
+        let target = self.forward.remove(&source)?;
+        if let Some(sources) = self.reverse.get_mut(&target) {
+            sources.retain(|&s| s != source);
+            if sources.is_empty() {
+                self.reverse.remove(&target);
+            }
+        }
+        Some(AlignmentPair::new(source, target))
+    }
+
+    /// The target counterpart of a source entity, if any.
+    #[inline]
+    pub fn target_of(&self, source: EntityId) -> Option<EntityId> {
+        self.forward.get(&source).copied()
+    }
+
+    /// All source entities currently aligned to `target`.
+    pub fn sources_of(&self, target: EntityId) -> &[EntityId] {
+        self.reverse.get(&target).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether the exact pair is present.
+    pub fn contains(&self, pair: &AlignmentPair) -> bool {
+        self.forward.get(&pair.source) == Some(&pair.target)
+    }
+
+    /// Whether the source entity participates in any pair.
+    pub fn contains_source(&self, source: EntityId) -> bool {
+        self.forward.contains_key(&source)
+    }
+
+    /// Whether the target entity participates in any pair.
+    pub fn contains_target(&self, target: EntityId) -> bool {
+        self.reverse.contains_key(&target)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Iterates over pairs in deterministic (source-id) order.
+    pub fn iter(&self) -> impl Iterator<Item = AlignmentPair> + '_ {
+        let ordered: BTreeMap<EntityId, EntityId> =
+            self.forward.iter().map(|(&s, &t)| (s, t)).collect();
+        ordered
+            .into_iter()
+            .map(|(s, t)| AlignmentPair::new(s, t))
+    }
+
+    /// Collects the pairs into a sorted vector.
+    pub fn to_vec(&self) -> Vec<AlignmentPair> {
+        self.iter().collect()
+    }
+
+    /// Source entities in deterministic order.
+    pub fn sources(&self) -> Vec<EntityId> {
+        let mut v: Vec<_> = self.forward.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Target entities (deduplicated) in deterministic order.
+    pub fn targets(&self) -> Vec<EntityId> {
+        let mut v: Vec<_> = self.reverse.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Returns `true` if no target entity has more than one source entity.
+    pub fn is_one_to_one(&self) -> bool {
+        self.reverse.values().all(|sources| sources.len() <= 1)
+    }
+
+    /// Targets involved in one-to-many conflicts, with their competing source
+    /// entities, in deterministic order.
+    pub fn one_to_many_conflicts(&self) -> Vec<(EntityId, Vec<EntityId>)> {
+        let mut conflicts: Vec<(EntityId, Vec<EntityId>)> = self
+            .reverse
+            .iter()
+            .filter(|(_, sources)| sources.len() > 1)
+            .map(|(&t, sources)| {
+                let mut s = sources.clone();
+                s.sort();
+                (t, s)
+            })
+            .collect();
+        conflicts.sort_by_key(|(t, _)| *t);
+        conflicts
+    }
+
+    /// Fraction of pairs in `self` whose pair also appears in `gold`,
+    /// measured over the *sources of `gold`* (the paper's alignment accuracy:
+    /// correctly aligned test entities / all test entities).
+    pub fn accuracy_against(&self, gold: &AlignmentSet) -> f64 {
+        if gold.is_empty() {
+            return 0.0;
+        }
+        let correct = gold
+            .iter()
+            .filter(|p| self.contains(p))
+            .count();
+        correct as f64 / gold.len() as f64
+    }
+
+    /// Merges another alignment set into this one (other's pairs win on
+    /// source conflicts).
+    pub fn extend_from(&mut self, other: &AlignmentSet) {
+        for p in other.iter() {
+            self.insert(p);
+        }
+    }
+}
+
+impl FromIterator<AlignmentPair> for AlignmentSet {
+    fn from_iter<I: IntoIterator<Item = AlignmentPair>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(s: u32, t: u32) -> AlignmentPair {
+        AlignmentPair::new(EntityId(s), EntityId(t))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut a = AlignmentSet::new();
+        assert!(a.is_empty());
+        a.insert(pair(1, 10));
+        a.insert(pair(2, 20));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.target_of(EntityId(1)), Some(EntityId(10)));
+        assert_eq!(a.target_of(EntityId(3)), None);
+        assert!(a.contains(&pair(1, 10)));
+        assert!(!a.contains(&pair(1, 20)));
+        assert!(a.contains_source(EntityId(2)));
+        assert!(a.contains_target(EntityId(20)));
+        assert!(!a.contains_target(EntityId(99)));
+    }
+
+    #[test]
+    fn insert_replaces_existing_source() {
+        let mut a = AlignmentSet::new();
+        a.insert(pair(1, 10));
+        let prev = a.insert(pair(1, 11));
+        assert_eq!(prev, Some(pair(1, 10)));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.target_of(EntityId(1)), Some(EntityId(11)));
+        assert!(a.sources_of(EntityId(10)).is_empty());
+        assert_eq!(a.sources_of(EntityId(11)), &[EntityId(1)]);
+    }
+
+    #[test]
+    fn remove_specific_pair() {
+        let mut a = AlignmentSet::from_pairs([pair(1, 10), pair(2, 20)]);
+        assert!(!a.remove(&pair(1, 20))); // wrong target
+        assert!(a.remove(&pair(1, 10)));
+        assert!(!a.remove(&pair(1, 10)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn one_to_many_detection() {
+        let mut a = AlignmentSet::new();
+        a.insert(pair(1, 10));
+        a.insert(pair(2, 10));
+        a.insert(pair(3, 30));
+        assert!(!a.is_one_to_one());
+        let conflicts = a.one_to_many_conflicts();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].0, EntityId(10));
+        assert_eq!(conflicts[0].1, vec![EntityId(1), EntityId(2)]);
+        a.remove(&pair(2, 10));
+        assert!(a.is_one_to_one());
+        assert!(a.one_to_many_conflicts().is_empty());
+    }
+
+    #[test]
+    fn accuracy_is_measured_over_gold() {
+        let gold = AlignmentSet::from_pairs([pair(1, 10), pair(2, 20), pair(3, 30), pair(4, 40)]);
+        let pred = AlignmentSet::from_pairs([pair(1, 10), pair(2, 21), pair(3, 30), pair(5, 50)]);
+        let acc = pred.accuracy_against(&gold);
+        assert!((acc - 0.5).abs() < 1e-12);
+        assert_eq!(AlignmentSet::new().accuracy_against(&AlignmentSet::new()), 0.0);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_source() {
+        let a = AlignmentSet::from_pairs([pair(5, 50), pair(1, 10), pair(3, 30)]);
+        let v = a.to_vec();
+        assert_eq!(v, vec![pair(1, 10), pair(3, 30), pair(5, 50)]);
+        assert_eq!(a.sources(), vec![EntityId(1), EntityId(3), EntityId(5)]);
+        assert_eq!(a.targets(), vec![EntityId(10), EntityId(30), EntityId(50)]);
+    }
+
+    #[test]
+    fn extend_from_overrides_sources() {
+        let mut a = AlignmentSet::from_pairs([pair(1, 10), pair(2, 20)]);
+        let b = AlignmentSet::from_pairs([pair(2, 21), pair(3, 30)]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.target_of(EntityId(2)), Some(EntityId(21)));
+    }
+
+    #[test]
+    fn from_iterator_collect_works() {
+        let a: AlignmentSet = [pair(1, 1), pair(2, 2)].into_iter().collect();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn remove_source_cleans_reverse_index() {
+        let mut a = AlignmentSet::from_pairs([pair(1, 10), pair(2, 10)]);
+        a.remove_source(EntityId(1));
+        assert_eq!(a.sources_of(EntityId(10)), &[EntityId(2)]);
+        a.remove_source(EntityId(2));
+        assert!(!a.contains_target(EntityId(10)));
+        assert_eq!(a.remove_source(EntityId(7)), None);
+    }
+}

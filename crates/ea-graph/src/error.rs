@@ -1,0 +1,84 @@
+//! Error types for graph construction and queries.
+
+use crate::ids::{EntityId, RelationId};
+use std::fmt;
+
+/// Errors raised by knowledge-graph construction and lookup operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An entity id was used that does not exist in the graph.
+    UnknownEntity(EntityId),
+    /// A relation id was used that does not exist in the graph.
+    UnknownRelation(RelationId),
+    /// An entity name was looked up that has not been interned.
+    UnknownEntityName(String),
+    /// A relation name was looked up that has not been interned.
+    UnknownRelationName(String),
+    /// A duplicate entity name was registered where uniqueness is required.
+    DuplicateEntityName(String),
+    /// An alignment pair referenced entities outside the graphs of the pair.
+    InvalidAlignment {
+        /// Human-readable description of the offending pair.
+        detail: String,
+    },
+    /// A malformed line was encountered while parsing a TSV dataset file.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownEntity(e) => write!(f, "unknown entity id {e}"),
+            GraphError::UnknownRelation(r) => write!(f, "unknown relation id {r}"),
+            GraphError::UnknownEntityName(n) => write!(f, "unknown entity name {n:?}"),
+            GraphError::UnknownRelationName(n) => write!(f, "unknown relation name {n:?}"),
+            GraphError::DuplicateEntityName(n) => write!(f, "duplicate entity name {n:?}"),
+            GraphError::InvalidAlignment { detail } => {
+                write!(f, "invalid alignment pair: {detail}")
+            }
+            GraphError::ParseError { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GraphError::UnknownEntity(EntityId(3));
+        assert!(e.to_string().contains("e3"));
+        let e = GraphError::UnknownRelation(RelationId(9));
+        assert!(e.to_string().contains("r9"));
+        let e = GraphError::UnknownEntityName("foo".into());
+        assert!(e.to_string().contains("foo"));
+        let e = GraphError::ParseError {
+            line: 12,
+            detail: "missing column".into(),
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("missing column"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GraphError::UnknownEntity(EntityId(1)),
+            GraphError::UnknownEntity(EntityId(1))
+        );
+        assert_ne!(
+            GraphError::UnknownEntity(EntityId(1)),
+            GraphError::UnknownEntity(EntityId(2))
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! PARIS-style relation functionality and inverse functionality.
+//!
+//! The functionality of a relation `r` measures how close `r` is to being a
+//! function of its subject: `func(r) = #distinct subjects / #triples of r`.
+//! A relation like `capital_of` (each subject has exactly one object) has
+//! functionality 1.0; a relation like `citizen_of` where subjects repeat is
+//! lower. Inverse functionality is the same quantity computed on the reversed
+//! relation: `ifunc(r) = #distinct objects / #triples of r`.
+//!
+//! ExEA uses these quantities as edge weights of the alignment dependency
+//! graph (Eqs. 3–5 of the paper): a path leaving the central entity through a
+//! highly inverse-functional relation pins the central entity down strongly,
+//! so the neighbour at the other end is strong evidence for the alignment.
+
+use crate::ids::RelationId;
+use crate::kg::KnowledgeGraph;
+use std::collections::HashSet;
+
+/// Precomputed functionality and inverse functionality for every relation of
+/// one knowledge graph.
+#[derive(Debug, Clone)]
+pub struct RelationFunctionality {
+    func: Vec<f64>,
+    ifunc: Vec<f64>,
+}
+
+impl RelationFunctionality {
+    /// Computes functionalities for all relations of `kg`.
+    ///
+    /// Relations with no triples get functionality and inverse functionality
+    /// of zero (they provide no alignment evidence).
+    pub fn compute(kg: &KnowledgeGraph) -> Self {
+        let mut func = vec![0.0; kg.num_relations()];
+        let mut ifunc = vec![0.0; kg.num_relations()];
+        for rid in kg.relation_ids() {
+            let mut subjects = HashSet::new();
+            let mut objects = HashSet::new();
+            let mut count = 0usize;
+            for t in kg.triples_with_relation(rid) {
+                subjects.insert(t.head);
+                objects.insert(t.tail);
+                count += 1;
+            }
+            if count > 0 {
+                func[rid.index()] = subjects.len() as f64 / count as f64;
+                ifunc[rid.index()] = objects.len() as f64 / count as f64;
+            }
+        }
+        Self { func, ifunc }
+    }
+
+    /// Functionality of `relation` (0.0 for unknown or empty relations).
+    #[inline]
+    pub fn func(&self, relation: RelationId) -> f64 {
+        self.func.get(relation.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Inverse functionality of `relation` (0.0 for unknown or empty relations).
+    #[inline]
+    pub fn ifunc(&self, relation: RelationId) -> f64 {
+        self.ifunc.get(relation.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Number of relations covered.
+    pub fn len(&self) -> usize {
+        self.func.len()
+    }
+
+    /// Returns `true` if the graph had no relations.
+    pub fn is_empty(&self) -> bool {
+        self.func.is_empty()
+    }
+
+    /// The larger of functionality and inverse functionality, a rough measure
+    /// of how discriminative the relation is in either direction.
+    pub fn max_directional(&self, relation: RelationId) -> f64 {
+        self.func(relation).max(self.ifunc(relation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kg_with_functional_relation() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        // capital_of: every subject appears once (functional, func = 1.0),
+        // but all objects are distinct too (ifunc = 1.0).
+        kg.add_triple_by_names("Paris", "capital_of", "France");
+        kg.add_triple_by_names("Berlin", "capital_of", "Germany");
+        kg.add_triple_by_names("Rome", "capital_of", "Italy");
+        // born_in: many subjects share the same object (ifunc < 1).
+        kg.add_triple_by_names("Alice", "born_in", "Paris");
+        kg.add_triple_by_names("Bob", "born_in", "Paris");
+        kg.add_triple_by_names("Carol", "born_in", "Rome");
+        kg.add_triple_by_names("Alice", "born_in", "Rome");
+        kg
+    }
+
+    #[test]
+    fn functional_relation_has_func_one() {
+        let kg = kg_with_functional_relation();
+        let f = RelationFunctionality::compute(&kg);
+        let capital = kg.relation_by_name("capital_of").unwrap();
+        assert!((f.func(capital) - 1.0).abs() < 1e-12);
+        assert!((f.ifunc(capital) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_functional_relation_has_fractional_values() {
+        let kg = kg_with_functional_relation();
+        let f = RelationFunctionality::compute(&kg);
+        let born = kg.relation_by_name("born_in").unwrap();
+        // 3 distinct subjects (Alice, Bob, Carol) over 4 triples.
+        assert!((f.func(born) - 0.75).abs() < 1e-12);
+        // 2 distinct objects (Paris, Rome) over 4 triples.
+        assert!((f.ifunc(born) - 0.5).abs() < 1e-12);
+        assert!((f.max_directional(born) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_are_bounded_in_unit_interval() {
+        let kg = kg_with_functional_relation();
+        let f = RelationFunctionality::compute(&kg);
+        for rid in kg.relation_ids() {
+            assert!(f.func(rid) > 0.0 && f.func(rid) <= 1.0);
+            assert!(f.ifunc(rid) > 0.0 && f.ifunc(rid) <= 1.0);
+        }
+        assert_eq!(f.len(), kg.num_relations());
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_yields_zero() {
+        let kg = kg_with_functional_relation();
+        let f = RelationFunctionality::compute(&kg);
+        assert_eq!(f.func(RelationId(99)), 0.0);
+        assert_eq!(f.ifunc(RelationId(99)), 0.0);
+    }
+
+    #[test]
+    fn relation_without_triples_yields_zero() {
+        let mut kg = kg_with_functional_relation();
+        let empty = kg.add_relation("unused_relation");
+        let f = RelationFunctionality::compute(&kg);
+        assert_eq!(f.func(empty), 0.0);
+        assert_eq!(f.ifunc(empty), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_table() {
+        let kg = KnowledgeGraph::new();
+        let f = RelationFunctionality::compute(&kg);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Strongly-typed identifiers for entities, relations and graph sides.
+//!
+//! Using newtypes instead of bare `usize` prevents the classic bug of mixing
+//! up entity indexes from the source and target graphs, or passing a relation
+//! index where an entity index is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an entity inside a single [`crate::KnowledgeGraph`].
+///
+/// Entity ids are dense: a graph with `n` entities uses ids `0..n`, so they
+/// can be used directly as row indexes into embedding tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Identifier of a relation inside a single [`crate::KnowledgeGraph`].
+///
+/// Relation ids are dense in the same way as [`EntityId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("entity index overflows u32"))
+    }
+}
+
+impl RelationId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("relation index overflows u32"))
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Which side of a [`crate::KgPair`] a graph element belongs to.
+///
+/// Entity alignment always involves exactly two graphs: the *source* graph
+/// `K1` whose entities we try to align, and the *target* graph `K2` in which
+/// counterparts are searched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KgSide {
+    /// The source knowledge graph (`K1` in the paper).
+    Source,
+    /// The target knowledge graph (`K2` in the paper).
+    Target,
+}
+
+impl KgSide {
+    /// Returns the opposite side.
+    #[inline]
+    pub fn other(self) -> Self {
+        match self {
+            KgSide::Source => KgSide::Target,
+            KgSide::Target => KgSide::Source,
+        }
+    }
+
+    /// Returns `true` for [`KgSide::Source`].
+    #[inline]
+    pub fn is_source(self) -> bool {
+        matches!(self, KgSide::Source)
+    }
+}
+
+impl fmt::Display for KgSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgSide::Source => write!(f, "source"),
+            KgSide::Target => write!(f, "target"),
+        }
+    }
+}
+
+/// An entity qualified by the side of the KG pair it lives in.
+///
+/// Alignment-dependency graphs and repair bookkeeping frequently need to talk
+/// about entities from both graphs in one collection; this type keeps the
+/// provenance explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SidedEntity {
+    /// Which graph the entity belongs to. `Source` orders before `Target`.
+    pub side_is_target: bool,
+    /// The entity id inside that graph.
+    pub entity: EntityId,
+}
+
+impl SidedEntity {
+    /// Creates a sided entity.
+    pub fn new(side: KgSide, entity: EntityId) -> Self {
+        Self {
+            side_is_target: side == KgSide::Target,
+            entity,
+        }
+    }
+
+    /// Returns the side of this entity.
+    pub fn side(&self) -> KgSide {
+        if self.side_is_target {
+            KgSide::Target
+        } else {
+            KgSide::Source
+        }
+    }
+}
+
+impl fmt::Display for SidedEntity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.side(), self.entity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn entity_id_roundtrip() {
+        let id = EntityId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, EntityId(42));
+        assert_eq!(id.to_string(), "e42");
+    }
+
+    #[test]
+    fn relation_id_roundtrip() {
+        let id = RelationId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "r7");
+    }
+
+    #[test]
+    #[should_panic(expected = "entity index overflows u32")]
+    fn entity_id_overflow_panics() {
+        let _ = EntityId::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn kg_side_other_is_involutive() {
+        assert_eq!(KgSide::Source.other(), KgSide::Target);
+        assert_eq!(KgSide::Target.other(), KgSide::Source);
+        assert_eq!(KgSide::Source.other().other(), KgSide::Source);
+        assert!(KgSide::Source.is_source());
+        assert!(!KgSide::Target.is_source());
+    }
+
+    #[test]
+    fn sided_entity_preserves_side() {
+        let s = SidedEntity::new(KgSide::Source, EntityId(3));
+        let t = SidedEntity::new(KgSide::Target, EntityId(3));
+        assert_eq!(s.side(), KgSide::Source);
+        assert_eq!(t.side(), KgSide::Target);
+        assert_ne!(s, t);
+        assert_eq!(s.to_string(), "source:e3");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let mut set = HashSet::new();
+        for i in 0..100u32 {
+            set.insert(EntityId(i));
+        }
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn sided_entity_ordering_groups_sources_first() {
+        let mut v = vec![
+            SidedEntity::new(KgSide::Target, EntityId(0)),
+            SidedEntity::new(KgSide::Source, EntityId(5)),
+            SidedEntity::new(KgSide::Source, EntityId(1)),
+        ];
+        v.sort();
+        assert_eq!(v[0].side(), KgSide::Source);
+        assert_eq!(v[1].side(), KgSide::Source);
+        assert_eq!(v[2].side(), KgSide::Target);
+    }
+}

@@ -1,0 +1,495 @@
+//! Indexed multi-relational knowledge graph.
+
+use crate::error::GraphError;
+use crate::ids::{EntityId, RelationId};
+use crate::triple::{Direction, Triple};
+use crate::vocab::Interner;
+use std::collections::{HashSet, VecDeque};
+
+/// An append-only, indexed knowledge graph.
+///
+/// The graph stores its triples in a flat vector and maintains per-entity
+/// adjacency lists (outgoing and incoming triple indexes) as well as a
+/// per-relation index. All queries used by the alignment models and the ExEA
+/// framework — neighbourhoods, k-hop triple sets, relation extensions — are
+/// answered from these indexes without scanning the full triple list.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeGraph {
+    entities: Interner,
+    relations: Interner,
+    triples: Vec<Triple>,
+    triple_set: HashSet<Triple>,
+    outgoing: Vec<Vec<u32>>,
+    incoming: Vec<Vec<u32>>,
+    by_relation: Vec<Vec<u32>>,
+}
+
+impl KnowledgeGraph {
+    /// Creates an empty knowledge graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with capacity hints for entities, relations and triples.
+    pub fn with_capacity(entities: usize, relations: usize, triples: usize) -> Self {
+        Self {
+            entities: Interner::with_capacity(entities),
+            relations: Interner::with_capacity(relations),
+            triples: Vec::with_capacity(triples),
+            triple_set: HashSet::with_capacity(triples),
+            outgoing: Vec::with_capacity(entities),
+            incoming: Vec::with_capacity(entities),
+            by_relation: Vec::with_capacity(relations),
+        }
+    }
+
+    /// Interns (or finds) an entity by name and returns its id.
+    pub fn add_entity(&mut self, name: &str) -> EntityId {
+        let id = self.entities.intern(name);
+        while self.outgoing.len() <= id as usize {
+            self.outgoing.push(Vec::new());
+            self.incoming.push(Vec::new());
+        }
+        EntityId(id)
+    }
+
+    /// Interns (or finds) a relation by name and returns its id.
+    pub fn add_relation(&mut self, name: &str) -> RelationId {
+        let id = self.relations.intern(name);
+        while self.by_relation.len() <= id as usize {
+            self.by_relation.push(Vec::new());
+        }
+        RelationId(id)
+    }
+
+    /// Adds a triple by ids. Duplicate triples are ignored.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownEntity`] / [`GraphError::UnknownRelation`]
+    /// if any id has not been registered.
+    pub fn add_triple(&mut self, triple: Triple) -> Result<bool, GraphError> {
+        if triple.head.index() >= self.num_entities() {
+            return Err(GraphError::UnknownEntity(triple.head));
+        }
+        if triple.tail.index() >= self.num_entities() {
+            return Err(GraphError::UnknownEntity(triple.tail));
+        }
+        if triple.relation.index() >= self.num_relations() {
+            return Err(GraphError::UnknownRelation(triple.relation));
+        }
+        if !self.triple_set.insert(triple) {
+            return Ok(false);
+        }
+        let idx = u32::try_from(self.triples.len()).expect("triple index overflow");
+        self.triples.push(triple);
+        self.outgoing[triple.head.index()].push(idx);
+        self.incoming[triple.tail.index()].push(idx);
+        self.by_relation[triple.relation.index()].push(idx);
+        Ok(true)
+    }
+
+    /// Convenience: add a triple by entity/relation names, interning as needed.
+    pub fn add_triple_by_names(&mut self, head: &str, relation: &str, tail: &str) -> Triple {
+        let h = self.add_entity(head);
+        let r = self.add_relation(relation);
+        let t = self.add_entity(tail);
+        let triple = Triple::new(h, r, t);
+        self.add_triple(triple)
+            .expect("ids were just interned, so they must be valid");
+        triple
+    }
+
+    /// Number of entities.
+    #[inline]
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relations.
+    #[inline]
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of distinct triples.
+    #[inline]
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// All triples in insertion order.
+    #[inline]
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Returns `true` if the exact triple is present.
+    #[inline]
+    pub fn contains_triple(&self, triple: &Triple) -> bool {
+        self.triple_set.contains(triple)
+    }
+
+    /// Returns `true` if some triple `(head, relation, ?)` exists.
+    pub fn has_outgoing_relation(&self, head: EntityId, relation: RelationId) -> bool {
+        self.outgoing_triples(head)
+            .any(|t| t.relation == relation)
+    }
+
+    /// Name of an entity.
+    pub fn entity_name(&self, entity: EntityId) -> Option<&str> {
+        self.entities.resolve(entity.0)
+    }
+
+    /// Name of a relation.
+    pub fn relation_name(&self, relation: RelationId) -> Option<&str> {
+        self.relations.resolve(relation.0)
+    }
+
+    /// Looks up an entity by its exact name.
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        self.entities.get(name).map(EntityId)
+    }
+
+    /// Looks up a relation by its exact name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relations.get(name).map(RelationId)
+    }
+
+    /// Iterates over all entity ids.
+    pub fn entity_ids(&self) -> impl Iterator<Item = EntityId> {
+        (0..self.num_entities() as u32).map(EntityId)
+    }
+
+    /// Iterates over all relation ids.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelationId> {
+        (0..self.num_relations() as u32).map(RelationId)
+    }
+
+    /// Triples whose head is `entity`.
+    pub fn outgoing_triples(&self, entity: EntityId) -> impl Iterator<Item = Triple> + '_ {
+        self.outgoing
+            .get(entity.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| self.triples[i as usize])
+    }
+
+    /// Triples whose tail is `entity`.
+    pub fn incoming_triples(&self, entity: EntityId) -> impl Iterator<Item = Triple> + '_ {
+        self.incoming
+            .get(entity.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| self.triples[i as usize])
+    }
+
+    /// All triples touching `entity` (outgoing then incoming; a reflexive
+    /// triple appears only once, in the outgoing part).
+    pub fn triples_of(&self, entity: EntityId) -> Vec<Triple> {
+        let mut out: Vec<Triple> = self.outgoing_triples(entity).collect();
+        out.extend(self.incoming_triples(entity).filter(|t| t.head != t.tail));
+        out
+    }
+
+    /// Triples carrying `relation`.
+    pub fn triples_with_relation(&self, relation: RelationId) -> impl Iterator<Item = Triple> + '_ {
+        self.by_relation
+            .get(relation.index())
+            .into_iter()
+            .flatten()
+            .map(move |&i| self.triples[i as usize])
+    }
+
+    /// Degree (number of incident triples, reflexive triples counted once).
+    pub fn degree(&self, entity: EntityId) -> usize {
+        let out = self.outgoing.get(entity.index()).map_or(0, Vec::len);
+        let inc = self
+            .incoming_triples(entity)
+            .filter(|t| t.head != t.tail)
+            .count();
+        out + inc
+    }
+
+    /// Direct neighbours of `entity`: `(neighbour, triple, direction)`.
+    ///
+    /// The direction is the direction in which the connecting triple is
+    /// traversed when walking from `entity` to the neighbour.
+    pub fn neighbors(&self, entity: EntityId) -> Vec<(EntityId, Triple, Direction)> {
+        let mut result = Vec::new();
+        for t in self.outgoing_triples(entity) {
+            result.push((t.tail, t, Direction::Forward));
+        }
+        for t in self.incoming_triples(entity) {
+            if t.head != t.tail {
+                result.push((t.head, t, Direction::Backward));
+            }
+        }
+        result
+    }
+
+    /// Distinct neighbour entities (order unspecified but deterministic).
+    pub fn neighbor_entities(&self, entity: EntityId) -> Vec<EntityId> {
+        let mut seen = HashSet::new();
+        let mut result = Vec::new();
+        for (n, _, _) in self.neighbors(entity) {
+            if n != entity && seen.insert(n) {
+                result.push(n);
+            }
+        }
+        result
+    }
+
+    /// All triples within `hops` hops of `entity` (BFS over the undirected
+    /// skeleton). `hops = 1` returns exactly the triples incident to `entity`.
+    pub fn triples_within_hops(&self, entity: EntityId, hops: usize) -> Vec<Triple> {
+        let mut seen_triples = HashSet::new();
+        let mut result = Vec::new();
+        let mut visited = HashSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(entity);
+        queue.push_back((entity, 0usize));
+        while let Some((current, depth)) = queue.pop_front() {
+            if depth >= hops {
+                continue;
+            }
+            for (neighbor, triple, _) in self.neighbors(current) {
+                if seen_triples.insert(triple) {
+                    result.push(triple);
+                }
+                if visited.insert(neighbor) {
+                    queue.push_back((neighbor, depth + 1));
+                }
+            }
+        }
+        result
+    }
+
+    /// All entities within `hops` hops of `entity`, excluding `entity` itself.
+    pub fn entities_within_hops(&self, entity: EntityId, hops: usize) -> Vec<EntityId> {
+        let mut visited = HashSet::new();
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        visited.insert(entity);
+        queue.push_back((entity, 0usize));
+        while let Some((current, depth)) = queue.pop_front() {
+            if depth >= hops {
+                continue;
+            }
+            for (neighbor, _, _) in self.neighbors(current) {
+                if visited.insert(neighbor) {
+                    order.push(neighbor);
+                    queue.push_back((neighbor, depth + 1));
+                }
+            }
+        }
+        order
+    }
+
+    /// Returns a copy of the graph with the given triples removed.
+    ///
+    /// Entities and relations (and their ids) are preserved so embeddings and
+    /// alignment references remain valid. This is the operation used by the
+    /// fidelity protocol: delete all candidate triples that are not part of an
+    /// explanation and retrain the model on the remainder.
+    pub fn without_triples(&self, remove: &HashSet<Triple>) -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph {
+            entities: self.entities.clone(),
+            relations: self.relations.clone(),
+            triples: Vec::with_capacity(self.triples.len()),
+            triple_set: HashSet::with_capacity(self.triples.len()),
+            outgoing: vec![Vec::new(); self.num_entities()],
+            incoming: vec![Vec::new(); self.num_entities()],
+            by_relation: vec![Vec::new(); self.num_relations()],
+        };
+        for &t in &self.triples {
+            if !remove.contains(&t) {
+                kg.add_triple(t).expect("ids are valid in the clone");
+            }
+        }
+        kg
+    }
+
+    /// Returns a copy of the graph keeping only triples accepted by `keep`.
+    pub fn filter_triples<F: Fn(&Triple) -> bool>(&self, keep: F) -> KnowledgeGraph {
+        let remove: HashSet<Triple> = self
+            .triples
+            .iter()
+            .copied()
+            .filter(|t| !keep(t))
+            .collect();
+        self.without_triples(&remove)
+    }
+
+    /// Average number of incident triples per entity.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_entities() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_triples() as f64 / self.num_entities() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the small California-governors example from Fig. 2 of the paper.
+    fn example_kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_by_names("Gavin_Newsom", "governor", "California");
+        kg.add_triple_by_names("Gavin_Newsom", "predecessor", "Jerry_Brown");
+        kg.add_triple_by_names("Jerry_Brown", "governor", "California");
+        kg.add_triple_by_names("Gavin_Newsom", "party", "Democratic_Party");
+        kg.add_triple_by_names("Gavin_Newsom", "spouse", "Jennifer_Siebel_Newsom");
+        kg
+    }
+
+    #[test]
+    fn building_by_names_interns_everything() {
+        let kg = example_kg();
+        assert_eq!(kg.num_entities(), 5);
+        assert_eq!(kg.num_relations(), 4);
+        assert_eq!(kg.num_triples(), 5);
+        assert!(kg.entity_by_name("California").is_some());
+        assert!(kg.relation_by_name("governor").is_some());
+        assert_eq!(kg.entity_by_name("Texas"), None);
+    }
+
+    #[test]
+    fn duplicate_triples_are_ignored() {
+        let mut kg = example_kg();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        let governor = kg.relation_by_name("governor").unwrap();
+        let ca = kg.entity_by_name("California").unwrap();
+        let added = kg.add_triple(Triple::new(gavin, governor, ca)).unwrap();
+        assert!(!added);
+        assert_eq!(kg.num_triples(), 5);
+    }
+
+    #[test]
+    fn invalid_ids_are_rejected() {
+        let mut kg = example_kg();
+        let bad = kg.add_triple(Triple::new(EntityId(99), RelationId(0), EntityId(0)));
+        assert_eq!(bad, Err(GraphError::UnknownEntity(EntityId(99))));
+        let bad = kg.add_triple(Triple::new(EntityId(0), RelationId(99), EntityId(0)));
+        assert_eq!(bad, Err(GraphError::UnknownRelation(RelationId(99))));
+        let bad = kg.add_triple(Triple::new(EntityId(0), RelationId(0), EntityId(99)));
+        assert_eq!(bad, Err(GraphError::UnknownEntity(EntityId(99))));
+    }
+
+    #[test]
+    fn neighbors_cover_both_directions() {
+        let kg = example_kg();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        let jerry = kg.entity_by_name("Jerry_Brown").unwrap();
+        let ca = kg.entity_by_name("California").unwrap();
+        let gavin_neighbors = kg.neighbor_entities(gavin);
+        assert_eq!(gavin_neighbors.len(), 4);
+        let ca_neighbors = kg.neighbor_entities(ca);
+        assert!(ca_neighbors.contains(&gavin));
+        assert!(ca_neighbors.contains(&jerry));
+        // Direction bookkeeping: California only has incoming edges.
+        assert!(kg
+            .neighbors(ca)
+            .iter()
+            .all(|(_, _, d)| *d == Direction::Backward));
+    }
+
+    #[test]
+    fn degree_counts_incident_triples() {
+        let kg = example_kg();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        let ca = kg.entity_by_name("California").unwrap();
+        assert_eq!(kg.degree(gavin), 4);
+        assert_eq!(kg.degree(ca), 2);
+        assert!((kg.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflexive_triples_counted_once() {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_by_names("a", "self", "a");
+        let a = kg.entity_by_name("a").unwrap();
+        assert_eq!(kg.degree(a), 1);
+        assert_eq!(kg.triples_of(a).len(), 1);
+        assert_eq!(kg.neighbors(a).len(), 1);
+    }
+
+    #[test]
+    fn one_hop_triples_equal_incident_triples() {
+        let kg = example_kg();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        let mut one_hop = kg.triples_within_hops(gavin, 1);
+        let mut incident = kg.triples_of(gavin);
+        one_hop.sort();
+        incident.sort();
+        assert_eq!(one_hop, incident);
+    }
+
+    #[test]
+    fn two_hop_triples_reach_further() {
+        let kg = example_kg();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        let two_hop = kg.triples_within_hops(gavin, 2);
+        // Two hops from Gavin reach (Jerry_Brown, governor, California).
+        assert_eq!(two_hop.len(), 5);
+        let entities = kg.entities_within_hops(gavin, 2);
+        assert_eq!(entities.len(), 4);
+    }
+
+    #[test]
+    fn zero_hops_yields_nothing() {
+        let kg = example_kg();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        assert!(kg.triples_within_hops(gavin, 0).is_empty());
+        assert!(kg.entities_within_hops(gavin, 0).is_empty());
+    }
+
+    #[test]
+    fn without_triples_preserves_vocabulary() {
+        let kg = example_kg();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        let spouse = kg.relation_by_name("spouse").unwrap();
+        let jen = kg.entity_by_name("Jennifer_Siebel_Newsom").unwrap();
+        let mut remove = HashSet::new();
+        remove.insert(Triple::new(gavin, spouse, jen));
+        let reduced = kg.without_triples(&remove);
+        assert_eq!(reduced.num_triples(), 4);
+        assert_eq!(reduced.num_entities(), kg.num_entities());
+        assert_eq!(reduced.num_relations(), kg.num_relations());
+        assert_eq!(reduced.entity_by_name("Jennifer_Siebel_Newsom"), Some(jen));
+        assert!(!reduced.contains_triple(&Triple::new(gavin, spouse, jen)));
+    }
+
+    #[test]
+    fn filter_triples_keeps_matching() {
+        let kg = example_kg();
+        let governor = kg.relation_by_name("governor").unwrap();
+        let only_governor = kg.filter_triples(|t| t.relation == governor);
+        assert_eq!(only_governor.num_triples(), 2);
+    }
+
+    #[test]
+    fn triples_with_relation_index_is_consistent() {
+        let kg = example_kg();
+        let governor = kg.relation_by_name("governor").unwrap();
+        let by_index: Vec<_> = kg.triples_with_relation(governor).collect();
+        let by_scan: Vec<_> = kg
+            .triples()
+            .iter()
+            .copied()
+            .filter(|t| t.relation == governor)
+            .collect();
+        assert_eq!(by_index, by_scan);
+    }
+
+    #[test]
+    fn has_outgoing_relation_checks_heads_only() {
+        let kg = example_kg();
+        let ca = kg.entity_by_name("California").unwrap();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        let governor = kg.relation_by_name("governor").unwrap();
+        assert!(kg.has_outgoing_relation(gavin, governor));
+        assert!(!kg.has_outgoing_relation(ca, governor));
+    }
+}

@@ -1,0 +1,46 @@
+//! Knowledge-graph substrate for embedding-based entity alignment.
+//!
+//! This crate provides the graph-side foundation that every other crate in the
+//! workspace builds on:
+//!
+//! * [`KnowledgeGraph`] — an indexed, append-only multi-relational graph with
+//!   interned entity/relation names, adjacency indexes and k-hop neighbourhood
+//!   queries.
+//! * [`KgPair`] — a pair of knowledge graphs together with seed (training) and
+//!   reference (test) alignment, the unit of work for entity-alignment models.
+//! * [`AlignmentSet`] — a bidirectional, one-to-many-capable set of alignment
+//!   pairs with conflict inspection helpers.
+//! * [`functionality`] — PARIS-style relation functionality and inverse
+//!   functionality, used by ExEA to weight alignment-dependency-graph edges.
+//! * [`paths`] — enumeration of relation paths between an entity and its
+//!   neighbours, the raw material for semantic-matching-subgraph explanations.
+//!
+//! The crate is deliberately free of any embedding or model logic; it only
+//! knows about symbolic structure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod error;
+pub mod functionality;
+pub mod ids;
+pub mod kg;
+pub mod pair;
+pub mod paths;
+pub mod stats;
+pub mod subgraph;
+pub mod triple;
+pub mod vocab;
+
+pub use alignment::{AlignmentPair, AlignmentSet};
+pub use error::GraphError;
+pub use functionality::RelationFunctionality;
+pub use ids::{EntityId, KgSide, RelationId};
+pub use kg::KnowledgeGraph;
+pub use pair::KgPair;
+pub use paths::{PathStep, RelationPath};
+pub use stats::KgStats;
+pub use subgraph::Subgraph;
+pub use triple::{Direction, Triple};
+pub use vocab::Interner;

@@ -1,0 +1,271 @@
+//! A pair of knowledge graphs with seed and reference alignment.
+
+use crate::alignment::{AlignmentPair, AlignmentSet};
+use crate::error::GraphError;
+use crate::ids::{EntityId, KgSide};
+use crate::kg::KnowledgeGraph;
+use crate::stats::KgStats;
+use std::collections::HashSet;
+use std::fmt;
+
+/// The unit of work for entity alignment: two knowledge graphs, a seed
+/// (training) alignment set and a reference (test) alignment set.
+///
+/// The seed alignment is what embedding models learn from; the reference
+/// alignment is what accuracy is measured against. Their source-entity sets
+/// are disjoint.
+#[derive(Debug, Clone)]
+pub struct KgPair {
+    /// The source knowledge graph (`K1`).
+    pub source: KnowledgeGraph,
+    /// The target knowledge graph (`K2`).
+    pub target: KnowledgeGraph,
+    /// Seed alignment used for training.
+    pub seed: AlignmentSet,
+    /// Reference alignment used for evaluation.
+    pub reference: AlignmentSet,
+    /// Human-readable dataset name (e.g. "ZH-EN").
+    pub name: String,
+}
+
+impl KgPair {
+    /// Creates a KG pair, validating that all alignment pairs reference
+    /// existing entities and that seed and reference source entities are
+    /// disjoint.
+    pub fn new(
+        name: impl Into<String>,
+        source: KnowledgeGraph,
+        target: KnowledgeGraph,
+        seed: AlignmentSet,
+        reference: AlignmentSet,
+    ) -> Result<Self, GraphError> {
+        let pair = Self {
+            source,
+            target,
+            seed,
+            reference,
+            name: name.into(),
+        };
+        pair.validate()?;
+        Ok(pair)
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        for (set, label) in [(&self.seed, "seed"), (&self.reference, "reference")] {
+            for p in set.iter() {
+                if p.source.index() >= self.source.num_entities() {
+                    return Err(GraphError::InvalidAlignment {
+                        detail: format!("{label} pair {p} references unknown source entity"),
+                    });
+                }
+                if p.target.index() >= self.target.num_entities() {
+                    return Err(GraphError::InvalidAlignment {
+                        detail: format!("{label} pair {p} references unknown target entity"),
+                    });
+                }
+            }
+        }
+        let seed_sources: HashSet<EntityId> = self.seed.sources().into_iter().collect();
+        for s in self.reference.sources() {
+            if seed_sources.contains(&s) {
+                return Err(GraphError::InvalidAlignment {
+                    detail: format!("entity {s} appears in both seed and reference alignment"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the knowledge graph on the given side.
+    pub fn kg(&self, side: KgSide) -> &KnowledgeGraph {
+        match side {
+            KgSide::Source => &self.source,
+            KgSide::Target => &self.target,
+        }
+    }
+
+    /// Source entities that models must align at test time.
+    pub fn test_source_entities(&self) -> Vec<EntityId> {
+        self.reference.sources()
+    }
+
+    /// All known alignment (seed plus reference), used when a task needs the
+    /// full gold standard, e.g. to label verification examples.
+    pub fn full_gold(&self) -> AlignmentSet {
+        let mut all = AlignmentSet::new();
+        all.extend_from(&self.seed);
+        all.extend_from(&self.reference);
+        all
+    }
+
+    /// Whether the pair of entities is correct according to seed or reference
+    /// alignment.
+    pub fn is_correct(&self, pair: &AlignmentPair) -> bool {
+        self.seed.contains(pair) || self.reference.contains(pair)
+    }
+
+    /// Statistics for both graphs plus alignment sizes.
+    pub fn stats(&self) -> KgPairStats {
+        KgPairStats {
+            name: self.name.clone(),
+            source: KgStats::compute(&self.source),
+            target: KgStats::compute(&self.target),
+            seed_pairs: self.seed.len(),
+            reference_pairs: self.reference.len(),
+        }
+    }
+
+    /// Returns a copy of the pair with a different seed alignment (used for
+    /// seed-noise experiments).
+    pub fn with_seed(&self, seed: AlignmentSet) -> Result<Self, GraphError> {
+        Self::new(
+            self.name.clone(),
+            self.source.clone(),
+            self.target.clone(),
+            seed,
+            self.reference.clone(),
+        )
+    }
+
+    /// Returns a copy of the pair with some triples removed from each graph
+    /// (used by the fidelity protocol).
+    pub fn with_removed_triples(
+        &self,
+        remove_source: &HashSet<crate::Triple>,
+        remove_target: &HashSet<crate::Triple>,
+    ) -> Self {
+        Self {
+            source: self.source.without_triples(remove_source),
+            target: self.target.without_triples(remove_target),
+            seed: self.seed.clone(),
+            reference: self.reference.clone(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+/// Summary statistics of a KG pair.
+#[derive(Debug, Clone)]
+pub struct KgPairStats {
+    /// Dataset name.
+    pub name: String,
+    /// Source-graph statistics.
+    pub source: KgStats,
+    /// Target-graph statistics.
+    pub target: KgStats,
+    /// Number of seed alignment pairs.
+    pub seed_pairs: usize,
+    /// Number of reference alignment pairs.
+    pub reference_pairs: usize,
+}
+
+impl fmt::Display for KgPairStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dataset {}", self.name)?;
+        writeln!(f, "  source: {}", self.source)?;
+        writeln!(f, "  target: {}", self.target)?;
+        writeln!(
+            f,
+            "  alignment: {} seed / {} reference",
+            self.seed_pairs, self.reference_pairs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_pair() -> KgPair {
+        let mut k1 = KnowledgeGraph::new();
+        k1.add_triple_by_names("a1", "r1", "b1");
+        k1.add_triple_by_names("b1", "r2", "c1");
+        let mut k2 = KnowledgeGraph::new();
+        k2.add_triple_by_names("a2", "s1", "b2");
+        k2.add_triple_by_names("b2", "s2", "c2");
+        let a1 = k1.entity_by_name("a1").unwrap();
+        let b1 = k1.entity_by_name("b1").unwrap();
+        let c1 = k1.entity_by_name("c1").unwrap();
+        let a2 = k2.entity_by_name("a2").unwrap();
+        let b2 = k2.entity_by_name("b2").unwrap();
+        let c2 = k2.entity_by_name("c2").unwrap();
+        let seed = AlignmentSet::from_pairs([AlignmentPair::new(a1, a2)]);
+        let reference =
+            AlignmentSet::from_pairs([AlignmentPair::new(b1, b2), AlignmentPair::new(c1, c2)]);
+        KgPair::new("tiny", k1, k2, seed, reference).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_and_reports_stats() {
+        let pair = tiny_pair();
+        assert_eq!(pair.name, "tiny");
+        let stats = pair.stats();
+        assert_eq!(stats.seed_pairs, 1);
+        assert_eq!(stats.reference_pairs, 2);
+        assert_eq!(stats.source.entities, 3);
+        assert!(stats.to_string().contains("tiny"));
+        assert_eq!(pair.test_source_entities().len(), 2);
+        assert_eq!(pair.kg(KgSide::Source).num_triples(), 2);
+        assert_eq!(pair.kg(KgSide::Target).num_triples(), 2);
+    }
+
+    #[test]
+    fn invalid_entity_reference_is_rejected() {
+        let pair = tiny_pair();
+        let bad_seed = AlignmentSet::from_pairs([AlignmentPair::new(EntityId(99), EntityId(0))]);
+        let result = KgPair::new(
+            "bad",
+            pair.source.clone(),
+            pair.target.clone(),
+            bad_seed,
+            AlignmentSet::new(),
+        );
+        assert!(matches!(result, Err(GraphError::InvalidAlignment { .. })));
+    }
+
+    #[test]
+    fn overlapping_seed_and_reference_rejected() {
+        let pair = tiny_pair();
+        let overlapping = pair.full_gold();
+        let result = KgPair::new(
+            "bad",
+            pair.source.clone(),
+            pair.target.clone(),
+            pair.seed.clone(),
+            overlapping,
+        );
+        assert!(matches!(result, Err(GraphError::InvalidAlignment { .. })));
+    }
+
+    #[test]
+    fn full_gold_and_correctness_check() {
+        let pair = tiny_pair();
+        let gold = pair.full_gold();
+        assert_eq!(gold.len(), 3);
+        let b1 = pair.source.entity_by_name("b1").unwrap();
+        let b2 = pair.target.entity_by_name("b2").unwrap();
+        let c2 = pair.target.entity_by_name("c2").unwrap();
+        assert!(pair.is_correct(&AlignmentPair::new(b1, b2)));
+        assert!(!pair.is_correct(&AlignmentPair::new(b1, c2)));
+    }
+
+    #[test]
+    fn with_seed_replaces_training_data() {
+        let pair = tiny_pair();
+        let new_seed = AlignmentSet::new();
+        let modified = pair.with_seed(new_seed).unwrap();
+        assert!(modified.seed.is_empty());
+        assert_eq!(modified.reference.len(), 2);
+    }
+
+    #[test]
+    fn with_removed_triples_shrinks_graphs() {
+        let pair = tiny_pair();
+        let mut remove_source = HashSet::new();
+        remove_source.insert(pair.source.triples()[0]);
+        let reduced = pair.with_removed_triples(&remove_source, &HashSet::new());
+        assert_eq!(reduced.source.num_triples(), 1);
+        assert_eq!(reduced.target.num_triples(), 2);
+        assert_eq!(reduced.seed.len(), pair.seed.len());
+    }
+}

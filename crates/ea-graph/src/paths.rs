@@ -1,0 +1,376 @@
+//! Relation paths between an entity and its neighbours.
+//!
+//! ExEA explanations are built by matching *relation paths* around the two
+//! entities of an alignment pair (paper §III-A). A relation path
+//! `p = (e, r1, e'1, r2, e'2, …, rn, e'n)` starts at a central entity `e` and
+//! walks `n` triples to reach a neighbour `e'n`. Triples may be traversed in
+//! either direction; the per-step [`Direction`] is recorded so that edge
+//! weights can later pick functionality vs. inverse functionality correctly.
+
+use crate::ids::{EntityId, RelationId};
+use crate::kg::KnowledgeGraph;
+use crate::triple::{Direction, Triple};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single step of a relation path: one triple traversed in one direction,
+/// arriving at `entity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The relation of the traversed triple.
+    pub relation: RelationId,
+    /// The direction in which the triple was traversed.
+    pub direction: Direction,
+    /// The entity reached after this step.
+    pub entity: EntityId,
+}
+
+/// A relation path from a central entity to one of its (multi-hop) neighbours.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RelationPath {
+    /// The entity the path starts from (the entity being explained).
+    pub start: EntityId,
+    /// The steps of the path, in walk order. Never empty.
+    pub steps: Vec<PathStep>,
+}
+
+impl RelationPath {
+    /// Creates a path from a start entity and its steps.
+    ///
+    /// # Panics
+    /// Panics if `steps` is empty — a relation path always traverses at least
+    /// one triple.
+    pub fn new(start: EntityId, steps: Vec<PathStep>) -> Self {
+        assert!(!steps.is_empty(), "a relation path must have at least one step");
+        Self { start, steps }
+    }
+
+    /// Creates a length-one path for a single triple incident to `start`.
+    ///
+    /// Returns `None` if `start` is not part of the triple.
+    pub fn single(start: EntityId, triple: Triple) -> Option<Self> {
+        let (other, direction) = triple.other_end(start)?;
+        Some(Self::new(
+            start,
+            vec![PathStep {
+                relation: triple.relation,
+                direction,
+                entity: other,
+            }],
+        ))
+    }
+
+    /// Number of triples traversed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `false`: paths are never empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The neighbour entity the path ends at.
+    #[inline]
+    pub fn end(&self) -> EntityId {
+        self.steps.last().expect("paths are non-empty").entity
+    }
+
+    /// Relations along the path, in walk order.
+    pub fn relations(&self) -> Vec<RelationId> {
+        self.steps.iter().map(|s| s.relation).collect()
+    }
+
+    /// Entities along the path excluding the start, in walk order
+    /// (intermediate entities plus the end entity).
+    pub fn entities(&self) -> Vec<EntityId> {
+        self.steps.iter().map(|s| s.entity).collect()
+    }
+
+    /// Intermediate entities (entities along the path excluding both the start
+    /// and the end entity).
+    pub fn intermediate_entities(&self) -> Vec<EntityId> {
+        if self.steps.len() <= 1 {
+            return Vec::new();
+        }
+        self.steps[..self.steps.len() - 1]
+            .iter()
+            .map(|s| s.entity)
+            .collect()
+    }
+
+    /// Reconstructs the underlying triples of the path, in walk order.
+    pub fn triples(&self) -> Vec<Triple> {
+        let mut triples = Vec::with_capacity(self.steps.len());
+        let mut current = self.start;
+        for step in &self.steps {
+            let triple = match step.direction {
+                Direction::Forward => Triple::new(current, step.relation, step.entity),
+                Direction::Backward => Triple::new(step.entity, step.relation, current),
+            };
+            triples.push(triple);
+            current = step.entity;
+        }
+        triples
+    }
+
+    /// Direction of the first step — the step adjacent to the central entity.
+    /// Determines whether functionality or inverse functionality applies when
+    /// weighting the path (paper Eqs. 3–4).
+    pub fn first_direction(&self) -> Direction {
+        self.steps[0].direction
+    }
+
+    /// Whether this path is a direct (length-one) connection.
+    pub fn is_direct(&self) -> bool {
+        self.steps.len() == 1
+    }
+
+    /// Decomposes a multi-hop path into its length-one segments, each starting
+    /// from the entity reached by the previous segment (used for Eq. 6, which
+    /// multiplies the weights of the direct sub-paths of a long path).
+    pub fn segments(&self) -> Vec<RelationPath> {
+        let mut segments = Vec::with_capacity(self.steps.len());
+        let mut current = self.start;
+        for step in &self.steps {
+            segments.push(RelationPath::new(current, vec![*step]));
+            current = step.entity;
+        }
+        segments
+    }
+
+    /// Renders the path with names from `kg`, for explanation display.
+    pub fn render(&self, kg: &KnowledgeGraph) -> String {
+        let mut out = String::new();
+        out.push_str(kg.entity_name(self.start).unwrap_or("?"));
+        for step in &self.steps {
+            let rel = kg.relation_name(step.relation).unwrap_or("?");
+            let ent = kg.entity_name(step.entity).unwrap_or("?");
+            match step.direction {
+                Direction::Forward => {
+                    out.push_str(" -[");
+                    out.push_str(rel);
+                    out.push_str("]-> ");
+                }
+                Direction::Backward => {
+                    out.push_str(" <-[");
+                    out.push_str(rel);
+                    out.push_str("]- ");
+                }
+            }
+            out.push_str(ent);
+        }
+        out
+    }
+}
+
+impl fmt::Display for RelationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for step in &self.steps {
+            match step.direction {
+                Direction::Forward => write!(f, " -[{}]-> {}", step.relation, step.entity)?,
+                Direction::Backward => write!(f, " <-[{}]- {}", step.relation, step.entity)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates all simple relation paths of length at most `max_len` starting
+/// at `start`.
+///
+/// Paths never revisit an entity (simple paths), which bounds the search and
+/// matches the paper's use of paths towards *neighbour* entities. The result
+/// is deterministic for a given graph.
+pub fn enumerate_paths(kg: &KnowledgeGraph, start: EntityId, max_len: usize) -> Vec<RelationPath> {
+    let mut result = Vec::new();
+    if max_len == 0 {
+        return result;
+    }
+    let mut stack_steps: Vec<PathStep> = Vec::new();
+    let mut on_path = vec![false; kg.num_entities()];
+    if start.index() < on_path.len() {
+        on_path[start.index()] = true;
+    }
+    dfs_paths(kg, start, start, max_len, &mut stack_steps, &mut on_path, &mut result);
+    result
+}
+
+/// Enumerates all simple relation paths of length at most `max_len` from
+/// `start` that end exactly at `end`.
+pub fn paths_between(
+    kg: &KnowledgeGraph,
+    start: EntityId,
+    end: EntityId,
+    max_len: usize,
+) -> Vec<RelationPath> {
+    enumerate_paths(kg, start, max_len)
+        .into_iter()
+        .filter(|p| p.end() == end)
+        .collect()
+}
+
+fn dfs_paths(
+    kg: &KnowledgeGraph,
+    start: EntityId,
+    current: EntityId,
+    remaining: usize,
+    steps: &mut Vec<PathStep>,
+    on_path: &mut [bool],
+    out: &mut Vec<RelationPath>,
+) {
+    if remaining == 0 {
+        return;
+    }
+    for (neighbor, triple, direction) in kg.neighbors(current) {
+        if neighbor.index() < on_path.len() && on_path[neighbor.index()] {
+            continue;
+        }
+        steps.push(PathStep {
+            relation: triple.relation,
+            direction,
+            entity: neighbor,
+        });
+        out.push(RelationPath::new(start, steps.clone()));
+        if neighbor.index() < on_path.len() {
+            on_path[neighbor.index()] = true;
+        }
+        dfs_paths(kg, start, neighbor, remaining - 1, steps, on_path, out);
+        if neighbor.index() < on_path.len() {
+            on_path[neighbor.index()] = false;
+        }
+        steps.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_kg() -> KnowledgeGraph {
+        // a -r1-> b -r2-> c, plus d -r3-> a
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_by_names("a", "r1", "b");
+        kg.add_triple_by_names("b", "r2", "c");
+        kg.add_triple_by_names("d", "r3", "a");
+        kg
+    }
+
+    #[test]
+    fn single_path_from_triple() {
+        let kg = chain_kg();
+        let a = kg.entity_by_name("a").unwrap();
+        let b = kg.entity_by_name("b").unwrap();
+        let triple = kg.triples()[0];
+        let p = RelationPath::single(a, triple).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(p.is_direct());
+        assert!(!p.is_empty());
+        assert_eq!(p.end(), b);
+        assert_eq!(p.first_direction(), Direction::Forward);
+        // From b the same triple is traversed backwards.
+        let p_rev = RelationPath::single(b, triple).unwrap();
+        assert_eq!(p_rev.first_direction(), Direction::Backward);
+        assert_eq!(p_rev.end(), a);
+        // Non-participating entity yields None.
+        let c = kg.entity_by_name("c").unwrap();
+        assert!(RelationPath::single(c, triple).is_none());
+    }
+
+    #[test]
+    fn triples_reconstruction_matches_graph() {
+        let kg = chain_kg();
+        let a = kg.entity_by_name("a").unwrap();
+        for p in enumerate_paths(&kg, a, 2) {
+            for t in p.triples() {
+                assert!(kg.contains_triple(&t), "reconstructed triple {t} not in graph");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_paths_length_one_covers_incident_triples() {
+        let kg = chain_kg();
+        let a = kg.entity_by_name("a").unwrap();
+        let paths = enumerate_paths(&kg, a, 1);
+        assert_eq!(paths.len(), 2); // a->b forward, a<-d backward
+        assert!(paths.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn enumerate_paths_respects_max_len() {
+        let kg = chain_kg();
+        let a = kg.entity_by_name("a").unwrap();
+        let paths = enumerate_paths(&kg, a, 2);
+        assert!(paths.iter().all(|p| p.len() <= 2));
+        // Length-2 path a -> b -> c must be present.
+        let c = kg.entity_by_name("c").unwrap();
+        assert!(paths.iter().any(|p| p.end() == c && p.len() == 2));
+        assert!(enumerate_paths(&kg, a, 0).is_empty());
+    }
+
+    #[test]
+    fn paths_are_simple_no_entity_revisits() {
+        let mut kg = KnowledgeGraph::new();
+        // Triangle a-b-c plus back edges; simple paths must not loop.
+        kg.add_triple_by_names("a", "r", "b");
+        kg.add_triple_by_names("b", "r", "c");
+        kg.add_triple_by_names("c", "r", "a");
+        let a = kg.entity_by_name("a").unwrap();
+        for p in enumerate_paths(&kg, a, 3) {
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(p.start);
+            for e in p.entities() {
+                assert!(seen.insert(e), "path revisits entity {e}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_between_filters_on_end() {
+        let kg = chain_kg();
+        let a = kg.entity_by_name("a").unwrap();
+        let c = kg.entity_by_name("c").unwrap();
+        let paths = paths_between(&kg, a, c, 2);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 2);
+        assert!(paths_between(&kg, a, c, 1).is_empty());
+    }
+
+    #[test]
+    fn segments_decompose_long_paths() {
+        let kg = chain_kg();
+        let a = kg.entity_by_name("a").unwrap();
+        let c = kg.entity_by_name("c").unwrap();
+        let p = paths_between(&kg, a, c, 2).pop().unwrap();
+        let segs = p.segments();
+        assert_eq!(segs.len(), 2);
+        assert!(segs.iter().all(|s| s.is_direct()));
+        assert_eq!(segs[0].start, a);
+        assert_eq!(segs[1].end(), c);
+        assert_eq!(segs[0].end(), segs[1].start);
+        assert!(p.intermediate_entities().len() == 1);
+    }
+
+    #[test]
+    fn render_and_display_show_directions() {
+        let kg = chain_kg();
+        let a = kg.entity_by_name("a").unwrap();
+        let d = kg.entity_by_name("d").unwrap();
+        let p = paths_between(&kg, a, d, 1).pop().unwrap();
+        let rendered = p.render(&kg);
+        assert!(rendered.contains("<-[r3]-"));
+        assert!(rendered.starts_with('a'));
+        assert!(rendered.ends_with('d'));
+        assert!(p.to_string().contains("<-"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_path_panics() {
+        let _ = RelationPath::new(EntityId(0), Vec::new());
+    }
+}

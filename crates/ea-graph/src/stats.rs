@@ -1,0 +1,98 @@
+//! Knowledge-graph summary statistics.
+
+use crate::kg::KnowledgeGraph;
+use std::fmt;
+
+/// Summary statistics of a single knowledge graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KgStats {
+    /// Number of entities.
+    pub entities: usize,
+    /// Number of relations.
+    pub relations: usize,
+    /// Number of triples.
+    pub triples: usize,
+    /// Average entity degree (incident triples per entity).
+    pub average_degree: f64,
+    /// Maximum entity degree.
+    pub max_degree: usize,
+    /// Number of entities with no incident triples.
+    pub isolated_entities: usize,
+}
+
+impl KgStats {
+    /// Computes statistics for `kg`.
+    pub fn compute(kg: &KnowledgeGraph) -> Self {
+        let mut max_degree = 0usize;
+        let mut isolated = 0usize;
+        for e in kg.entity_ids() {
+            let d = kg.degree(e);
+            max_degree = max_degree.max(d);
+            if d == 0 {
+                isolated += 1;
+            }
+        }
+        Self {
+            entities: kg.num_entities(),
+            relations: kg.num_relations(),
+            triples: kg.num_triples(),
+            average_degree: kg.average_degree(),
+            max_degree,
+            isolated_entities: isolated,
+        }
+    }
+
+    /// Triple density: triples per entity (half the average degree).
+    pub fn density(&self) -> f64 {
+        if self.entities == 0 {
+            0.0
+        } else {
+            self.triples as f64 / self.entities as f64
+        }
+    }
+}
+
+impl fmt::Display for KgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} entities, {} relations, {} triples (avg degree {:.2}, max degree {}, {} isolated)",
+            self.entities,
+            self.relations,
+            self.triples,
+            self.average_degree,
+            self.max_degree,
+            self.isolated_entities
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_triple_by_names("a", "r", "b");
+        kg.add_triple_by_names("a", "r", "c");
+        kg.add_entity("lonely");
+        let stats = KgStats::compute(&kg);
+        assert_eq!(stats.entities, 4);
+        assert_eq!(stats.relations, 1);
+        assert_eq!(stats.triples, 2);
+        assert_eq!(stats.max_degree, 2);
+        assert_eq!(stats.isolated_entities, 1);
+        assert!((stats.average_degree - 1.0).abs() < 1e-12);
+        assert!((stats.density() - 0.5).abs() < 1e-12);
+        assert!(stats.to_string().contains("4 entities"));
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let stats = KgStats::compute(&KnowledgeGraph::new());
+        assert_eq!(stats.entities, 0);
+        assert_eq!(stats.density(), 0.0);
+        assert_eq!(stats.max_degree, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Induced subgraphs over a set of triples.
+//!
+//! An explanation subgraph is nothing more than a set of triples from one
+//! knowledge graph together with the entities and relations they mention.
+//! [`Subgraph`] keeps those sets explicit so explanation rendering, sparsity
+//! computation and fidelity deletion can all work from the same object.
+
+use crate::ids::{EntityId, RelationId};
+use crate::kg::KnowledgeGraph;
+use crate::triple::Triple;
+use std::collections::{BTreeSet, HashSet};
+
+/// A subgraph induced by a set of triples of one knowledge graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subgraph {
+    triples: BTreeSet<Triple>,
+}
+
+impl Subgraph {
+    /// Creates an empty subgraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a subgraph from an iterator of triples.
+    pub fn from_triples<I: IntoIterator<Item = Triple>>(triples: I) -> Self {
+        Self {
+            triples: triples.into_iter().collect(),
+        }
+    }
+
+    /// Adds a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        self.triples.insert(triple)
+    }
+
+    /// Whether the subgraph contains the triple.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.triples.contains(triple)
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Iterates over the triples in sorted order.
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.triples.iter().copied()
+    }
+
+    /// Collects the triples into a hash set (the form needed by
+    /// [`KnowledgeGraph::without_triples`]).
+    pub fn to_hash_set(&self) -> HashSet<Triple> {
+        self.triples.iter().copied().collect()
+    }
+
+    /// Entities mentioned by the subgraph, sorted.
+    pub fn entities(&self) -> Vec<EntityId> {
+        let mut set = BTreeSet::new();
+        for t in &self.triples {
+            set.insert(t.head);
+            set.insert(t.tail);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Relations mentioned by the subgraph, sorted.
+    pub fn relations(&self) -> Vec<RelationId> {
+        let mut set = BTreeSet::new();
+        for t in &self.triples {
+            set.insert(t.relation);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Merges another subgraph into this one.
+    pub fn union_with(&mut self, other: &Subgraph) {
+        for t in other.triples() {
+            self.triples.insert(t);
+        }
+    }
+
+    /// Renders the subgraph with names from `kg`, one triple per line.
+    pub fn render(&self, kg: &KnowledgeGraph) -> String {
+        let mut lines = Vec::with_capacity(self.triples.len());
+        for t in &self.triples {
+            lines.push(format!(
+                "  ({}, {}, {})",
+                kg.entity_name(t.head).unwrap_or("?"),
+                kg.relation_name(t.relation).unwrap_or("?"),
+                kg.entity_name(t.tail).unwrap_or("?"),
+            ));
+        }
+        lines.join("\n")
+    }
+}
+
+impl FromIterator<Triple> for Subgraph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        Self::from_triples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::new(EntityId(h), RelationId(r), EntityId(ta))
+    }
+
+    #[test]
+    fn insertion_deduplicates() {
+        let mut s = Subgraph::new();
+        assert!(s.is_empty());
+        assert!(s.insert(t(0, 0, 1)));
+        assert!(!s.insert(t(0, 0, 1)));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&t(0, 0, 1)));
+        assert!(!s.contains(&t(1, 0, 0)));
+    }
+
+    #[test]
+    fn entities_and_relations_are_deduplicated_and_sorted() {
+        let s = Subgraph::from_triples([t(3, 1, 0), t(0, 1, 2), t(2, 0, 3)]);
+        assert_eq!(
+            s.entities(),
+            vec![EntityId(0), EntityId(2), EntityId(3)]
+        );
+        assert_eq!(s.relations(), vec![RelationId(0), RelationId(1)]);
+    }
+
+    #[test]
+    fn union_merges_triples() {
+        let mut a = Subgraph::from_triples([t(0, 0, 1)]);
+        let b = Subgraph::from_triples([t(0, 0, 1), t(1, 1, 2)]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn hash_set_roundtrip() {
+        let s = Subgraph::from_triples([t(0, 0, 1), t(1, 1, 2)]);
+        let hs = s.to_hash_set();
+        assert_eq!(hs.len(), 2);
+        assert!(hs.contains(&t(0, 0, 1)));
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let mut kg = KnowledgeGraph::new();
+        let triple = kg.add_triple_by_names("Paris", "capital_of", "France");
+        let s = Subgraph::from_triples([triple]);
+        let rendered = s.render(&kg);
+        assert!(rendered.contains("Paris"));
+        assert!(rendered.contains("capital_of"));
+        assert!(rendered.contains("France"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: Subgraph = [t(0, 0, 1), t(1, 0, 2)].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.triples().count(), 2);
+    }
+}

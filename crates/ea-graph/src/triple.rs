@@ -1,0 +1,168 @@
+//! Relation triples and traversal direction.
+
+use crate::ids::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A relation triple `(head, relation, tail)`.
+///
+/// Heads and tails are entities of the *same* knowledge graph; cross-KG
+/// triples used during repair are ordinary `Triple`s whose ids are interpreted
+/// against a merged id space by the caller (see `exea-core::cross_kg`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject entity.
+    pub head: EntityId,
+    /// Relation connecting head and tail.
+    pub relation: RelationId,
+    /// Object entity.
+    pub tail: EntityId,
+}
+
+impl Triple {
+    /// Creates a new triple.
+    #[inline]
+    pub fn new(head: EntityId, relation: RelationId, tail: EntityId) -> Self {
+        Self {
+            head,
+            relation,
+            tail,
+        }
+    }
+
+    /// Returns the entity on the other end of the triple relative to `entity`,
+    /// together with the direction in which the triple is traversed.
+    ///
+    /// Returns `None` if `entity` is neither head nor tail. For reflexive
+    /// triples (`head == tail`) the forward direction is reported.
+    #[inline]
+    pub fn other_end(&self, entity: EntityId) -> Option<(EntityId, Direction)> {
+        if self.head == entity {
+            Some((self.tail, Direction::Forward))
+        } else if self.tail == entity {
+            Some((self.head, Direction::Backward))
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `entity` participates in the triple.
+    #[inline]
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.head == entity || self.tail == entity
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.head, self.relation, self.tail)
+    }
+}
+
+/// Direction in which a triple is traversed when walking a relation path.
+///
+/// Walking `(h, r, t)` from `h` to `t` is [`Direction::Forward`]; walking it
+/// from `t` to `h` is [`Direction::Backward`]. The distinction matters because
+/// relation *functionality* and *inverse functionality* (PARIS) apply to
+/// forward and backward traversals respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Head-to-tail traversal.
+    Forward,
+    /// Tail-to-head traversal.
+    Backward,
+}
+
+impl Direction {
+    /// Returns the opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Self {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+
+    /// Returns `true` for [`Direction::Forward`].
+    #[inline]
+    pub fn is_forward(self) -> bool {
+        matches!(self, Direction::Forward)
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Forward => write!(f, "->"),
+            Direction::Backward => write!(f, "<-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::new(EntityId(h), RelationId(r), EntityId(ta))
+    }
+
+    #[test]
+    fn other_end_from_head_is_forward() {
+        let tr = t(1, 0, 2);
+        assert_eq!(
+            tr.other_end(EntityId(1)),
+            Some((EntityId(2), Direction::Forward))
+        );
+    }
+
+    #[test]
+    fn other_end_from_tail_is_backward() {
+        let tr = t(1, 0, 2);
+        assert_eq!(
+            tr.other_end(EntityId(2)),
+            Some((EntityId(1), Direction::Backward))
+        );
+    }
+
+    #[test]
+    fn other_end_for_unrelated_entity_is_none() {
+        let tr = t(1, 0, 2);
+        assert_eq!(tr.other_end(EntityId(3)), None);
+        assert!(!tr.contains(EntityId(3)));
+        assert!(tr.contains(EntityId(1)));
+        assert!(tr.contains(EntityId(2)));
+    }
+
+    #[test]
+    fn reflexive_triple_reports_forward() {
+        let tr = t(5, 1, 5);
+        assert_eq!(
+            tr.other_end(EntityId(5)),
+            Some((EntityId(5), Direction::Forward))
+        );
+    }
+
+    #[test]
+    fn direction_reverse_is_involutive() {
+        assert_eq!(Direction::Forward.reverse(), Direction::Backward);
+        assert_eq!(Direction::Backward.reverse(), Direction::Forward);
+        assert_eq!(Direction::Forward.reverse().reverse(), Direction::Forward);
+        assert!(Direction::Forward.is_forward());
+        assert!(!Direction::Backward.is_forward());
+    }
+
+    #[test]
+    fn triples_order_lexicographically() {
+        let mut v = vec![t(2, 0, 0), t(1, 5, 0), t(1, 0, 3)];
+        v.sort();
+        assert_eq!(v, vec![t(1, 0, 3), t(1, 5, 0), t(2, 0, 0)]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(t(1, 2, 3).to_string(), "(e1, r2, e3)");
+        assert_eq!(Direction::Forward.to_string(), "->");
+        assert_eq!(Direction::Backward.to_string(), "<-");
+    }
+}

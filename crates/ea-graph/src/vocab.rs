@@ -1,0 +1,126 @@
+//! String interning for entity and relation names.
+//!
+//! Knowledge graphs in entity-alignment benchmarks identify entities and
+//! relations by URIs. Interning them once keeps the rest of the pipeline
+//! working on dense integer ids while still being able to render
+//! human-readable explanations.
+
+use std::collections::HashMap;
+
+/// A simple append-only string interner producing dense `u32` ids.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            names: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Interns `name`, returning its id. Re-interning an existing name
+    /// returns the previously assigned id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of an already-interned name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name for an id, if the id is in range.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+
+    /// Returns all names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Gavin_Newsom");
+        let b = i.intern("Jerry_Brown");
+        let a2 = i.intern("Gavin_Newsom");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_returns_original_name() {
+        let mut i = Interner::with_capacity(4);
+        let id = i.intern("加文·纽森");
+        assert_eq!(i.resolve(id), Some("加文·纽森"));
+        assert_eq!(i.resolve(id + 1), None);
+    }
+
+    #[test]
+    fn get_finds_only_interned_names() {
+        let mut i = Interner::new();
+        i.intern("a");
+        assert_eq!(i.get("a"), Some(0));
+        assert_eq!(i.get("b"), None);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut i = Interner::new();
+        for name in ["x", "y", "z"] {
+            i.intern(name);
+        }
+        let collected: Vec<_> = i.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(collected, vec!["x", "y", "z"]);
+        assert_eq!(i.names().len(), 3);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn empty_interner_reports_empty() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

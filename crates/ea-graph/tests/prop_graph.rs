@@ -1,0 +1,172 @@
+//! Property-based tests for the graph substrate.
+
+use ea_graph::{
+    paths::enumerate_paths, AlignmentPair, AlignmentSet, EntityId, KnowledgeGraph,
+    RelationFunctionality, RelationId, Subgraph, Triple,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy: a random small KG described as a list of (head, rel, tail) index
+/// triples over bounded vocabularies.
+fn kg_strategy() -> impl Strategy<Value = KnowledgeGraph> {
+    prop::collection::vec((0usize..20, 0usize..6, 0usize..20), 1..120).prop_map(|raw| {
+        let mut kg = KnowledgeGraph::new();
+        // Pre-register vocabularies so ids are dense and stable.
+        for i in 0..20 {
+            kg.add_entity(&format!("e{i}"));
+        }
+        for r in 0..6 {
+            kg.add_relation(&format!("r{r}"));
+        }
+        for (h, r, t) in raw {
+            kg.add_triple(Triple::new(
+                EntityId(h as u32),
+                RelationId(r as u32),
+                EntityId(t as u32),
+            ))
+            .unwrap();
+        }
+        kg
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every triple reachable through the adjacency indexes is in the triple
+    /// list, and vice versa.
+    #[test]
+    fn adjacency_indexes_are_consistent(kg in kg_strategy()) {
+        let all: HashSet<Triple> = kg.triples().iter().copied().collect();
+        let mut via_index = HashSet::new();
+        for e in kg.entity_ids() {
+            for t in kg.outgoing_triples(e) {
+                prop_assert_eq!(t.head, e);
+                via_index.insert(t);
+            }
+            for t in kg.incoming_triples(e) {
+                prop_assert_eq!(t.tail, e);
+                via_index.insert(t);
+            }
+        }
+        prop_assert_eq!(all, via_index);
+    }
+
+    /// Functionality and inverse functionality always lie in (0, 1] for
+    /// relations that have triples, and are 0 otherwise.
+    #[test]
+    fn functionality_is_bounded(kg in kg_strategy()) {
+        let f = RelationFunctionality::compute(&kg);
+        for r in kg.relation_ids() {
+            let has_triples = kg.triples_with_relation(r).next().is_some();
+            if has_triples {
+                prop_assert!(f.func(r) > 0.0 && f.func(r) <= 1.0);
+                prop_assert!(f.ifunc(r) > 0.0 && f.ifunc(r) <= 1.0);
+            } else {
+                prop_assert_eq!(f.func(r), 0.0);
+                prop_assert_eq!(f.ifunc(r), 0.0);
+            }
+        }
+    }
+
+    /// k-hop triple sets are monotone in k and 1-hop equals incident triples.
+    #[test]
+    fn khop_triples_are_monotone(kg in kg_strategy(), e in 0u32..20) {
+        let e = EntityId(e);
+        let one: HashSet<Triple> = kg.triples_within_hops(e, 1).into_iter().collect();
+        let two: HashSet<Triple> = kg.triples_within_hops(e, 2).into_iter().collect();
+        let incident: HashSet<Triple> = kg.triples_of(e).into_iter().collect();
+        prop_assert_eq!(&one, &incident);
+        prop_assert!(one.is_subset(&two));
+    }
+
+    /// Enumerated paths are simple, respect the length bound, and consist of
+    /// triples that exist in the graph.
+    #[test]
+    fn enumerated_paths_are_valid(kg in kg_strategy(), e in 0u32..20, len in 1usize..3) {
+        let e = EntityId(e);
+        for p in enumerate_paths(&kg, e, len) {
+            prop_assert!(p.len() <= len);
+            prop_assert_eq!(p.start, e);
+            let mut seen = HashSet::new();
+            seen.insert(p.start);
+            for ent in p.entities() {
+                prop_assert!(seen.insert(ent), "path revisits an entity");
+            }
+            for t in p.triples() {
+                prop_assert!(kg.contains_triple(&t));
+            }
+        }
+    }
+
+    /// Removing triples never invents new ones and preserves the vocabulary.
+    #[test]
+    fn without_triples_is_a_subset(kg in kg_strategy(), keep_mod in 1usize..5) {
+        let remove: HashSet<Triple> = kg
+            .triples()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % keep_mod == 0)
+            .map(|(_, t)| *t)
+            .collect();
+        let reduced = kg.without_triples(&remove);
+        prop_assert_eq!(reduced.num_entities(), kg.num_entities());
+        prop_assert_eq!(reduced.num_relations(), kg.num_relations());
+        prop_assert_eq!(reduced.num_triples(), kg.num_triples() - remove.len());
+        for t in reduced.triples() {
+            prop_assert!(kg.contains_triple(t));
+            prop_assert!(!remove.contains(t));
+        }
+    }
+
+    /// Subgraph entity/relation projections only mention ids from its triples.
+    #[test]
+    fn subgraph_projections_are_consistent(kg in kg_strategy()) {
+        let sub: Subgraph = kg.triples().iter().copied().take(10).collect();
+        let ents: HashSet<EntityId> = sub.entities().into_iter().collect();
+        let rels: HashSet<RelationId> = sub.relations().into_iter().collect();
+        for t in sub.triples() {
+            prop_assert!(ents.contains(&t.head));
+            prop_assert!(ents.contains(&t.tail));
+            prop_assert!(rels.contains(&t.relation));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AlignmentSet maintains the forward-uniqueness invariant and its reverse
+    /// index stays consistent under arbitrary insert/remove sequences.
+    #[test]
+    fn alignment_set_invariants(ops in prop::collection::vec((0u32..30, 0u32..30, prop::bool::ANY), 0..200)) {
+        let mut set = AlignmentSet::new();
+        for (s, t, is_insert) in ops {
+            let pair = AlignmentPair::new(EntityId(s), EntityId(t));
+            if is_insert {
+                set.insert(pair);
+            } else {
+                set.remove(&pair);
+            }
+        }
+        // Forward map: every source appears exactly once in iter().
+        let sources: Vec<_> = set.iter().map(|p| p.source).collect();
+        let mut dedup = sources.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(sources.len(), dedup.len());
+        // Reverse index agrees with forward map.
+        for p in set.iter() {
+            prop_assert!(set.sources_of(p.target).contains(&p.source));
+            prop_assert_eq!(set.target_of(p.source), Some(p.target));
+        }
+        for t in set.targets() {
+            for &s in set.sources_of(t) {
+                prop_assert_eq!(set.target_of(s), Some(t));
+            }
+        }
+        // One-to-one check agrees with conflict enumeration.
+        prop_assert_eq!(set.is_one_to_one(), set.one_to_many_conflicts().is_empty());
+    }
+}

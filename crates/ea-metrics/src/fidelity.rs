@@ -1,0 +1,260 @@
+//! The fidelity / sparsity evaluation protocol (paper §V-B2).
+//!
+//! 1. Sample `sample_size` pairs that the trained model predicts correctly.
+//! 2. Ask the explanation method for an explanation of each sampled pair,
+//!    with a per-pair budget (so baselines run at a sparsity comparable to
+//!    ExEA's).
+//! 3. Delete every candidate triple (within `hops` of the sampled entities)
+//!    that no explanation kept, from both graphs.
+//! 4. Retrain the model from scratch on the reduced dataset.
+//! 5. **Fidelity** is the fraction of sampled pairs the retrained model still
+//!    predicts correctly; **sparsity** is `1 - kept / candidates` averaged
+//!    over the samples.
+
+use ea_graph::{AlignmentPair, KgPair, Triple};
+use ea_models::{EaModel, TrainedAlignment};
+use exea_core::Explainer;
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Configuration of the fidelity protocol.
+#[derive(Debug, Clone)]
+pub struct FidelityProtocol {
+    /// How many correctly-predicted pairs to sample (the paper uses 1,000;
+    /// smaller synthetic datasets use what is available).
+    pub sample_size: usize,
+    /// Neighbourhood radius defining the candidate triples.
+    pub hops: usize,
+    /// RNG seed for the sampling step.
+    pub seed: u64,
+}
+
+impl Default for FidelityProtocol {
+    fn default() -> Self {
+        Self {
+            sample_size: 200,
+            hops: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// The result of one fidelity evaluation run.
+#[derive(Debug, Clone)]
+pub struct FidelityOutcome {
+    /// Fraction of sampled pairs still predicted correctly after retraining.
+    pub fidelity: f64,
+    /// Mean sparsity of the produced explanations.
+    pub sparsity: f64,
+    /// Number of sampled pairs.
+    pub samples: usize,
+    /// Total candidate triples across samples (deduplicated).
+    pub candidate_triples: usize,
+    /// Total kept (explanation) triples across samples (deduplicated).
+    pub kept_triples: usize,
+}
+
+impl FidelityProtocol {
+    /// Samples correctly-predicted reference pairs.
+    pub fn sample_correct_pairs(
+        &self,
+        pair: &KgPair,
+        trained: &TrainedAlignment,
+    ) -> Vec<AlignmentPair> {
+        let predictions = trained.predict(pair);
+        let mut correct: Vec<AlignmentPair> = pair
+            .reference
+            .iter()
+            .filter(|p| predictions.contains(p))
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        correct.shuffle(&mut rng);
+        correct.truncate(self.sample_size);
+        correct
+    }
+
+    /// Runs the full protocol for one explanation method.
+    ///
+    /// `budget_for` supplies the per-pair triple budget handed to the
+    /// explainer (pass ExEA's explanation sizes to evaluate baselines at
+    /// matched sparsity, or `usize::MAX` for unconstrained methods).
+    pub fn evaluate<E, B>(
+        &self,
+        pair: &KgPair,
+        model: &dyn EaModel,
+        trained: &TrainedAlignment,
+        explainer: &E,
+        budget_for: B,
+    ) -> FidelityOutcome
+    where
+        E: Explainer + ?Sized,
+        B: Fn(&AlignmentPair) -> usize,
+    {
+        let samples = self.sample_correct_pairs(pair, trained);
+        let mut candidate_source: HashSet<Triple> = HashSet::new();
+        let mut candidate_target: HashSet<Triple> = HashSet::new();
+        let mut kept_source: HashSet<Triple> = HashSet::new();
+        let mut kept_target: HashSet<Triple> = HashSet::new();
+        let mut sparsity_sum = 0.0;
+
+        for p in &samples {
+            let cand_s = pair.source.triples_within_hops(p.source, self.hops);
+            let cand_t = pair.target.triples_within_hops(p.target, self.hops);
+            let candidates = cand_s.len() + cand_t.len();
+            let explanation = explainer.explain_pair(p.source, p.target, budget_for(p));
+            sparsity_sum += explanation.sparsity(candidates);
+            candidate_source.extend(cand_s);
+            candidate_target.extend(cand_t);
+            kept_source.extend(explanation.source_triples.triples());
+            kept_target.extend(explanation.target_triples.triples());
+        }
+
+        // Delete candidate triples that no explanation kept, then retrain.
+        let remove_source: HashSet<Triple> =
+            candidate_source.difference(&kept_source).copied().collect();
+        let remove_target: HashSet<Triple> =
+            candidate_target.difference(&kept_target).copied().collect();
+        let reduced = pair.with_removed_triples(&remove_source, &remove_target);
+        let retrained = model.train(&reduced);
+        let new_predictions = retrained.predict(&reduced);
+
+        let still_correct = samples
+            .iter()
+            .filter(|p| new_predictions.contains(p))
+            .count();
+        let fidelity = if samples.is_empty() {
+            0.0
+        } else {
+            still_correct as f64 / samples.len() as f64
+        };
+        let sparsity = if samples.is_empty() {
+            0.0
+        } else {
+            sparsity_sum / samples.len() as f64
+        };
+
+        FidelityOutcome {
+            fidelity,
+            sparsity,
+            samples: samples.len(),
+            candidate_triples: candidate_source.len() + candidate_target.len(),
+            kept_triples: kept_source.len() + kept_target.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_data::datasets::{load, DatasetName, DatasetScale};
+    use ea_graph::EntityId;
+    use ea_models::{build_model, ModelKind, TrainConfig};
+    use exea_core::{ExEa, ExeaConfig, Explanation};
+
+    /// An explainer that keeps every candidate triple: fidelity must be
+    /// maximal (nothing is removed).
+    struct KeepAll<'a> {
+        pair: &'a KgPair,
+        hops: usize,
+    }
+
+    impl Explainer for KeepAll<'_> {
+        fn method_name(&self) -> &str {
+            "keep-all"
+        }
+
+        fn explain_pair(&self, source: EntityId, target: EntityId, _budget: usize) -> Explanation {
+            let mut e = Explanation::empty(source, target);
+            for t in self.pair.source.triples_within_hops(source, self.hops) {
+                e.source_triples.insert(t);
+            }
+            for t in self.pair.target.triples_within_hops(target, self.hops) {
+                e.target_triples.insert(t);
+            }
+            e
+        }
+    }
+
+    /// An explainer that keeps nothing: sparsity is 1 and fidelity should be
+    /// clearly lower than keep-all.
+    struct KeepNone;
+
+    impl Explainer for KeepNone {
+        fn method_name(&self) -> &str {
+            "keep-none"
+        }
+
+        fn explain_pair(&self, source: EntityId, target: EntityId, _budget: usize) -> Explanation {
+            Explanation::empty(source, target)
+        }
+    }
+
+    fn setup() -> (KgPair, Box<dyn EaModel>, TrainedAlignment) {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let model = build_model(ModelKind::GcnAlign, TrainConfig::fast());
+        let trained = model.train(&pair);
+        (pair, model, trained)
+    }
+
+    #[test]
+    fn sampling_returns_only_correct_pairs() {
+        let (pair, _model, trained) = setup();
+        let protocol = FidelityProtocol {
+            sample_size: 30,
+            ..FidelityProtocol::default()
+        };
+        let samples = protocol.sample_correct_pairs(&pair, &trained);
+        assert!(!samples.is_empty());
+        assert!(samples.len() <= 30);
+        let predictions = trained.predict(&pair);
+        for p in &samples {
+            assert!(predictions.contains(p));
+            assert!(pair.reference.contains(p));
+        }
+    }
+
+    #[test]
+    fn keeping_everything_preserves_fidelity_keeping_nothing_hurts() {
+        let (pair, model, trained) = setup();
+        let protocol = FidelityProtocol {
+            sample_size: 40,
+            ..FidelityProtocol::default()
+        };
+        let keep_all = KeepAll { pair: &pair, hops: 1 };
+        let all = protocol.evaluate(&pair, model.as_ref(), &trained, &keep_all, |_| usize::MAX);
+        let none = protocol.evaluate(&pair, model.as_ref(), &trained, &KeepNone, |_| 0);
+        assert!(all.fidelity >= 0.9, "keep-all fidelity {:.3}", all.fidelity);
+        assert!(
+            none.fidelity < all.fidelity,
+            "keep-none ({:.3}) should be below keep-all ({:.3})",
+            none.fidelity,
+            all.fidelity
+        );
+        assert!(all.sparsity.abs() < 1e-9);
+        assert!((none.sparsity - 1.0).abs() < 1e-9);
+        assert!(none.kept_triples == 0);
+        assert!(all.candidate_triples > 0);
+        assert_eq!(all.samples, none.samples);
+    }
+
+    #[test]
+    fn exea_explanations_fidelity_beats_empty_explanations() {
+        let (pair, model, trained) = setup();
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        let protocol = FidelityProtocol {
+            sample_size: 40,
+            ..FidelityProtocol::default()
+        };
+        let exea_outcome = protocol.evaluate(&pair, model.as_ref(), &trained, &exea, |_| usize::MAX);
+        let none = protocol.evaluate(&pair, model.as_ref(), &trained, &KeepNone, |_| 0);
+        assert!(
+            exea_outcome.fidelity > none.fidelity,
+            "ExEA fidelity {:.3} should beat empty-explanation fidelity {:.3}",
+            exea_outcome.fidelity,
+            none.fidelity
+        );
+        assert!(exea_outcome.sparsity > 0.0 && exea_outcome.sparsity < 1.0);
+    }
+}

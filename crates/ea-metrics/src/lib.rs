@@ -1,0 +1,19 @@
+//! Evaluation metrics and reporting for EA explanation and repair.
+//!
+//! * [`fidelity`] — the paper's fidelity/sparsity protocol (§V-B2): sample
+//!   correctly-predicted pairs, keep only explanation triples, retrain the
+//!   model and measure how many sampled pairs are still predicted correctly.
+//! * [`report`] — plain-text table rendering used by the benchmark harness to
+//!   print the same rows the paper's tables report.
+//! * [`timer`] — tiny wall-clock helper for the Fig. 4 timing comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fidelity;
+pub mod report;
+pub mod timer;
+
+pub use fidelity::{FidelityOutcome, FidelityProtocol};
+pub use report::Table;
+pub use timer::time_it;

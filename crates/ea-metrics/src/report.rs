@@ -1,0 +1,103 @@
+//! Plain-text table rendering for the benchmark harness.
+
+use std::fmt;
+
+/// A simple column-aligned text table, used to print the same rows the
+/// paper's tables report.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        while cells.len() < self.header.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Convenience: formats a float with three decimals.
+    pub fn num(value: f64) -> String {
+        format!("{value:.3}")
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let render_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render_row(&self.header))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_title_header_and_rows() {
+        let mut t = Table::new("Table I", &["Model", "Fidelity", "Sparsity"]);
+        assert!(t.is_empty());
+        t.add_row(vec!["MTransE".into(), Table::num(0.874), Table::num(0.559)]);
+        t.add_row(vec!["Dual-AMN".into(), Table::num(0.959)]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("== Table I =="));
+        assert!(s.contains("MTransE"));
+        assert!(s.contains("0.874"));
+        assert!(s.contains("Fidelity"));
+        // Padded missing cell does not break rendering.
+        assert!(s.contains("Dual-AMN"));
+    }
+
+    #[test]
+    fn num_formats_three_decimals() {
+        assert_eq!(Table::num(0.5), "0.500");
+        assert_eq!(Table::num(1.0 / 3.0), "0.333");
+    }
+}

@@ -1,0 +1,35 @@
+//! Wall-clock timing helper for the efficiency comparison (Fig. 4).
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` and returns its result together with the elapsed wall-clock time.
+pub fn time_it<T, F: FnOnce() -> T>(f: F) -> (T, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_result_and_nonzero_duration() {
+        let (value, elapsed) = time_it(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(value > 0);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn measures_increasing_workloads_monotonically_enough() {
+        let (_, short) = time_it(|| std::hint::black_box((0..1_000u64).sum::<u64>()));
+        let (_, long) = time_it(|| std::hint::black_box((0..10_000_000u64).sum::<u64>()));
+        assert!(long >= short);
+    }
+}

@@ -1,0 +1,381 @@
+//! Dual-AMN: relation-gated aggregation with hard negative mining.
+//!
+//! Dual-AMN (Mao et al., WWW 2021) is the strongest structure-only EA model
+//! the paper evaluates. The published architecture combines a relation-aware
+//! "simplified relational attention" layer, a proxy-attention cross-graph
+//! layer and a normalised hard-sample-mining loss. This reproduction keeps
+//! the ingredients ExEA's analysis depends on (see `DESIGN.md` §3):
+//!
+//! * **relation-aware aggregation** — each neighbour contribution is gated by
+//!   a per-relation vector derived from the relation's translational
+//!   behaviour, so relation semantics are captured (which is why Dual-AMN
+//!   gains little from relation-conflict resolution, Fig. 6);
+//! * **hard negative mining** — negatives are drawn from the entities most
+//!   similar to the true counterpart (precomputed candidate cache), giving
+//!   the model its ability to separate look-alike entities;
+//! * **strongest base accuracy** of the four models: gated propagation plus
+//!   50% more fine-tuning epochs than GCN-Align.
+
+use crate::config::TrainConfig;
+use crate::trained::TrainedAlignment;
+use crate::training::{
+    alignment_margin_epoch, anchor_init, merge_seed_embeddings, propagate, training_rng,
+    NeighborLists,
+};
+use crate::traits::EaModel;
+use ea_embed::{EmbeddingTable, HardNegativeCache};
+use ea_graph::KgPair;
+use rand::Rng;
+
+/// The Dual-AMN model (simplified; see module docs).
+#[derive(Debug, Clone)]
+pub struct DualAmn {
+    config: TrainConfig,
+}
+
+impl DualAmn {
+    /// Creates a Dual-AMN model with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Number of nearest neighbours hard negatives are drawn from.
+    const HARD_K: usize = 10;
+    /// Probability of falling back to a uniform negative.
+    const UNIFORM_PROB: f64 = 0.2;
+    /// How often (in epochs) the hard-negative cache is rebuilt.
+    const REFRESH_EVERY: usize = 10;
+    /// Residual (self-loop) weight used during propagation.
+    const SELF_WEIGHT: f32 = 0.3;
+    /// Number of propagation layers.
+    const LAYERS: usize = 2;
+    /// Scale of the non-anchor initial noise.
+    const NOISE: f32 = 0.05;
+    /// Similarity threshold for the proxy-matching anchor-augmentation round.
+    const PSEUDO_SIM: f32 = 0.5;
+}
+
+impl EaModel for DualAmn {
+    fn name(&self) -> &'static str {
+        "Dual-AMN"
+    }
+
+    fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    fn train(&self, pair: &KgPair) -> TrainedAlignment {
+        let config = &self.config;
+        let mut rng = training_rng(config);
+        let (mut source_base, mut target_base) = anchor_init(pair, config, Self::NOISE, &mut rng);
+        let source_neighbors = NeighborLists::build(&pair.source);
+        let target_neighbors = NeighborLists::build(&pair.target);
+
+        // Provisional ungated propagation gives entity positions from which
+        // the relation gates are derived.
+        let source_prov = propagate(&source_base, &source_neighbors, None, 1, Self::SELF_WEIGHT);
+        let target_prov = propagate(&target_base, &target_neighbors, None, 1, Self::SELF_WEIGHT);
+        let source_gates = derive_gates(&pair.source, &source_prov, config.dim);
+        let target_gates = derive_gates(&pair.target, &target_prov, config.dim);
+
+        // Dual-channel structural representation: the ungated channel captures
+        // plain neighbourhood overlap (as in GCN-Align), the gated channel
+        // captures relation-aware structure. Concatenating the two is the
+        // CPU-friendly counterpart of Dual-AMN's two aggregation networks.
+        let source_plain = propagate(
+            &source_base,
+            &source_neighbors,
+            None,
+            Self::LAYERS,
+            Self::SELF_WEIGHT,
+        );
+        let target_plain = propagate(
+            &target_base,
+            &target_neighbors,
+            None,
+            Self::LAYERS,
+            Self::SELF_WEIGHT,
+        );
+        let source_gated = propagate(
+            &source_base,
+            &source_neighbors,
+            Some(&source_gates),
+            Self::LAYERS,
+            Self::SELF_WEIGHT,
+        );
+        let target_gated = propagate(
+            &target_base,
+            &target_neighbors,
+            Some(&target_gates),
+            Self::LAYERS,
+            Self::SELF_WEIGHT,
+        );
+        let mut source_out = concat_tables(&source_plain, &source_gated);
+        let mut target_out = concat_tables(&target_plain, &target_gated);
+
+        // Fine-tune with hard negatives; Dual-AMN's normalised loss converges
+        // fast in the original, which we emulate with 50% more epochs.
+        let epochs = config.epochs + config.epochs / 2;
+        let mut cache = HardNegativeCache::build(
+            &target_out,
+            Self::HARD_K,
+            pair.target.num_entities(),
+            Self::UNIFORM_PROB,
+        );
+        for epoch in 0..epochs {
+            if epoch > 0 && epoch % Self::REFRESH_EVERY == 0 {
+                cache = HardNegativeCache::build(
+                    &target_out,
+                    Self::HARD_K,
+                    pair.target.num_entities(),
+                    Self::UNIFORM_PROB,
+                );
+            }
+            alignment_margin_epoch(
+                &pair.seed,
+                &mut source_out,
+                &mut target_out,
+                &cache,
+                config,
+                &mut rng,
+            );
+            merge_seed_embeddings(&pair.seed, &mut source_out, &mut target_out);
+        }
+
+        // Proxy-matching stand-in: one round of confident cross-graph anchor
+        // augmentation. Mutual nearest neighbours above a similarity threshold
+        // are treated as additional shared anchors and the representation is
+        // rebuilt, which plays the role of the original model's proxy-attention
+        // cross-graph interaction.
+        let pseudo = mutual_anchor_candidates(pair, &source_out, &target_out, Self::PSEUDO_SIM);
+        if !pseudo.is_empty() {
+            for p in pseudo.iter() {
+                let mut anchor = vec![0.0f32; config.dim];
+                for v in anchor.iter_mut() {
+                    *v = rng.gen_range(-1.0f32..=1.0);
+                }
+                ea_embed::vector::normalize(&mut anchor);
+                source_base.row_mut(p.source.index()).copy_from_slice(&anchor);
+                target_base.row_mut(p.target.index()).copy_from_slice(&anchor);
+            }
+            let source_plain = propagate(
+                &source_base,
+                &source_neighbors,
+                None,
+                Self::LAYERS,
+                Self::SELF_WEIGHT,
+            );
+            let target_plain = propagate(
+                &target_base,
+                &target_neighbors,
+                None,
+                Self::LAYERS,
+                Self::SELF_WEIGHT,
+            );
+            let source_gated = propagate(
+                &source_base,
+                &source_neighbors,
+                Some(&source_gates),
+                Self::LAYERS,
+                Self::SELF_WEIGHT,
+            );
+            let target_gated = propagate(
+                &target_base,
+                &target_neighbors,
+                Some(&target_gates),
+                Self::LAYERS,
+                Self::SELF_WEIGHT,
+            );
+            source_out = concat_tables(&source_plain, &source_gated);
+            target_out = concat_tables(&target_plain, &target_gated);
+            for _ in 0..config.epochs / 2 {
+                alignment_margin_epoch(
+                    &pair.seed,
+                    &mut source_out,
+                    &mut target_out,
+                    &cache,
+                    config,
+                    &mut rng,
+                );
+                merge_seed_embeddings(&pair.seed, &mut source_out, &mut target_out);
+            }
+        }
+        source_out.normalize_rows();
+        target_out.normalize_rows();
+
+        TrainedAlignment::new(
+            self.name(),
+            source_out,
+            target_out,
+            Some(source_gates),
+            Some(target_gates),
+        )
+    }
+}
+
+/// Finds mutual nearest neighbours between the not-yet-anchored entities of
+/// both graphs whose cosine similarity exceeds `threshold`. These pairs are
+/// confident enough to serve as additional anchors for a second
+/// representation-building round.
+fn mutual_anchor_candidates(
+    pair: &KgPair,
+    source_out: &EmbeddingTable,
+    target_out: &EmbeddingTable,
+    threshold: f32,
+) -> Vec<ea_graph::AlignmentPair> {
+    use ea_graph::EntityId;
+    let sources: Vec<EntityId> = pair
+        .source
+        .entity_ids()
+        .filter(|e| !pair.seed.contains_source(*e))
+        .collect();
+    let targets: Vec<EntityId> = pair
+        .target
+        .entity_ids()
+        .filter(|e| !pair.seed.contains_target(*e))
+        .collect();
+    if sources.is_empty() || targets.is_empty() {
+        return Vec::new();
+    }
+    let matrix = ea_embed::SimilarityMatrix::compute(source_out, &sources, target_out, &targets);
+    // Best target for each source and best source for each target.
+    let mut best_for_source: Vec<(EntityId, f32)> = Vec::with_capacity(sources.len());
+    for (i, _s) in sources.iter().enumerate() {
+        let t = matrix.ranked_target(i, 0).expect("non-empty targets");
+        let sim = matrix.value(i, matrix.target_index(t).unwrap());
+        best_for_source.push((t, sim));
+    }
+    let mut best_source_for_target: std::collections::HashMap<EntityId, (EntityId, f32)> =
+        std::collections::HashMap::new();
+    for (i, &s) in sources.iter().enumerate() {
+        for (j, &t) in targets.iter().enumerate() {
+            let v = matrix.value(i, j);
+            let entry = best_source_for_target.entry(t).or_insert((s, v));
+            if v > entry.1 {
+                *entry = (s, v);
+            }
+        }
+    }
+    let mut pseudo = Vec::new();
+    for (i, &s) in sources.iter().enumerate() {
+        let (t, sim) = best_for_source[i];
+        if sim < threshold {
+            continue;
+        }
+        if let Some(&(best_s, _)) = best_source_for_target.get(&t) {
+            if best_s == s {
+                pseudo.push(ea_graph::AlignmentPair::new(s, t));
+            }
+        }
+    }
+    pseudo
+}
+
+/// Concatenates two embedding tables row-wise (the dual-channel combination).
+fn concat_tables(a: &EmbeddingTable, b: &EmbeddingTable) -> EmbeddingTable {
+    assert_eq!(a.rows(), b.rows(), "channel tables must have the same rows");
+    let mut out = EmbeddingTable::zeros(a.rows(), a.dim() + b.dim());
+    for i in 0..a.rows() {
+        let row = out.row_mut(i);
+        row[..a.dim()].copy_from_slice(a.row(i));
+        row[a.dim()..].copy_from_slice(b.row(i));
+    }
+    out
+}
+
+/// Derives a per-relation gate vector `1 + mean(head - tail)` from the current
+/// entity embeddings: relations with consistent translational behaviour get a
+/// distinctive gate, relations that connect arbitrary entities stay close to
+/// the all-ones (ungated) vector. These gates double as the model's relation
+/// embeddings.
+fn derive_gates(
+    kg: &ea_graph::KnowledgeGraph,
+    entities: &EmbeddingTable,
+    dim: usize,
+) -> EmbeddingTable {
+    let mut gates = EmbeddingTable::zeros(kg.num_relations().max(1), dim);
+    for r in 0..gates.rows() {
+        for v in gates.row_mut(r) {
+            *v = 1.0;
+        }
+    }
+    for r in kg.relation_ids() {
+        let mut acc = vec![0.0f32; dim];
+        let mut count = 0usize;
+        for t in kg.triples_with_relation(r) {
+            for i in 0..dim {
+                acc[i] += entities.row(t.head.index())[i] - entities.row(t.tail.index())[i];
+            }
+            count += 1;
+        }
+        if count == 0 {
+            continue;
+        }
+        let gate = gates.row_mut(r.index());
+        for i in 0..dim {
+            gate[i] = 1.0 + acc[i] / count as f32;
+        }
+    }
+    gates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_data::datasets::{load, DatasetName, DatasetScale};
+    use ea_graph::KgSide;
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let model = DualAmn::new(TrainConfig::fast());
+        let a = model.train(&pair);
+        let b = model.train(&pair);
+        assert_eq!(
+            a.entities(KgSide::Source).data(),
+            b.entities(KgSide::Source).data()
+        );
+    }
+
+    #[test]
+    fn training_beats_random_alignment() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let trained = DualAmn::new(TrainConfig::fast()).train(&pair);
+        let acc = trained.accuracy(&pair);
+        let random_baseline = 1.0 / pair.target.num_entities() as f64;
+        assert!(
+            acc > random_baseline * 20.0,
+            "Dual-AMN accuracy {acc} too low"
+        );
+    }
+
+    #[test]
+    fn dual_amn_exposes_relation_gates_as_relation_embeddings() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let trained = DualAmn::new(TrainConfig::fast()).train(&pair);
+        assert!(trained.has_relation_embeddings());
+        assert_eq!(
+            trained.relations(KgSide::Source).unwrap().rows(),
+            pair.source.num_relations()
+        );
+    }
+
+    #[test]
+    fn derive_gates_marks_translational_relations() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let config = TrainConfig::fast();
+        let mut rng = training_rng(&config);
+        let entities = EmbeddingTable::uniform_normalized(
+            pair.source.num_entities(),
+            config.dim,
+            1.0,
+            &mut rng,
+        );
+        let gates = derive_gates(&pair.source, &entities, config.dim);
+        assert_eq!(gates.rows(), pair.source.num_relations());
+        // A used relation's gate differs from the all-ones default.
+        let used = pair.source.triples()[0].relation;
+        assert!(gates.row(used.index()).iter().any(|&v| (v - 1.0).abs() > 1e-6));
+    }
+}

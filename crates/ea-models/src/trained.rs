@@ -1,0 +1,250 @@
+//! The artifact produced by training: embeddings plus inference helpers.
+
+use ea_embed::{EmbeddingTable, SimilarityMatrix};
+use ea_graph::{AlignmentSet, EntityId, KgPair, KgSide, RelationId};
+
+/// The output of training an EA model on a [`KgPair`]: entity embeddings for
+/// both graphs, relation embeddings when the model learns them, and the
+/// inference utilities the ExEA framework needs (similarity lookups, greedy
+/// prediction, ranked candidate lists).
+#[derive(Debug, Clone)]
+pub struct TrainedAlignment {
+    model_name: String,
+    source_entities: EmbeddingTable,
+    target_entities: EmbeddingTable,
+    source_relations: Option<EmbeddingTable>,
+    target_relations: Option<EmbeddingTable>,
+}
+
+impl TrainedAlignment {
+    /// Creates a trained artifact. Relation tables are optional because
+    /// GCN-Align does not learn relation embeddings (ExEA then derives them
+    /// from entity embeddings, Eq. 1 of the paper).
+    pub fn new(
+        model_name: impl Into<String>,
+        source_entities: EmbeddingTable,
+        target_entities: EmbeddingTable,
+        source_relations: Option<EmbeddingTable>,
+        target_relations: Option<EmbeddingTable>,
+    ) -> Self {
+        Self {
+            model_name: model_name.into(),
+            source_entities,
+            target_entities,
+            source_relations,
+            target_relations,
+        }
+    }
+
+    /// Name of the model that produced this artifact.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.source_entities.dim()
+    }
+
+    /// The entity-embedding table of one side.
+    pub fn entities(&self, side: KgSide) -> &EmbeddingTable {
+        match side {
+            KgSide::Source => &self.source_entities,
+            KgSide::Target => &self.target_entities,
+        }
+    }
+
+    /// The relation-embedding table of one side, if the model learned one.
+    pub fn relations(&self, side: KgSide) -> Option<&EmbeddingTable> {
+        match side {
+            KgSide::Source => self.source_relations.as_ref(),
+            KgSide::Target => self.target_relations.as_ref(),
+        }
+    }
+
+    /// Whether the model learned relation embeddings.
+    pub fn has_relation_embeddings(&self) -> bool {
+        self.source_relations.is_some() && self.target_relations.is_some()
+    }
+
+    /// The embedding vector of an entity.
+    pub fn entity_embedding(&self, side: KgSide, entity: EntityId) -> &[f32] {
+        self.entities(side).row(entity.index())
+    }
+
+    /// The embedding vector of a relation, if available.
+    pub fn relation_embedding(&self, side: KgSide, relation: RelationId) -> Option<&[f32]> {
+        self.relations(side).map(|t| t.row(relation.index()))
+    }
+
+    /// Cosine similarity between a source entity and a target entity.
+    pub fn entity_similarity(&self, source: EntityId, target: EntityId) -> f32 {
+        self.source_entities
+            .cosine_between(source.index(), &self.target_entities, target.index())
+    }
+
+    /// Cosine similarity between two entities on the *same* side (used when
+    /// comparing competing source entities).
+    pub fn same_side_similarity(&self, side: KgSide, a: EntityId, b: EntityId) -> f32 {
+        let table = self.entities(side);
+        table.cosine_between(a.index(), table, b.index())
+    }
+
+    /// The similarity matrix between the pair's test source entities and all
+    /// target entities, the structure Algorithm 1 of the paper calls `M`.
+    pub fn similarity_matrix(&self, pair: &KgPair) -> SimilarityMatrix {
+        let sources = pair.test_source_entities();
+        let targets: Vec<EntityId> = pair.target.entity_ids().collect();
+        SimilarityMatrix::compute(
+            &self.source_entities,
+            &sources,
+            &self.target_entities,
+            &targets,
+        )
+    }
+
+    /// Similarity matrix between arbitrary entity lists.
+    pub fn similarity_matrix_between(
+        &self,
+        sources: &[EntityId],
+        targets: &[EntityId],
+    ) -> SimilarityMatrix {
+        SimilarityMatrix::compute(
+            &self.source_entities,
+            sources,
+            &self.target_entities,
+            targets,
+        )
+    }
+
+    /// Greedy alignment prediction for the pair's test source entities
+    /// (the paper's `Ares`).
+    pub fn predict(&self, pair: &KgPair) -> AlignmentSet {
+        self.similarity_matrix(pair).greedy_alignment()
+    }
+
+    /// Alignment accuracy of the greedy prediction against the reference
+    /// alignment.
+    pub fn accuracy(&self, pair: &KgPair) -> f64 {
+        self.predict(pair).accuracy_against(&pair.reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ea_graph::{AlignmentPair, KnowledgeGraph};
+
+    fn tiny_pair() -> KgPair {
+        let mut k1 = KnowledgeGraph::new();
+        k1.add_triple_by_names("a1", "r", "b1");
+        k1.add_triple_by_names("b1", "r", "c1");
+        let mut k2 = KnowledgeGraph::new();
+        k2.add_triple_by_names("a2", "s", "b2");
+        k2.add_triple_by_names("b2", "s", "c2");
+        let seed = AlignmentSet::from_pairs([AlignmentPair::new(
+            k1.entity_by_name("a1").unwrap(),
+            k2.entity_by_name("a2").unwrap(),
+        )]);
+        let reference = AlignmentSet::from_pairs([
+            AlignmentPair::new(
+                k1.entity_by_name("b1").unwrap(),
+                k2.entity_by_name("b2").unwrap(),
+            ),
+            AlignmentPair::new(
+                k1.entity_by_name("c1").unwrap(),
+                k2.entity_by_name("c2").unwrap(),
+            ),
+        ]);
+        KgPair::new("tiny", k1, k2, seed, reference).unwrap()
+    }
+
+    /// Builds a trained artifact whose embeddings perfectly encode the gold
+    /// alignment: entity i on both sides gets the i-th basis vector.
+    fn perfect_artifact(pair: &KgPair) -> TrainedAlignment {
+        let n = pair.source.num_entities().max(pair.target.num_entities());
+        let mut s = EmbeddingTable::zeros(pair.source.num_entities(), n);
+        let mut t = EmbeddingTable::zeros(pair.target.num_entities(), n);
+        for i in 0..pair.source.num_entities() {
+            s.row_mut(i)[i] = 1.0;
+        }
+        for i in 0..pair.target.num_entities() {
+            t.row_mut(i)[i] = 1.0;
+        }
+        TrainedAlignment::new("perfect", s, t, None, None)
+    }
+
+    #[test]
+    fn accessors_report_shapes() {
+        let pair = tiny_pair();
+        let trained = perfect_artifact(&pair);
+        assert_eq!(trained.model_name(), "perfect");
+        assert_eq!(trained.dim(), 3);
+        assert!(!trained.has_relation_embeddings());
+        assert!(trained.relations(KgSide::Source).is_none());
+        assert_eq!(
+            trained.entities(KgSide::Source).rows(),
+            pair.source.num_entities()
+        );
+        assert!(trained
+            .relation_embedding(KgSide::Target, RelationId(0))
+            .is_none());
+    }
+
+    #[test]
+    fn perfect_embeddings_yield_perfect_accuracy() {
+        let pair = tiny_pair();
+        let trained = perfect_artifact(&pair);
+        let prediction = trained.predict(&pair);
+        assert_eq!(prediction.len(), 2);
+        assert!((trained.accuracy(&pair) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_lookups_are_consistent() {
+        let pair = tiny_pair();
+        let trained = perfect_artifact(&pair);
+        let b1 = pair.source.entity_by_name("b1").unwrap();
+        let b2 = pair.target.entity_by_name("b2").unwrap();
+        let c2 = pair.target.entity_by_name("c2").unwrap();
+        assert!(trained.entity_similarity(b1, b2) > trained.entity_similarity(b1, c2));
+        let m = trained.similarity_matrix(&pair);
+        assert_eq!(
+            m.similarity(b1, b2).unwrap(),
+            trained.entity_similarity(b1, b2)
+        );
+        let sub = trained.similarity_matrix_between(&[b1], &[b2, c2]);
+        assert_eq!(sub.source_ids().len(), 1);
+        assert_eq!(sub.target_ids().len(), 2);
+    }
+
+    #[test]
+    fn same_side_similarity_is_reflexive() {
+        let pair = tiny_pair();
+        let trained = perfect_artifact(&pair);
+        let a1 = pair.source.entity_by_name("a1").unwrap();
+        let b1 = pair.source.entity_by_name("b1").unwrap();
+        assert!(
+            trained.same_side_similarity(KgSide::Source, a1, a1)
+                > trained.same_side_similarity(KgSide::Source, a1, b1)
+        );
+    }
+
+    #[test]
+    fn relation_tables_are_exposed_when_present() {
+        let pair = tiny_pair();
+        let s_rel = EmbeddingTable::zeros(pair.source.num_relations(), 4);
+        let t_rel = EmbeddingTable::zeros(pair.target.num_relations(), 4);
+        let trained = TrainedAlignment::new(
+            "with-relations",
+            EmbeddingTable::zeros(pair.source.num_entities(), 4),
+            EmbeddingTable::zeros(pair.target.num_entities(), 4),
+            Some(s_rel),
+            Some(t_rel),
+        );
+        assert!(trained.has_relation_embeddings());
+        assert!(trained
+            .relation_embedding(KgSide::Source, RelationId(0))
+            .is_some());
+    }
+}

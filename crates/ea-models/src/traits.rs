@@ -1,0 +1,113 @@
+//! The model-agnostic training interface.
+
+use crate::config::TrainConfig;
+use crate::trained::TrainedAlignment;
+use crate::{AlignE, DualAmn, GcnAlign, MTransE};
+use ea_graph::KgPair;
+
+/// An embedding-based entity-alignment model.
+///
+/// A model is a *recipe*: hyper-parameters plus a training procedure. Calling
+/// [`EaModel::train`] on a [`KgPair`] produces a [`TrainedAlignment`]
+/// artifact. Training must be deterministic given the model's configuration,
+/// because the fidelity protocol retrains the model on a reduced dataset and
+/// compares predictions.
+pub trait EaModel {
+    /// The model's display name (as used in the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Trains the model on a KG pair and returns the embedding artifact.
+    fn train(&self, pair: &KgPair) -> TrainedAlignment;
+
+    /// The training configuration in use.
+    fn config(&self) -> &TrainConfig;
+}
+
+/// The four models evaluated in the paper, as a value-level enum so that
+/// benchmark harnesses can iterate over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// MTransE: translation-based, uniform negatives.
+    MTransE,
+    /// AlignE: translation-based, hard negatives and limit-based alignment loss.
+    AlignE,
+    /// GCN-Align: aggregation-based, no relation embeddings.
+    GcnAlign,
+    /// Dual-AMN: relation-gated aggregation, hard negatives.
+    DualAmn,
+}
+
+impl ModelKind {
+    /// All four models, in the order the paper's tables list them.
+    pub fn all() -> [ModelKind; 4] {
+        [
+            ModelKind::MTransE,
+            ModelKind::AlignE,
+            ModelKind::GcnAlign,
+            ModelKind::DualAmn,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::MTransE => "MTransE",
+            ModelKind::AlignE => "AlignE",
+            ModelKind::GcnAlign => "GCN-Align",
+            ModelKind::DualAmn => "Dual-AMN",
+        }
+    }
+
+    /// Whether the model family is translation (TransE) based.
+    pub fn is_translation_based(&self) -> bool {
+        matches!(self, ModelKind::MTransE | ModelKind::AlignE)
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds a boxed model of the given kind with the given configuration.
+pub fn build_model(kind: ModelKind, config: TrainConfig) -> Box<dyn EaModel> {
+    match kind {
+        ModelKind::MTransE => Box::new(MTransE::new(config)),
+        ModelKind::AlignE => Box::new(AlignE::new(config)),
+        ModelKind::GcnAlign => Box::new(GcnAlign::new(config)),
+        ModelKind::DualAmn => Box::new(DualAmn::new(config)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_kind_labels_match_paper() {
+        assert_eq!(ModelKind::MTransE.label(), "MTransE");
+        assert_eq!(ModelKind::AlignE.label(), "AlignE");
+        assert_eq!(ModelKind::GcnAlign.label(), "GCN-Align");
+        assert_eq!(ModelKind::DualAmn.label(), "Dual-AMN");
+        assert_eq!(ModelKind::all().len(), 4);
+        assert_eq!(ModelKind::DualAmn.to_string(), "Dual-AMN");
+    }
+
+    #[test]
+    fn family_classification() {
+        assert!(ModelKind::MTransE.is_translation_based());
+        assert!(ModelKind::AlignE.is_translation_based());
+        assert!(!ModelKind::GcnAlign.is_translation_based());
+        assert!(!ModelKind::DualAmn.is_translation_based());
+    }
+
+    #[test]
+    fn build_model_produces_matching_names() {
+        for kind in ModelKind::all() {
+            let model = build_model(kind, TrainConfig::fast());
+            assert_eq!(model.name(), kind.label());
+            assert_eq!(model.config().dim, TrainConfig::fast().dim);
+        }
+    }
+}

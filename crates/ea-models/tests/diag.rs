@@ -1,0 +1,26 @@
+//! Temporary diagnostic harness (will be replaced by calibrated tests).
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_models::{build_model, ModelKind, TrainConfig};
+
+#[test]
+#[ignore]
+fn diag_accuracy() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    println!("{}", pair.stats());
+    for epochs in [40usize, 150, 250] {
+        for kind in ModelKind::all() {
+            let config = TrainConfig {
+                dim: 32,
+                epochs,
+                ..TrainConfig::default()
+            };
+            let start = std::time::Instant::now();
+            let trained = build_model(kind, config).train(&pair);
+            let acc = trained.accuracy(&pair);
+            println!(
+                "epochs={epochs:3} {kind:<10} acc={acc:.3} time={:?}",
+                start.elapsed()
+            );
+        }
+    }
+}

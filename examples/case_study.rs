@@ -1,0 +1,36 @@
+//! Fig. 5-style case study: print the explanation each model produces for the
+//! same source entity, to compare what the models actually rely on.
+//!
+//! Run with `cargo run --example case_study`.
+
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_models::{build_model, ModelKind, TrainConfig};
+use exea_core::{ExEa, ExeaConfig};
+
+fn main() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    // A well-connected test entity makes for an interesting case study.
+    let source = pair
+        .reference
+        .sources()
+        .into_iter()
+        .max_by_key(|&s| pair.source.degree(s))
+        .expect("reference alignment is non-empty");
+    let truth = pair.reference.target_of(source).unwrap();
+    println!(
+        "case study for {} (gold counterpart: {})\n",
+        pair.source.entity_name(source).unwrap(),
+        pair.target.entity_name(truth).unwrap()
+    );
+
+    for kind in ModelKind::all() {
+        let mut config = TrainConfig::default();
+        if kind.is_translation_based() {
+            config.epochs = 200;
+        }
+        let trained = build_model(kind, config).train(&pair);
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        println!("{}", exea.render_case_study(source));
+        println!();
+    }
+}

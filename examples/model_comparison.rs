@@ -1,0 +1,34 @@
+//! Compares the four EA models before and after ExEA repair on one dataset —
+//! the headline finding that simple models plus repair rival strong models.
+//!
+//! Run with `cargo run --example model_comparison`.
+
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_models::{build_model, ModelKind, TrainConfig};
+use exea_core::{ExEa, ExeaConfig, RepairConfig};
+
+fn main() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    println!("dataset: {}", pair.stats());
+    println!("{:<12} {:>8} {:>8} {:>8}", "model", "base", "repaired", "delta");
+    for kind in ModelKind::all() {
+        let mut config = TrainConfig::default();
+        if kind.is_translation_based() {
+            config.epochs = 200;
+        }
+        let trained = build_model(kind, config).train(&pair);
+        let base = trained.accuracy(&pair);
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        let repaired = exea
+            .repair(&RepairConfig::default())
+            .repaired
+            .accuracy_against(&pair.reference);
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>+8.3}",
+            kind.label(),
+            base,
+            repaired,
+            repaired - base
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-crate tests of the baseline explainers and the simulated LLM.
+
+use ea_baselines::{BaselineMethod, LlmVerifier, PerturbationExplainer, SimulatedLlmExplainer};
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_graph::AlignmentPair;
+use ea_models::{build_model, ModelKind, TrainConfig};
+use exea_core::{ExEa, ExeaConfig, Explainer, VerificationOutcome};
+
+#[test]
+fn every_baseline_method_runs_on_every_model_family() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let p = pair.reference.iter().next().unwrap();
+    for kind in [ModelKind::MTransE, ModelKind::GcnAlign] {
+        let trained = build_model(kind, TrainConfig::fast()).train(&pair);
+        for method in BaselineMethod::table1() {
+            let explainer = PerturbationExplainer::new(&pair, &trained, method);
+            let e = explainer.explain_pair(p.source, p.target, 5);
+            assert!(e.num_triples() <= 5, "{kind} {method:?}");
+        }
+    }
+}
+
+#[test]
+fn llm_match_explainer_pairs_triples_by_name() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let explainer = SimulatedLlmExplainer::new(&pair);
+    let mut matched_any = false;
+    for p in pair.reference.iter().take(30) {
+        let e = explainer.explain_pair(p.source, p.target, 8);
+        if !e.source_triples.is_empty() && !e.target_triples.is_empty() {
+            matched_any = true;
+            break;
+        }
+    }
+    assert!(matched_any, "the simulated LLM should match some triples by name");
+}
+
+#[test]
+fn verification_fusion_beats_or_matches_the_weaker_component() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::GcnAlign, TrainConfig::fast()).train(&pair);
+    let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+    let llm = LlmVerifier::new(&pair);
+
+    // Balanced candidate set built from predictions.
+    let predictions = exea.predictions();
+    let mut candidates: Vec<(AlignmentPair, bool)> = Vec::new();
+    for p in predictions.iter() {
+        let label = pair.reference.contains(&p);
+        candidates.push((p, label));
+        if candidates.len() >= 120 {
+            break;
+        }
+    }
+    let labels: Vec<bool> = candidates.iter().map(|&(_, l)| l).collect();
+    let llm_dec: Vec<bool> = candidates.iter().map(|(p, _)| llm.verify(p)).collect();
+    let fused_dec: Vec<bool> = candidates
+        .iter()
+        .map(|(p, _)| llm.verify_with_exea(&exea, p))
+        .collect();
+    let llm_out = VerificationOutcome::from_decisions(&llm_dec, &labels);
+    let fused_out = VerificationOutcome::from_decisions(&fused_dec, &labels);
+    // The fusion should not collapse below the LLM-only baseline by much.
+    assert!(
+        fused_out.f1 + 0.15 >= llm_out.f1,
+        "fusion F1 {:.3} collapsed versus LLM-only {:.3}",
+        fused_out.f1,
+        llm_out.f1
+    );
+}
+
+#[test]
+fn baselines_differ_from_each_other_on_at_least_some_pairs() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::MTransE, TrainConfig::fast()).train(&pair);
+    let lime = PerturbationExplainer::new(&pair, &trained, BaselineMethod::EaLime);
+    let shapley = PerturbationExplainer::new(&pair, &trained, BaselineMethod::EaShapley);
+    let mut differ = false;
+    for p in pair.reference.iter().take(20) {
+        let a = lime.explain_pair(p.source, p.target, 5);
+        let b = shapley.explain_pair(p.source, p.target, 5);
+        if a.source_triples.to_hash_set() != b.source_triples.to_hash_set()
+            || a.target_triples.to_hash_set() != b.target_triples.to_hash_set()
+        {
+            differ = true;
+            break;
+        }
+    }
+    assert!(differ, "EALime and EAShapley should not be byte-identical methods");
+}

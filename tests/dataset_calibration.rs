@@ -1,0 +1,82 @@
+//! Calibration checks of the synthetic dataset generator against the
+//! qualitative properties the paper relies on.
+
+use ea_data::datasets::{config_for, load, DatasetName, DatasetScale};
+use ea_data::noise::with_noisy_seed;
+use ea_graph::RelationFunctionality;
+
+#[test]
+fn all_five_datasets_generate_with_expected_shape() {
+    for name in DatasetName::all() {
+        let pair = load(name, DatasetScale::Small);
+        let stats = pair.stats();
+        assert_eq!(stats.seed_pairs + stats.reference_pairs, 300, "{name}");
+        assert!(stats.source.average_degree > 3.0, "{name} too sparse");
+        assert_eq!(stats.source.isolated_entities, 0, "{name} has isolated world entities");
+        // Seed is roughly 30% of the gold alignment, as in the benchmarks.
+        let ratio = stats.seed_pairs as f64 / (stats.seed_pairs + stats.reference_pairs) as f64;
+        assert!((ratio - 0.3).abs() < 0.02, "{name} seed ratio {ratio}");
+    }
+}
+
+#[test]
+fn dataset_difficulty_ordering_matches_the_paper() {
+    // FR-EN is the densest cross-lingual dataset; the heterogeneous pairs
+    // merge relations on the target side.
+    let fr = load(DatasetName::FrEn, DatasetScale::Small).stats();
+    let zh = load(DatasetName::ZhEn, DatasetScale::Small).stats();
+    let ja = load(DatasetName::JaEn, DatasetScale::Small).stats();
+    assert!(fr.source.average_degree > zh.source.average_degree);
+    assert!(zh.source.average_degree > ja.source.average_degree);
+    for name in [DatasetName::DbpWd, DatasetName::DbpYago] {
+        let pair = load(name, DatasetScale::Small);
+        assert!(pair.target.num_relations() < pair.source.num_relations());
+    }
+}
+
+#[test]
+fn functional_relations_exist_for_adg_weighting() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let func = RelationFunctionality::compute(&pair.source);
+    let mut high = 0usize;
+    let mut lower = 0usize;
+    for r in pair.source.relation_ids() {
+        let f = func.max_directional(r);
+        if f > 0.97 {
+            high += 1;
+        } else if f > 0.0 && f < 0.9 {
+            lower += 1;
+        }
+    }
+    assert!(high > 0, "some relations should be (nearly) functional");
+    assert!(
+        lower > 0,
+        "functionality should vary across relations so ADG edge weights differ"
+    );
+}
+
+#[test]
+fn noise_injection_only_touches_the_seed() {
+    let clean = load(DatasetName::DbpWd, DatasetScale::Small);
+    let noisy = with_noisy_seed(&clean, 1.0 / 6.0, 4);
+    assert_eq!(noisy.reference.to_vec(), clean.reference.to_vec());
+    assert_eq!(noisy.seed.len(), clean.seed.len());
+    let changed = clean
+        .seed
+        .iter()
+        .filter(|p| noisy.seed.target_of(p.source) != Some(p.target))
+        .count();
+    assert_eq!(changed, (clean.seed.len() as f64 / 6.0).round() as usize);
+    assert_eq!(noisy.source.num_triples(), clean.source.num_triples());
+}
+
+#[test]
+fn scales_and_configs_are_consistent() {
+    assert!(DatasetScale::Bench.alignment_pairs() > DatasetScale::Small.alignment_pairs());
+    assert!(DatasetScale::Paper.alignment_pairs() == 15000);
+    for name in DatasetName::all() {
+        let cfg = config_for(name, DatasetScale::Small);
+        assert_eq!(cfg.world_entities, 300);
+        assert!(cfg.seed_ratio > 0.0 && cfg.seed_ratio < 1.0);
+    }
+}

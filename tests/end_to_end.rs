@@ -1,0 +1,74 @@
+//! End-to-end integration test: dataset → model → explanation → ADG → repair.
+
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_models::{build_model, ModelKind, TrainConfig};
+use exea_core::{ExEa, ExeaConfig, RepairConfig};
+
+#[test]
+fn full_pipeline_improves_every_model_on_zh_en() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    for kind in ModelKind::all() {
+        let trained = build_model(kind, TrainConfig::fast()).train(&pair);
+        let base = trained.accuracy(&pair);
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        let outcome = exea.repair(&RepairConfig::default());
+        let repaired = outcome.repaired.accuracy_against(&pair.reference);
+        assert!(
+            repaired >= base,
+            "{kind}: repair must not hurt accuracy ({base:.3} -> {repaired:.3})"
+        );
+        assert!(outcome.repaired.is_one_to_one(), "{kind}: output must be one-to-one");
+        // Every test entity is still aligned after repair.
+        for s in pair.reference.sources() {
+            assert!(outcome.repaired.contains_source(s));
+        }
+    }
+}
+
+#[test]
+fn explanations_exist_for_most_correct_predictions() {
+    let pair = load(DatasetName::FrEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::DualAmn, TrainConfig::fast()).train(&pair);
+    let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+    let predictions = exea.predictions();
+    let mut explained = 0usize;
+    let mut correct = 0usize;
+    for p in pair.reference.iter() {
+        if predictions.contains(&p) {
+            correct += 1;
+            if !exea.explain(p.source, p.target).is_empty() {
+                explained += 1;
+            }
+        }
+    }
+    assert!(correct > 0, "the model predicts something correctly");
+    assert!(
+        explained * 3 >= correct * 2,
+        "at least two thirds of correct predictions should be explainable ({explained}/{correct})"
+    );
+}
+
+#[test]
+fn confidence_separates_correct_from_incorrect_predictions() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::GcnAlign, TrainConfig::fast()).train(&pair);
+    let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+    let mut correct_confidence = Vec::new();
+    let mut incorrect_confidence = Vec::new();
+    for p in exea.predictions().iter().take(150) {
+        let (_, adg) = exea.explain_and_score(p.source, p.target);
+        if pair.reference.contains(&p) {
+            correct_confidence.push(adg.confidence());
+        } else {
+            incorrect_confidence.push(adg.confidence());
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(!correct_confidence.is_empty() && !incorrect_confidence.is_empty());
+    assert!(
+        avg(&correct_confidence) > avg(&incorrect_confidence),
+        "confidence should separate correct ({:.3}) from incorrect ({:.3}) predictions",
+        avg(&correct_confidence),
+        avg(&incorrect_confidence)
+    );
+}

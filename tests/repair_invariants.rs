@@ -1,0 +1,68 @@
+//! Invariants of the repair pipeline across datasets and models.
+
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_models::{build_model, ModelKind, TrainConfig};
+use exea_core::{ExEa, ExeaConfig, RepairConfig};
+
+/// Repair output is always a one-to-one alignment covering all test sources,
+/// never claims a seed target entity, and is deterministic.
+#[test]
+fn repaired_alignment_is_one_to_one_complete_and_deterministic() {
+    for dataset in [DatasetName::ZhEn, DatasetName::DbpWd] {
+        let pair = load(dataset, DatasetScale::Small);
+        let trained = build_model(ModelKind::GcnAlign, TrainConfig::fast()).train(&pair);
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        let a = exea.repair(&RepairConfig::default());
+        let b = exea.repair(&RepairConfig::default());
+        assert_eq!(a.repaired.to_vec(), b.repaired.to_vec(), "repair must be deterministic");
+        assert!(a.repaired.is_one_to_one());
+        assert_eq!(a.repaired.len(), pair.reference.len());
+        for s in pair.reference.sources() {
+            assert!(a.repaired.contains_source(s));
+        }
+        for p in a.repaired.iter() {
+            assert!(
+                !pair.seed.contains_target(p.target),
+                "{dataset}: repair must not steal seed target {}",
+                p.target
+            );
+        }
+    }
+}
+
+/// Ablation configurations still produce valid alignments (they only differ
+/// in which conflicts get resolved).
+#[test]
+fn ablated_repairs_are_still_valid_alignments() {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::MTransE, TrainConfig::fast()).train(&pair);
+    let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+    let base = trained.accuracy(&pair);
+    for config in [
+        RepairConfig::without_cr1(),
+        RepairConfig::without_cr2(),
+        RepairConfig::without_cr3(),
+    ] {
+        let outcome = exea.repair(&config);
+        assert!(outcome.repaired.len() >= pair.reference.len() * 9 / 10);
+        let acc = outcome.repaired.accuracy_against(&pair.reference);
+        assert!(
+            acc >= base * 0.9,
+            "ablated repair should not fall far below the base accuracy"
+        );
+    }
+}
+
+/// The repair statistics are consistent with the prediction set.
+#[test]
+fn repair_stats_reflect_prediction_conflicts() {
+    let pair = load(DatasetName::JaEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::MTransE, TrainConfig::fast()).train(&pair);
+    let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+    let outcome = exea.repair(&RepairConfig::default());
+    assert_eq!(
+        outcome.stats.one_to_many_conflicts,
+        exea.predictions().one_to_many_conflicts().len()
+    );
+    assert!(outcome.stats.changed_pairs <= pair.reference.len());
+}
