@@ -54,5 +54,9 @@ fn bench_adg_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_explanation_generation, bench_adg_construction);
+criterion_group!(
+    benches,
+    bench_explanation_generation,
+    bench_adg_construction
+);
 criterion_main!(benches);

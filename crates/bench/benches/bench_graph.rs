@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ea_data::datasets::{load, DatasetName, DatasetScale};
-use ea_graph::{paths::enumerate_paths, RelationFunctionality};
+use ea_graph::{paths::enumerate_paths, AlignmentPair, BfsScratch, RelationFunctionality};
+use ea_models::{build_model, ModelKind, TrainConfig};
+use exea_core::{BatchOptions, ExEa, ExeaConfig};
 use std::hint::black_box;
 
 fn bench_graph_queries(c: &mut Criterion) {
@@ -29,6 +31,81 @@ fn bench_graph_queries(c: &mut Criterion) {
     });
 }
 
+/// Old allocating `neighbors` vs the zero-allocation CSR `neighbors_iter`,
+/// and hash-set-free BFS on reusable scratch buffers.
+fn bench_neighbor_iteration(c: &mut Criterion) {
+    let pair = load(DatasetName::FrEn, DatasetScale::Small);
+    let kg = &pair.source;
+    let entities: Vec<_> = kg.entity_ids().collect();
+
+    c.bench_function("neighbors_alloc_vec", |b| {
+        b.iter(|| {
+            let mut degree_sum = 0usize;
+            for &e in &entities {
+                degree_sum += kg.neighbors(e).len();
+            }
+            black_box(degree_sum)
+        })
+    });
+    c.bench_function("neighbors_iter_csr", |b| {
+        b.iter(|| {
+            let mut degree_sum = 0usize;
+            for &e in &entities {
+                degree_sum += kg.neighbors_iter(e).count();
+            }
+            black_box(degree_sum)
+        })
+    });
+    c.bench_function("two_hop_triples_scratch", |b| {
+        let sample: Vec<_> = entities.iter().copied().take(100).collect();
+        let mut scratch = BfsScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &e in &sample {
+                kg.triples_within_hops_into(e, 2, &mut scratch, &mut out);
+                total += out.len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+/// Sequential vs parallel batched explanation of every model prediction.
+fn bench_batch_pipeline(c: &mut Criterion) {
+    let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+    let trained = build_model(ModelKind::GcnAlign, TrainConfig::fast()).train(&pair);
+    // Second-order explanations: the heavy per-pair workload (Fig. 4's
+    // worry) and the regime where fanning pairs out pays off.
+    let exea = ExEa::new(&pair, &trained, ExeaConfig::second_order());
+    let pairs: Vec<AlignmentPair> = exea.predictions().iter().collect();
+    let state = exea.default_alignment_state();
+
+    let mut group = c.benchmark_group("explain_all_second_order");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(exea.explain_and_score_batch(
+                &pairs,
+                &state,
+                true,
+                &BatchOptions::sequential(),
+            ))
+        })
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(exea.explain_and_score_batch(
+                &pairs,
+                &state,
+                true,
+                &BatchOptions::always_parallel(),
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_dataset_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataset_generation");
     group.sample_size(10);
@@ -38,5 +115,11 @@ fn bench_dataset_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_graph_queries, bench_dataset_generation);
+criterion_group!(
+    benches,
+    bench_graph_queries,
+    bench_neighbor_iteration,
+    bench_batch_pipeline,
+    bench_dataset_generation
+);
 criterion_main!(benches);

@@ -13,10 +13,10 @@ use ea_data::DatasetScale;
 use ea_graph::{AlignmentPair, KgPair};
 use ea_metrics::{time_it, FidelityProtocol, Table};
 use ea_models::{build_model, EaModel, ModelKind, TrainConfig, TrainedAlignment};
-use exea_core::{verify_pairs, ExEa, ExeaConfig, Explainer, RepairConfig};
+use exea_core::{verify_pairs, BatchOptions, ExEa, ExeaConfig, Explainer, RepairConfig};
 use rand::seq::SliceRandom;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Shared knobs of the benchmark harness.
 #[derive(Debug, Clone)]
@@ -176,10 +176,14 @@ fn explanation_generation_table(
                 ..FidelityProtocol::default()
             };
             for method in BaselineMethod::table1() {
-                let explainer =
-                    PerturbationExplainer::new(&pair, &trained, method).with_hops(hops);
+                let explainer = PerturbationExplainer::new(&pair, &trained, method).with_hops(hops);
                 let (fidelity, sparsity) = evaluate_explainer(
-                    &pair, model.as_ref(), &trained, &exea, &explainer, &protocol,
+                    &pair,
+                    model.as_ref(),
+                    &trained,
+                    &exea,
+                    &explainer,
+                    &protocol,
                 );
                 table.add_row(vec![
                     kind.label().into(),
@@ -234,7 +238,11 @@ fn fig4(config: &BenchConfig) {
         "Fig. 4 — explanation generation time (s), Dual-AMN on ZH-EN",
         &["Method", "ZH-EN-1 (s)", "ZH-EN-2 (s)"],
     );
-    let samples: Vec<AlignmentPair> = pair.reference.iter().take(config.fidelity_samples).collect();
+    let samples: Vec<AlignmentPair> = pair
+        .reference
+        .iter()
+        .take(config.fidelity_samples)
+        .collect();
     for hops in [1usize, 2] {
         let exea_config = if hops == 2 {
             ExeaConfig::second_order()
@@ -257,6 +265,23 @@ fn fig4(config: &BenchConfig) {
             timings.push(row_for(method.label(), &explainer));
         }
         timings.push(row_for("ExEA", &exea));
+        // Batched ExEA over the same samples: one explain_and_score_batch
+        // call, sequential vs fanned out over the rayon pool.
+        let state = exea.default_alignment_state();
+        let (_, elapsed) = time_it(|| {
+            let _ =
+                exea.explain_and_score_batch(&samples, &state, true, &BatchOptions::sequential());
+        });
+        timings.push(("ExEA (batch, 1 thread)".to_owned(), elapsed.as_secs_f64()));
+        let (_, elapsed) = time_it(|| {
+            let _ = exea.explain_and_score_batch(
+                &samples,
+                &state,
+                true,
+                &BatchOptions::always_parallel(),
+            );
+        });
+        timings.push(("ExEA (batch, parallel)".to_owned(), elapsed.as_secs_f64()));
         if hops == 1 {
             for (name, secs) in &timings {
                 table.add_row(vec![name.clone(), format!("{secs:.3}"), String::new()]);
@@ -287,10 +312,10 @@ fn fig5(config: &BenchConfig) {
         .into_iter()
         .max_by_key(|&s| pair.source.degree(s))
         .expect("reference alignment is non-empty");
-    println!("== Fig. 5 — case study for source entity {} ==", pair
-        .source
-        .entity_name(source)
-        .unwrap_or("?"));
+    println!(
+        "== Fig. 5 — case study for source entity {} ==",
+        pair.source.entity_name(source).unwrap_or("?")
+    );
     for kind in ModelKind::all() {
         let (_, trained) = train(kind, &pair);
         let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
@@ -405,7 +430,12 @@ fn table5(config: &BenchConfig) {
             ];
             for (name, explainer) in entries {
                 let (fidelity, sparsity) = evaluate_explainer(
-                    &pair, model.as_ref(), &trained, &exea, explainer, &protocol,
+                    &pair,
+                    model.as_ref(),
+                    &trained,
+                    &exea,
+                    explainer,
+                    &protocol,
                 );
                 table.add_row(vec![
                     kind.label().into(),
@@ -463,9 +493,9 @@ fn table6(config: &BenchConfig) {
             let labels: Vec<bool> = candidates.iter().map(|&(_, l)| l).collect();
 
             let llm = LlmVerifier::new(&pair);
-            let llm_decisions: Vec<bool> =
-                candidates.iter().map(|(p, _)| llm.verify(p)).collect();
-            let llm_outcome = exea_core::VerificationOutcome::from_decisions(&llm_decisions, &labels);
+            let llm_decisions: Vec<bool> = candidates.iter().map(|(p, _)| llm.verify(p)).collect();
+            let llm_outcome =
+                exea_core::VerificationOutcome::from_decisions(&llm_decisions, &labels);
 
             let (_, exea_outcome) = verify_pairs(&exea, &candidates);
 
@@ -515,7 +545,12 @@ fn table7(config: &BenchConfig) {
             for method in BaselineMethod::table1() {
                 let explainer = PerturbationExplainer::new(&pair, &trained, method);
                 let (fidelity, sparsity) = evaluate_explainer(
-                    &pair, model.as_ref(), &trained, &exea, &explainer, &protocol,
+                    &pair,
+                    model.as_ref(),
+                    &trained,
+                    &exea,
+                    &explainer,
+                    &protocol,
                 );
                 table.add_row(vec![
                     kind.label().into(),

@@ -84,7 +84,14 @@ impl Adg {
         let mut edges: Vec<AdgEdge> = Vec::new();
 
         let mut sorted_paths: Vec<&MatchedPath> = explanation.matched_paths.iter().collect();
-        sorted_paths.sort_by_key(|m| (m.source.end(), m.target.end(), m.source.len(), m.target.len()));
+        sorted_paths.sort_by_key(|m| {
+            (
+                m.source.end(),
+                m.target.end(),
+                m.source.len(),
+                m.target.len(),
+            )
+        });
 
         for m in sorted_paths {
             let key = (m.source.end(), m.target.end());
@@ -105,9 +112,19 @@ impl Adg {
                 }
                 EdgeKind::Moderate => {
                     let (direct, long, direct_func, long_func) = if m.source.is_direct() {
-                        (&m.source, &m.target, source_functionality, target_functionality)
+                        (
+                            &m.source,
+                            &m.target,
+                            source_functionality,
+                            target_functionality,
+                        )
                     } else {
-                        (&m.target, &m.source, target_functionality, source_functionality)
+                        (
+                            &m.target,
+                            &m.source,
+                            target_functionality,
+                            source_functionality,
+                        )
                     };
                     let wd = direct_path_weight(direct, direct_func);
                     let wl = long_path_weight(long, long_func);

@@ -64,11 +64,11 @@ impl ExeaConfig {
             self.hops >= 1 && self.hops <= 3,
             "hops must be between 1 and 3"
         );
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0, 1]");
         assert!(
-            (0.0..=1.0).contains(&self.alpha),
-            "alpha must be in [0, 1]"
+            self.weak_edge_weight >= 0.0,
+            "weak edge weight must be >= 0"
         );
-        assert!(self.weak_edge_weight >= 0.0, "weak edge weight must be >= 0");
         assert!(self.top_k >= 1, "top_k must be at least 1");
     }
 }

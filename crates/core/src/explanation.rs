@@ -80,10 +80,8 @@ impl Explanation {
                 *entry = m.similarity;
             }
         }
-        let mut result: Vec<(EntityId, EntityId, f32)> = best
-            .into_iter()
-            .map(|((s, t), sim)| (s, t, sim))
-            .collect();
+        let mut result: Vec<(EntityId, EntityId, f32)> =
+            best.into_iter().map(|((s, t), sim)| (s, t, sim)).collect();
         result.sort_by_key(|&(s, t, _)| (s, t));
         result
     }
@@ -104,12 +102,8 @@ impl Explanation {
         let mut out = String::new();
         out.push_str(&format!(
             "explanation for ({} ≡ {})\n",
-            pair.source
-                .entity_name(self.source_entity)
-                .unwrap_or("?"),
-            pair.target
-                .entity_name(self.target_entity)
-                .unwrap_or("?"),
+            pair.source.entity_name(self.source_entity).unwrap_or("?"),
+            pair.target.entity_name(self.target_entity).unwrap_or("?"),
         ));
         if self.is_empty() {
             out.push_str("  (no matching structure found)\n");
@@ -147,8 +141,9 @@ pub fn generate_explanation(
 ) -> Explanation {
     // Step 1: matched neighbour pairs — path endpoints that the current
     // alignment state says are the same entity.
-    let mut by_pair: HashMap<(EntityId, EntityId), (Vec<&RelationPath>, Vec<&RelationPath>)> =
-        HashMap::new();
+    type PathsByPair<'a> =
+        HashMap<(EntityId, EntityId), (Vec<&'a RelationPath>, Vec<&'a RelationPath>)>;
+    let mut by_pair: PathsByPair<'_> = HashMap::new();
     for p in source_paths {
         let n1 = p.end();
         if n1 == e1 {
@@ -244,8 +239,18 @@ pub fn generate_explanation(
 
     // Deterministic order regardless of hash-map iteration.
     matched_paths.sort_by(|a, b| {
-        (a.source.end(), a.target.end(), a.source.len(), a.target.len())
-            .cmp(&(b.source.end(), b.target.end(), b.source.len(), b.target.len()))
+        (
+            a.source.end(),
+            a.target.end(),
+            a.source.len(),
+            a.target.len(),
+        )
+            .cmp(&(
+                b.source.end(),
+                b.target.end(),
+                b.source.len(),
+                b.target.len(),
+            ))
     });
 
     Explanation {
@@ -302,7 +307,9 @@ mod tests {
         let mut non_empty = 0usize;
         let mut total = 0usize;
         for p in pair.reference.iter().take(50) {
-            let exp = explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+            let exp = explain_one(
+                &pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target,
+            );
             total += 1;
             if !exp.is_empty() {
                 non_empty += 1;
@@ -318,7 +325,9 @@ mod tests {
     fn explanation_triples_come_from_the_right_graphs() {
         let (pair, trained, alignment, rel_s, rel_t) = setup();
         let p = pair.reference.iter().next().unwrap();
-        let exp = explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+        let exp = explain_one(
+            &pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target,
+        );
         for t in exp.source_triples.triples() {
             assert!(pair.source.contains_triple(&t));
         }
@@ -331,8 +340,9 @@ mod tests {
     fn matched_paths_start_at_the_central_entities() {
         let (pair, trained, alignment, rel_s, rel_t) = setup();
         for p in pair.reference.iter().take(20) {
-            let exp =
-                explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+            let exp = explain_one(
+                &pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target,
+            );
             for m in &exp.matched_paths {
                 assert_eq!(m.source.start, p.source);
                 assert_eq!(m.target.start, p.target);
@@ -346,8 +356,9 @@ mod tests {
     fn sparsity_is_in_unit_interval() {
         let (pair, trained, alignment, rel_s, rel_t) = setup();
         for p in pair.reference.iter().take(20) {
-            let exp =
-                explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+            let exp = explain_one(
+                &pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target,
+            );
             let candidates = pair.source.triples_within_hops(p.source, 1).len()
                 + pair.target.triples_within_hops(p.target, 1).len();
             let s = exp.sparsity(candidates);
@@ -366,11 +377,15 @@ mod tests {
             .reference
             .iter()
             .find(|p| {
-                !explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target)
-                    .is_empty()
+                !explain_one(
+                    &pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target,
+                )
+                .is_empty()
             })
             .expect("at least one explainable pair");
-        let exp = explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+        let exp = explain_one(
+            &pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target,
+        );
         let neighbors = exp.matched_neighbors();
         assert!(!neighbors.is_empty());
         let mut seen = std::collections::HashSet::new();
@@ -384,7 +399,9 @@ mod tests {
     fn render_mentions_entity_names() {
         let (pair, trained, alignment, rel_s, rel_t) = setup();
         let p = pair.reference.iter().next().unwrap();
-        let exp = explain_one(&pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target);
+        let exp = explain_one(
+            &pair, &trained, &alignment, &rel_s, &rel_t, p.source, p.target,
+        );
         let rendered = exp.render(&pair);
         assert!(rendered.contains("explanation for"));
         assert!(rendered.contains(pair.source.entity_name(p.source).unwrap()));

@@ -3,6 +3,7 @@
 use crate::adg::Adg;
 use crate::config::ExeaConfig;
 use crate::explanation::{generate_explanation, Explanation};
+use crate::pipeline::BatchOptions;
 use crate::relation_embed::RelationEmbeddings;
 use crate::rules::{mine_not_same_as_rules, relation_alignment, NotSameAsRules, RelationAlignment};
 use ea_graph::paths::enumerate_paths;
@@ -30,6 +31,7 @@ pub struct ExEa<'a> {
     relation_alignment: RelationAlignment,
     target_rules: NotSameAsRules,
     predictions: AlignmentSet,
+    batch: BatchOptions,
 }
 
 impl<'a> ExEa<'a> {
@@ -66,7 +68,26 @@ impl<'a> ExEa<'a> {
             relation_alignment,
             target_rules,
             predictions,
+            batch: BatchOptions::default(),
         }
+    }
+
+    /// The batch-execution options used by [`ExEa::explain_all`] and the
+    /// internally batched repair/verification loops.
+    pub fn batch_options(&self) -> &BatchOptions {
+        &self.batch
+    }
+
+    /// Replaces the batch-execution options (builder style). Use
+    /// [`BatchOptions::sequential`] to force single-threaded execution.
+    pub fn with_batch_options(mut self, options: BatchOptions) -> Self {
+        self.batch = options;
+        self
+    }
+
+    /// Replaces the batch-execution options in place.
+    pub fn set_batch_options(&mut self, options: BatchOptions) {
+        self.batch = options;
     }
 
     /// The KG pair the framework operates on.
@@ -110,8 +131,15 @@ impl<'a> ExEa<'a> {
     /// Number of candidate triples (within the configured hop count around
     /// both entities) for sparsity computation.
     pub fn candidate_triples(&self, e1: EntityId, e2: EntityId) -> usize {
-        self.pair.source.triples_within_hops(e1, self.config.hops).len()
-            + self.pair.target.triples_within_hops(e2, self.config.hops).len()
+        self.pair
+            .source
+            .triples_within_hops(e1, self.config.hops)
+            .len()
+            + self
+                .pair
+                .target
+                .triples_within_hops(e2, self.config.hops)
+                .len()
     }
 
     /// Generates the explanation for the pair `(e1, e2)` under an explicit
@@ -170,7 +198,8 @@ impl<'a> ExEa<'a> {
         apply_relation_conflicts: bool,
     ) -> f64 {
         let explanation = self.explain_with_state(e1, e2, state);
-        self.adg(&explanation, apply_relation_conflicts).confidence()
+        self.adg(&explanation, apply_relation_conflicts)
+            .confidence()
     }
 
     /// Indexes of ADG neighbour nodes that are in relation-alignment conflict

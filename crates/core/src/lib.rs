@@ -21,6 +21,19 @@
 //!
 //! The entry point is [`ExEa`], which owns the per-entity caches that make
 //! repeated explanation construction cheap enough for the repair loops.
+//!
+//! # Batch API
+//!
+//! Per-pair work — explanation generation and ADG construction — is
+//! embarrassingly parallel, and the [`pipeline`] module exploits that:
+//! [`ExEa::explain_all`] / [`ExEa::explain_and_score_batch`] /
+//! [`ExEa::score_batch`] fan predicted pairs out over a rayon worker pool
+//! while sharing the read-only KG/functionality/rule state, and return
+//! results in input order so a parallel run is **bit-identical** to the
+//! sequential loop it replaces. The repair loops ([`repair`]) and
+//! [`verification::verify_pairs`] consume these batch entry points instead
+//! of re-explaining pairs one by one; tune or disable the parallelism with
+//! [`ExEa::set_batch_options`] and [`pipeline::BatchOptions`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +43,7 @@ pub mod config;
 pub mod explainer;
 pub mod explanation;
 pub mod framework;
+pub mod pipeline;
 pub mod relation_embed;
 pub mod repair;
 pub mod rules;
@@ -40,6 +54,7 @@ pub use config::ExeaConfig;
 pub use explainer::Explainer;
 pub use explanation::Explanation;
 pub use framework::ExEa;
+pub use pipeline::{BatchOptions, ConfidenceMap, PairScore, ScoredExplanation};
 pub use repair::{RepairConfig, RepairOutcome};
 pub use rules::{mine_not_same_as_rules, relation_alignment, NotSameAsRules, RelationAlignment};
 pub use verification::{verify_pairs, VerificationOutcome};

@@ -165,7 +165,11 @@ mod tests {
         let (pair, trained) = trained_pair(ModelKind::MTransE);
         let rel = RelationEmbeddings::for_side(&trained, &pair.source, KgSide::Source);
         let entities = trained.entities(KgSide::Source);
-        let e = pair.source.entity_ids().find(|&e| pair.source.degree(e) > 1).unwrap();
+        let e = pair
+            .source
+            .entity_ids()
+            .find(|&e| pair.source.degree(e) > 1)
+            .unwrap();
         let paths = enumerate_paths(&pair.source, e, 2);
         assert!(!paths.is_empty());
         for p in paths.iter().take(10) {

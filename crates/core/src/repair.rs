@@ -14,6 +14,14 @@
 //!   explanation carries no strongly-influential evidence are dissolved and
 //!   re-aligned using an alignment score that balances explanation confidence
 //!   and embedding similarity.
+//!
+//! The expensive parts of both algorithms — scoring every competing claim of
+//! every one-to-many conflict, and re-scoring the whole working alignment on
+//! each low-confidence sweep — consume the batched parallel pipeline
+//! ([`crate::pipeline`]) instead of explaining pairs one at a time. Batches
+//! preserve input order, so repair decisions (and therefore the repaired
+//! alignment) are bit-identical whether the batches run sequentially or on
+//! the worker pool.
 
 use crate::framework::ExEa;
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
@@ -159,20 +167,39 @@ impl<'a> ExEa<'a> {
     /// confidence plus `alpha` times the model's embedding similarity
     /// (Algorithm 2, line 14 — also used when comparing competing claims so
     /// that local evidence and global similarity are balanced consistently).
-    fn alignment_score(
-        &self,
-        e1: EntityId,
-        e2: EntityId,
-        state: &AlignmentSet,
-        cr1: bool,
-    ) -> f64 {
+    fn alignment_score(&self, e1: EntityId, e2: EntityId, state: &AlignmentSet, cr1: bool) -> f64 {
         self.confidence_with_state(e1, e2, state, cr1)
             + self.config().alpha * self.trained().entity_similarity(e1, e2) as f64
+    }
+
+    /// Batched [`ExEa::alignment_score`] over many pairs under one state:
+    /// the explanation confidences come from a parallel batch (input order
+    /// preserved, so the scores are bit-identical to the per-pair loop).
+    fn alignment_score_batch(
+        &self,
+        pairs: &[AlignmentPair],
+        state: &AlignmentSet,
+        cr1: bool,
+    ) -> Vec<f64> {
+        self.score_batch(pairs, state, cr1, self.batch_options())
+            .into_iter()
+            .map(|s| {
+                s.confidence
+                    + self.config().alpha
+                        * self
+                            .trained()
+                            .entity_similarity(s.pair.source, s.pair.target)
+                            as f64
+            })
+            .collect()
     }
 
     /// `OnetoOne(Atrain, Ares)` of Algorithm 1: for every one-to-many
     /// conflict keep the claim with the highest explanation confidence.
     /// Returns the now-unaligned source entities and the one-to-one set.
+    ///
+    /// All competing claims across all conflicts are scored in one parallel
+    /// batch instead of explaining each claim on its own.
     fn resolve_one_to_many(
         &self,
         predictions: &AlignmentSet,
@@ -181,10 +208,18 @@ impl<'a> ExEa<'a> {
         let state = self.scoring_state(predictions);
         let mut resolved = predictions.clone();
         let mut unaligned = Vec::new();
-        for (target, sources) in predictions.one_to_many_conflicts() {
+        let conflicts = predictions.one_to_many_conflicts();
+        let claims: Vec<AlignmentPair> = conflicts
+            .iter()
+            .flat_map(|(target, sources)| sources.iter().map(|&s| AlignmentPair::new(s, *target)))
+            .collect();
+        let scores = self.alignment_score_batch(&claims, &state, cr1);
+        let mut cursor = 0usize;
+        for (target, sources) in conflicts {
             let mut best: Option<(EntityId, f64)> = None;
             for &s in &sources {
-                let conf = self.alignment_score(s, target, &state, cr1);
+                let conf = scores[cursor];
+                cursor += 1;
                 match best {
                     Some((_, best_conf)) if conf <= best_conf => {}
                     _ => best = Some((s, conf)),
@@ -275,16 +310,17 @@ impl<'a> ExEa<'a> {
         let beta = self.config().beta();
         let mut last_len: Option<usize> = None;
         loop {
-            // Detect low-confidence pairs under the current state.
+            // Detect low-confidence pairs under the current state. The scan
+            // re-scores the whole working alignment, so it runs as one
+            // parallel batch over shared read-only state.
             let state = self.scoring_state(a_star);
-            let mut low: Vec<AlignmentPair> = Vec::new();
-            for p in a_star.iter() {
-                let explanation = self.explain_with_state(p.source, p.target, &state);
-                let adg = self.adg(&explanation, cr1);
-                if !adg.has_strong_edges() || adg.confidence() < beta {
-                    low.push(p);
-                }
-            }
+            let pairs: Vec<AlignmentPair> = a_star.iter().collect();
+            let low: Vec<AlignmentPair> = self
+                .score_batch(&pairs, &state, cr1, self.batch_options())
+                .into_iter()
+                .filter(|s| !s.has_strong_edges || s.confidence < beta)
+                .map(|s| s.pair)
+                .collect();
             stats.low_confidence_pairs += low.len();
             for p in &low {
                 a_star.remove(p);
@@ -381,7 +417,7 @@ impl<'a> ExEa<'a> {
                     continue;
                 }
                 let sim = self.trained().entity_similarity(e1, t);
-                if best.map_or(true, |(_, b)| sim > b) {
+                if best.is_none_or(|(_, b)| sim > b) {
                     best = Some((t, sim));
                 }
             }
@@ -501,10 +537,13 @@ mod tests {
         assert!(RepairConfig::without_cr1().resolve_one_to_many);
         assert!(!RepairConfig::without_cr2().resolve_one_to_many);
         assert!(!RepairConfig::without_cr3().resolve_low_confidence);
-        assert_eq!(RepairConfig::default(), RepairConfig {
-            resolve_relation_conflicts: true,
-            resolve_one_to_many: true,
-            resolve_low_confidence: true,
-        });
+        assert_eq!(
+            RepairConfig::default(),
+            RepairConfig {
+                resolve_relation_conflicts: true,
+                resolve_one_to_many: true,
+                resolve_low_confidence: true,
+            }
+        );
     }
 }

@@ -101,10 +101,22 @@ pub fn relation_alignment(pair: &KgPair, trained: &TrainedAlignment) -> Relation
     }
 
     let name_s: Vec<Vec<f32>> = (0..n_s)
-        .map(|r| encode_name(pair.source.relation_name(RelationId(r as u32)).unwrap_or("")))
+        .map(|r| {
+            encode_name(
+                pair.source
+                    .relation_name(RelationId(r as u32))
+                    .unwrap_or(""),
+            )
+        })
         .collect();
     let name_t: Vec<Vec<f32>> = (0..n_t)
-        .map(|r| encode_name(pair.target.relation_name(RelationId(r as u32)).unwrap_or("")))
+        .map(|r| {
+            encode_name(
+                pair.target
+                    .relation_name(RelationId(r as u32))
+                    .unwrap_or(""),
+            )
+        })
         .collect();
 
     // Structural relation embeddings in the shared entity space: these are
@@ -243,9 +255,7 @@ mod tests {
         // corresponds to relation k on the target; most mutual matches should
         // recover that correspondence.
         let correct = (0..pair.source.num_relations().min(pair.target.num_relations()))
-            .filter(|&r| {
-                alignment.contains(RelationId(r as u32), RelationId(r as u32))
-            })
+            .filter(|&r| alignment.contains(RelationId(r as u32), RelationId(r as u32)))
             .count();
         assert!(
             correct * 2 > alignment.len(),

@@ -23,7 +23,11 @@ pub struct VerificationOutcome {
 impl VerificationOutcome {
     /// Computes the outcome from prediction/label vectors.
     pub fn from_decisions(decisions: &[bool], labels: &[bool]) -> Self {
-        assert_eq!(decisions.len(), labels.len(), "decisions and labels must align");
+        assert_eq!(
+            decisions.len(),
+            labels.len(),
+            "decisions and labels must align"
+        );
         let tp = decisions
             .iter()
             .zip(labels)
@@ -64,13 +68,21 @@ pub fn verify_pair(exea: &ExEa<'_>, pair: &AlignmentPair) -> bool {
 /// Runs ExEA verification over a labelled set of candidate pairs and reports
 /// precision, recall and F1 (the Table VI protocol: half the pairs correct,
 /// half incorrect).
+///
+/// All candidates are explained and scored in one parallel batch under the
+/// shared default alignment state; decisions come back in candidate order
+/// and match per-pair [`verify_pair`] calls exactly.
 pub fn verify_pairs(
     exea: &ExEa<'_>,
     candidates: &[(AlignmentPair, bool)],
 ) -> (Vec<bool>, VerificationOutcome) {
-    let decisions: Vec<bool> = candidates
-        .iter()
-        .map(|(p, _)| verify_pair(exea, p))
+    let pairs: Vec<AlignmentPair> = candidates.iter().map(|&(p, _)| p).collect();
+    let state = exea.default_alignment_state();
+    let beta = exea.config().beta();
+    let decisions: Vec<bool> = exea
+        .score_batch(&pairs, &state, true, exea.batch_options())
+        .into_iter()
+        .map(|s| s.has_strong_edges && s.confidence >= beta)
         .collect();
     let labels: Vec<bool> = candidates.iter().map(|&(_, l)| l).collect();
     let outcome = VerificationOutcome::from_decisions(&decisions, &labels);
@@ -131,11 +143,7 @@ mod tests {
         assert_eq!(decisions.len(), candidates.len());
         // The structural verifier must clearly beat coin-flipping on this
         // separable task.
-        assert!(
-            outcome.f1 > 0.55,
-            "verification F1 too low: {:?}",
-            outcome
-        );
+        assert!(outcome.f1 > 0.55, "verification F1 too low: {:?}", outcome);
         let _ = EntityId(0);
     }
 }

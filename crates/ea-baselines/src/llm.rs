@@ -20,8 +20,8 @@ use ea_graph::{AlignmentPair, EntityId, KgPair, KgSide, Triple};
 use exea_core::rules::encode_name;
 use exea_core::{ExEa, Explainer, Explanation};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Removes digit characters from a name (the simulated LLM's numeric
 /// insensitivity) and lower-cases it.
@@ -104,8 +104,8 @@ impl Explainer for SimulatedLlmExplainer<'_> {
             let (s_rel, s_ent) = self.triple_names(st, KgSide::Source, source);
             for (j, tt) in target_cands.iter().enumerate() {
                 let (t_rel, t_ent) = self.triple_names(tt, KgSide::Target, target);
-                let sim =
-                    0.5 * llm_name_similarity(&s_rel, &t_rel) + 0.5 * llm_name_similarity(&s_ent, &t_ent);
+                let sim = 0.5 * llm_name_similarity(&s_rel, &t_rel)
+                    + 0.5 * llm_name_similarity(&s_ent, &t_ent);
                 scored.push((i, j, sim));
             }
         }
@@ -162,16 +162,8 @@ impl<'a> LlmVerifier<'a> {
     /// name similarity of the two entities plus the overlap of their
     /// neighbours' names (all digit-stripped).
     pub fn claim_score(&self, candidate: &AlignmentPair) -> f64 {
-        let s_name = self
-            .pair
-            .source
-            .entity_name(candidate.source)
-            .unwrap_or("");
-        let t_name = self
-            .pair
-            .target
-            .entity_name(candidate.target)
-            .unwrap_or("");
+        let s_name = self.pair.source.entity_name(candidate.source).unwrap_or("");
+        let t_name = self.pair.target.entity_name(candidate.target).unwrap_or("");
         let name_sim = llm_name_similarity(s_name, t_name);
 
         let source_neighbors: Vec<String> = self
@@ -252,8 +244,14 @@ mod tests {
         let p = pair.reference.iter().next().unwrap();
         let a = explainer.explain_pair(p.source, p.target, 6);
         let b = explainer.explain_pair(p.source, p.target, 6);
-        assert!(a.num_triples() <= 7, "budget plus at most one hallucination");
-        assert_eq!(a.source_triples.to_hash_set(), b.source_triples.to_hash_set());
+        assert!(
+            a.num_triples() <= 7,
+            "budget plus at most one hallucination"
+        );
+        assert_eq!(
+            a.source_triples.to_hash_set(),
+            b.source_triples.to_hash_set()
+        );
         assert_eq!(explainer.method_name(), "ChatGPT (match)");
         assert!(explainer.explain_pair(p.source, p.target, 0).num_triples() <= 1);
     }

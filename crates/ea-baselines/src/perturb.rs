@@ -23,8 +23,8 @@ use ea_models::TrainedAlignment;
 use exea_core::relation_embed::RelationEmbeddings;
 use exea_core::{Explainer, Explanation};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Which baseline strategy a [`PerturbationExplainer`] applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -221,14 +221,12 @@ impl<'a> PerturbationExplainer<'a> {
     ) -> f64 {
         let e1 = self.local_encode(source, KgSide::Source, candidates, mask);
         let e2 = self.local_encode(target, KgSide::Target, candidates, mask);
-        let s1 = ea_embed::vector::cosine(
-            &e1,
-            self.trained.entity_embedding(KgSide::Source, source),
-        ) as f64;
-        let s2 = ea_embed::vector::cosine(
-            &e2,
-            self.trained.entity_embedding(KgSide::Target, target),
-        ) as f64;
+        let s1 =
+            ea_embed::vector::cosine(&e1, self.trained.entity_embedding(KgSide::Source, source))
+                as f64;
+        let s2 =
+            ea_embed::vector::cosine(&e2, self.trained.entity_embedding(KgSide::Target, target))
+                as f64;
         (0.5 * (s1 + s2)).max(0.01)
     }
 
@@ -311,7 +309,7 @@ impl<'a> PerturbationExplainer<'a> {
                         let mut trial = anchor.clone();
                         trial.push(i);
                         let p = precision(&trial, rng);
-                        if best.map_or(true, |(_, bp)| p > bp) {
+                        if best.is_none_or(|(_, bp)| p > bp) {
                             best = Some((i, p));
                         }
                     }
@@ -392,11 +390,15 @@ fn best_split(
             continue;
         }
         let on: Vec<usize> = remaining.iter().copied().filter(|&i| masks[i][f]).collect();
-        let off: Vec<usize> = remaining.iter().copied().filter(|&i| !masks[i][f]).collect();
+        let off: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| !masks[i][f])
+            .collect();
         let weighted = (on.len() as f64 * entropy(&on) + off.len() as f64 * entropy(&off))
             / remaining.len() as f64;
         let gain = base - weighted;
-        if best.map_or(true, |(_, g)| gain > g) {
+        if best.is_none_or(|(_, g)| gain > g) {
             best = Some((f, gain));
         }
     }
@@ -432,6 +434,9 @@ fn ridge_regression(masks: &[Vec<bool>], values: &[f64], weights: &[f64], lambda
 }
 
 /// Gaussian elimination with partial pivoting.
+// Index-based loops mirror the textbook elimination; iterator forms would
+// fight the borrow checker over simultaneous pivot/target row access.
+#[allow(clippy::needless_range_loop)]
 fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
@@ -482,7 +487,11 @@ impl Explainer for PerturbationExplainer<'_> {
             ChaCha8Rng::seed_from_u64(self.seed ^ ((source.0 as u64) << 32) ^ target.0 as u64);
         let scores = self.score_candidates(source, target, &candidates, &mut rng);
         let mut ranked: Vec<usize> = (0..candidates.len()).collect();
-        ranked.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         let mut explanation = Explanation::empty(source, target);
         for &idx in ranked.iter().take(budget.min(candidates.len())) {
@@ -603,6 +612,8 @@ mod tests {
         let p = pair.reference.iter().next().unwrap();
         let one = PerturbationExplainer::new(&pair, &trained, BaselineMethod::EaLime);
         let two = PerturbationExplainer::new(&pair, &trained, BaselineMethod::EaLime).with_hops(2);
-        assert!(two.candidates(p.source, p.target).len() >= one.candidates(p.source, p.target).len());
+        assert!(
+            two.candidates(p.source, p.target).len() >= one.candidates(p.source, p.target).len()
+        );
     }
 }

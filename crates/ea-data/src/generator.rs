@@ -25,8 +25,8 @@
 use ea_graph::{AlignmentPair, AlignmentSet, KgPair, KnowledgeGraph};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 
 /// Configuration of the synthetic KG-pair generator.
@@ -136,13 +136,8 @@ impl SyntheticGenerator {
 
         let world = self.generate_world(&mut rng);
 
-        let (source, source_entity_ids) = self.build_side(
-            &world,
-            cfg.source_keep,
-            &cfg.source_prefix,
-            false,
-            &mut rng,
-        );
+        let (source, source_entity_ids) =
+            self.build_side(&world, cfg.source_keep, &cfg.source_prefix, false, &mut rng);
         let (target, target_entity_ids) = self.build_side(
             &world,
             cfg.target_keep,
@@ -179,12 +174,12 @@ impl SyntheticGenerator {
         let mut functional_used: HashSet<(usize, usize)> = HashSet::new();
 
         let push = |head: usize,
-                        relation: usize,
-                        tail: usize,
-                        triples: &mut Vec<WorldTriple>,
-                        triple_set: &mut HashSet<WorldTriple>,
-                        degree: &mut Vec<usize>,
-                        functional_used: &mut HashSet<(usize, usize)>|
+                    relation: usize,
+                    tail: usize,
+                    triples: &mut Vec<WorldTriple>,
+                    triple_set: &mut HashSet<WorldTriple>,
+                    degree: &mut Vec<usize>,
+                    functional_used: &mut HashSet<(usize, usize)>|
          -> bool {
             if head == tail {
                 return false;
@@ -498,10 +493,7 @@ mod tests {
         cfg.relation_merge_factor = 2;
         let pair = SyntheticGenerator::new(cfg.clone()).generate();
         assert_eq!(pair.source.num_relations(), cfg.world_relations);
-        assert_eq!(
-            pair.target.num_relations(),
-            cfg.world_relations.div_ceil(2)
-        );
+        assert_eq!(pair.target.num_relations(), cfg.world_relations.div_ceil(2));
         // Heterogeneous relation names follow the P-number scheme.
         assert!(pair.target.relation_by_name("tgt:P013").is_some());
     }

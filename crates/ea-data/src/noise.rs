@@ -9,8 +9,8 @@
 use ea_graph::{AlignmentPair, AlignmentSet, KgPair};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Returns a copy of `seed` in which `num_corrupted` pairs have their target
 /// entity replaced by a random *different* target entity drawn from the

@@ -153,7 +153,10 @@ mod tests {
         let text = kg_to_tsv(&pair.source);
         let parsed = kg_from_tsv(&text).unwrap();
         assert_eq!(parsed.num_triples(), pair.source.num_triples());
-        assert_eq!(parsed.num_entities(), pair.source.num_entities() - count_isolated(&pair.source));
+        assert_eq!(
+            parsed.num_entities(),
+            pair.source.num_entities() - count_isolated(&pair.source)
+        );
         // Every original triple still exists under its names.
         for t in pair.source.triples().iter().take(50) {
             let h = pair.source.entity_name(t.head).unwrap();
@@ -191,8 +194,12 @@ mod tests {
     #[test]
     fn alignment_with_unknown_entity_is_rejected() {
         let pair = load(DatasetName::FrEn, DatasetScale::Small);
-        let err = alignment_from_tsv("nonexistent\talso_nonexistent\n", &pair.source, &pair.target)
-            .unwrap_err();
+        let err = alignment_from_tsv(
+            "nonexistent\talso_nonexistent\n",
+            &pair.source,
+            &pair.target,
+        )
+        .unwrap_err();
         assert!(matches!(err, GraphError::UnknownEntityName(_)));
     }
 

@@ -30,5 +30,5 @@ pub mod vector;
 
 pub use embedding::EmbeddingTable;
 pub use optimizer::{Adagrad, Optimizer, Sgd};
-pub use sampling::{HardNegativeCache, Negatives, NegativeSampler};
+pub use sampling::{HardNegativeCache, NegativeSampler, Negatives};
 pub use similarity::{greedy_alignment, top_k_targets, SimilarityMatrix};

@@ -269,7 +269,10 @@ mod tests {
         // Hard negatives for row 0 should come from the +x cluster (rows 1,2).
         let x_cluster: usize = counts[1] + counts[2];
         let y_cluster: usize = counts[3] + counts[4] + counts[5];
-        assert!(x_cluster > y_cluster, "hard sampler ignored similarity: {counts:?}");
+        assert!(
+            x_cluster > y_cluster,
+            "hard sampler ignored similarity: {counts:?}"
+        );
     }
 
     #[test]
@@ -316,7 +319,10 @@ mod tests {
         }
         let x_cluster = counts[1] + counts[2];
         let y_cluster = counts[3] + counts[4] + counts[5];
-        assert!(x_cluster > y_cluster, "cache ignored similarity: {counts:?}");
+        assert!(
+            x_cluster > y_cluster,
+            "cache ignored similarity: {counts:?}"
+        );
     }
 
     #[test]

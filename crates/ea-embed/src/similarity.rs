@@ -91,9 +91,9 @@ impl SimilarityMatrix {
                 col.iter().take(k).sum::<f32>() / k.min(col.len()).max(1) as f32
             })
             .collect();
-        for i in 0..n_s {
-            for j in 0..n_t {
-                self.values[i * n_t + j] = 2.0 * self.values[i * n_t + j] - row_avg[i] - col_avg[j];
+        for (row, &r_avg) in self.values.chunks_mut(n_t).zip(&row_avg) {
+            for (v, &c_avg) in row.iter_mut().zip(&col_avg) {
+                *v = 2.0 * *v - r_avg - c_avg;
             }
         }
         self.recompute_rankings();
@@ -172,8 +172,7 @@ pub fn greedy_alignment(
     target_table: &EmbeddingTable,
     target_ids: &[EntityId],
 ) -> AlignmentSet {
-    SimilarityMatrix::compute(source_table, source_ids, target_table, target_ids)
-        .greedy_alignment()
+    SimilarityMatrix::compute(source_table, source_ids, target_table, target_ids).greedy_alignment()
 }
 
 /// Convenience wrapper: top-k targets for one source entity.

@@ -91,11 +91,11 @@ proptest! {
         let t = EmbeddingTable::xavier(n, 4, &mut rng);
         let ids: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
         let m = SimilarityMatrix::compute(&s, &ids, &t, &ids);
-        for i in 0..n {
+        for (i, &sid) in ids.iter().enumerate() {
             let mut prev = f32::INFINITY;
             for rank in 0..n {
                 let target = m.ranked_target(i, rank).unwrap();
-                let sim = m.similarity(ids[i], target).unwrap();
+                let sim = m.similarity(sid, target).unwrap();
                 prop_assert!(sim <= prev + 1e-6);
                 prev = sim;
             }

@@ -69,7 +69,10 @@ impl AlignmentSet {
     pub fn insert(&mut self, pair: AlignmentPair) -> Option<AlignmentPair> {
         let previous = self.remove_source(pair.source);
         self.forward.insert(pair.source, pair.target);
-        self.reverse.entry(pair.target).or_default().push(pair.source);
+        self.reverse
+            .entry(pair.target)
+            .or_default()
+            .push(pair.source);
         previous
     }
 
@@ -136,9 +139,7 @@ impl AlignmentSet {
     pub fn iter(&self) -> impl Iterator<Item = AlignmentPair> + '_ {
         let ordered: BTreeMap<EntityId, EntityId> =
             self.forward.iter().map(|(&s, &t)| (s, t)).collect();
-        ordered
-            .into_iter()
-            .map(|(s, t)| AlignmentPair::new(s, t))
+        ordered.into_iter().map(|(s, t)| AlignmentPair::new(s, t))
     }
 
     /// Collects the pairs into a sorted vector.
@@ -189,10 +190,7 @@ impl AlignmentSet {
         if gold.is_empty() {
             return 0.0;
         }
-        let correct = gold
-            .iter()
-            .filter(|p| self.contains(p))
-            .count();
+        let correct = gold.iter().filter(|p| self.contains(p)).count();
         correct as f64 / gold.len() as f64
     }
 
@@ -278,7 +276,10 @@ mod tests {
         let pred = AlignmentSet::from_pairs([pair(1, 10), pair(2, 21), pair(3, 30), pair(5, 50)]);
         let acc = pred.accuracy_against(&gold);
         assert!((acc - 0.5).abs() < 1e-12);
-        assert_eq!(AlignmentSet::new().accuracy_against(&AlignmentSet::new()), 0.0);
+        assert_eq!(
+            AlignmentSet::new().accuracy_against(&AlignmentSet::new()),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Compressed-sparse-row (CSR) adjacency index and reusable BFS scratch.
+//!
+//! The explanation pipeline asks the same three questions about a graph
+//! millions of times: *which triples leave this entity*, *which arrive at
+//! it*, and *which carry this relation*. The original storage answered them
+//! from per-entity `Vec<Vec<u32>>` buckets — one heap allocation per entity
+//! and pointer-chasing on every query. [`CsrIndex`] packs all three views
+//! into six flat arrays (an offsets array plus a triple-index array per
+//! view), built in O(V + E) by counting sort from the triple list.
+//!
+//! Two properties matter for correctness elsewhere:
+//!
+//! * **Order preservation** — within one entity (or relation) bucket, triple
+//!   indexes appear in insertion order, exactly as the old push-based
+//!   adjacency lists stored them. Query results are therefore byte-identical
+//!   to the pre-CSR implementation (property-tested in
+//!   `tests/prop_graph.rs`).
+//! * **Borrowed iteration** — [`Neighbors`] walks slices of the index
+//!   without allocating, so BFS/DFS loops over large graphs stay allocation
+//!   free when paired with [`BfsScratch`].
+
+use crate::ids::EntityId;
+use crate::triple::{Direction, Triple};
+use std::collections::VecDeque;
+
+/// CSR adjacency index over a triple list: outgoing (by head), incoming
+/// (by tail), and by-relation views.
+///
+/// Edges are `u32` indexes into the triple list the index was built from.
+/// The index is immutable; [`crate::KnowledgeGraph`] rebuilds it lazily after
+/// mutations.
+#[derive(Debug, Clone, Default)]
+pub struct CsrIndex {
+    out_offsets: Vec<u32>,
+    out_edges: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<u32>,
+    rel_offsets: Vec<u32>,
+    rel_edges: Vec<u32>,
+}
+
+/// Builds one CSR view (counting sort; stable, so per-bucket order equals
+/// triple-index order).
+fn build_view(
+    num_buckets: usize,
+    triples: &[Triple],
+    bucket_of: impl Fn(&Triple) -> usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut offsets = vec![0u32; num_buckets + 1];
+    for t in triples {
+        offsets[bucket_of(t) + 1] += 1;
+    }
+    for i in 0..num_buckets {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut edges = vec![0u32; triples.len()];
+    for (idx, t) in triples.iter().enumerate() {
+        let b = bucket_of(t);
+        edges[cursor[b] as usize] = u32::try_from(idx).expect("triple index overflows u32");
+        cursor[b] += 1;
+    }
+    (offsets, edges)
+}
+
+impl CsrIndex {
+    /// Builds the index from a triple list in one counting-sort pass per view.
+    pub fn build(num_entities: usize, num_relations: usize, triples: &[Triple]) -> Self {
+        let (out_offsets, out_edges) = build_view(num_entities, triples, |t| t.head.index());
+        let (in_offsets, in_edges) = build_view(num_entities, triples, |t| t.tail.index());
+        let (rel_offsets, rel_edges) = build_view(num_relations, triples, |t| t.relation.index());
+        Self {
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            rel_offsets,
+            rel_edges,
+        }
+    }
+
+    #[inline]
+    fn slice_of<'a>(offsets: &'a [u32], edges: &'a [u32], bucket: usize) -> &'a [u32] {
+        // Buckets past the built range (entities interned after the last
+        // rebuild, with no triples yet) are empty by construction.
+        if bucket + 1 >= offsets.len() {
+            return &[];
+        }
+        &edges[offsets[bucket] as usize..offsets[bucket + 1] as usize]
+    }
+
+    /// Indexes of triples whose head is `entity`, in insertion order.
+    #[inline]
+    pub fn outgoing(&self, entity: EntityId) -> &[u32] {
+        Self::slice_of(&self.out_offsets, &self.out_edges, entity.index())
+    }
+
+    /// Indexes of triples whose tail is `entity`, in insertion order.
+    #[inline]
+    pub fn incoming(&self, entity: EntityId) -> &[u32] {
+        Self::slice_of(&self.in_offsets, &self.in_edges, entity.index())
+    }
+
+    /// Indexes of triples carrying relation `relation`, in insertion order.
+    #[inline]
+    pub fn with_relation(&self, relation: crate::ids::RelationId) -> &[u32] {
+        Self::slice_of(&self.rel_offsets, &self.rel_edges, relation.index())
+    }
+
+    /// Out-degree of `entity` (number of triples with `entity` as head).
+    #[inline]
+    pub fn out_degree(&self, entity: EntityId) -> usize {
+        self.outgoing(entity).len()
+    }
+
+    /// In-degree of `entity` (number of triples with `entity` as tail).
+    #[inline]
+    pub fn in_degree(&self, entity: EntityId) -> usize {
+        self.incoming(entity).len()
+    }
+}
+
+/// One neighbour of an entity: the neighbour entity, the connecting triple,
+/// and the direction in which the triple is traversed when walking from the
+/// queried entity to the neighbour.
+///
+/// `Triple` is `Copy`, so the item itself is a small value; the *iterator*
+/// producing it borrows the graph and performs no heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeighborRef {
+    /// The neighbour entity.
+    pub entity: EntityId,
+    /// The triple connecting the queried entity to the neighbour.
+    pub triple: Triple,
+    /// Traversal direction of `triple` (queried entity → neighbour).
+    pub direction: Direction,
+}
+
+/// Zero-allocation iterator over the direct neighbours of one entity.
+///
+/// Yields all outgoing triples first (forward direction), then the incoming
+/// ones (backward direction), skipping reflexive triples on the incoming
+/// side so they appear exactly once — the same order and multiset the
+/// allocating `KnowledgeGraph::neighbors` always produced.
+#[derive(Debug, Clone)]
+pub struct Neighbors<'a> {
+    triples: &'a [Triple],
+    out: std::slice::Iter<'a, u32>,
+    inc: std::slice::Iter<'a, u32>,
+}
+
+impl<'a> Neighbors<'a> {
+    pub(crate) fn new(triples: &'a [Triple], out: &'a [u32], inc: &'a [u32]) -> Self {
+        Self {
+            triples,
+            out: out.iter(),
+            inc: inc.iter(),
+        }
+    }
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NeighborRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<NeighborRef> {
+        if let Some(&idx) = self.out.next() {
+            let triple = self.triples[idx as usize];
+            return Some(NeighborRef {
+                entity: triple.tail,
+                triple,
+                direction: Direction::Forward,
+            });
+        }
+        for &idx in self.inc.by_ref() {
+            let triple = self.triples[idx as usize];
+            if triple.head != triple.tail {
+                return Some(NeighborRef {
+                    entity: triple.head,
+                    triple,
+                    direction: Direction::Backward,
+                });
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (out_lo, _) = self.out.size_hint();
+        let (_, inc_hi) = self.inc.size_hint();
+        (out_lo, inc_hi.map(|h| h + self.out.len()))
+    }
+}
+
+/// A growable bitmap used as a visited set over dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all bits and ensures capacity for ids `0..len`.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Inserts `idx`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        let (word, bit) = (idx / 64, idx % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Returns `true` if `idx` is present.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.words
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+}
+
+/// Reusable scratch buffers for breadth-first traversals.
+///
+/// A BFS over a KG needs a visited-entity set, a seen-triple set and a
+/// queue; allocating them per call dominated the cost of small-neighbourhood
+/// queries. One `BfsScratch` can be reused across any number of
+/// `*_within_hops_into` calls — buffers are cleared (not freed) between
+/// runs, so steady-state traversals perform zero heap allocations beyond
+/// occasional growth of the caller's output vector.
+#[derive(Debug, Clone, Default)]
+pub struct BfsScratch {
+    /// Visited entities.
+    pub(crate) visited: BitSet,
+    /// Triples already emitted.
+    pub(crate) seen_triples: BitSet,
+    /// BFS frontier: `(entity, depth)`.
+    pub(crate) queue: VecDeque<(EntityId, u32)>,
+}
+
+impl BfsScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the buffers for a graph with the given sizes.
+    pub(crate) fn reset(&mut self, num_entities: usize, num_triples: usize) {
+        self.visited.reset(num_entities);
+        self.seen_triples.reset(num_triples);
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RelationId;
+
+    fn t(h: u32, r: u32, ta: u32) -> Triple {
+        Triple::new(EntityId(h), RelationId(r), EntityId(ta))
+    }
+
+    #[test]
+    fn csr_buckets_preserve_insertion_order() {
+        let triples = vec![t(0, 0, 1), t(0, 1, 2), t(1, 0, 0), t(0, 0, 2)];
+        let csr = CsrIndex::build(3, 2, &triples);
+        assert_eq!(csr.outgoing(EntityId(0)), &[0, 1, 3]);
+        assert_eq!(csr.outgoing(EntityId(1)), &[2]);
+        assert_eq!(csr.outgoing(EntityId(2)), &[] as &[u32]);
+        assert_eq!(csr.incoming(EntityId(2)), &[1, 3]);
+        assert_eq!(csr.with_relation(RelationId(0)), &[0, 2, 3]);
+        assert_eq!(csr.out_degree(EntityId(0)), 3);
+        assert_eq!(csr.in_degree(EntityId(0)), 1);
+    }
+
+    #[test]
+    fn out_of_range_buckets_are_empty() {
+        let csr = CsrIndex::build(2, 1, &[t(0, 0, 1)]);
+        assert!(csr.outgoing(EntityId(99)).is_empty());
+        assert!(csr.incoming(EntityId(99)).is_empty());
+        assert!(csr.with_relation(RelationId(99)).is_empty());
+    }
+
+    #[test]
+    fn neighbors_iterator_orders_and_skips_reflexive() {
+        let triples = vec![t(0, 0, 1), t(2, 0, 0), t(0, 1, 0)];
+        let csr = CsrIndex::build(3, 2, &triples);
+        let got: Vec<_> = Neighbors::new(
+            &triples,
+            csr.outgoing(EntityId(0)),
+            csr.incoming(EntityId(0)),
+        )
+        .collect();
+        // Outgoing first: (0,0,1) forward, (0,1,0) reflexive forward; then
+        // incoming (2,0,0) backward — reflexive skipped on the incoming side.
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].entity, EntityId(1));
+        assert_eq!(got[0].direction, Direction::Forward);
+        assert_eq!(got[1].triple, t(0, 1, 0));
+        assert_eq!(got[2].entity, EntityId(2));
+        assert_eq!(got[2].direction, Direction::Backward);
+    }
+
+    #[test]
+    fn bitset_insert_and_contains() {
+        let mut bits = BitSet::new();
+        bits.reset(100);
+        assert!(bits.insert(3));
+        assert!(!bits.insert(3));
+        assert!(bits.contains(3));
+        assert!(!bits.contains(4));
+        // Growth past the reset length.
+        assert!(bits.insert(1000));
+        assert!(bits.contains(1000));
+        bits.reset(10);
+        assert!(!bits.contains(3));
+    }
+}

@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn sided_entity_ordering_groups_sources_first() {
-        let mut v = vec![
+        let mut v = [
             SidedEntity::new(KgSide::Target, EntityId(0)),
             SidedEntity::new(KgSide::Source, EntityId(5)),
             SidedEntity::new(KgSide::Source, EntityId(1)),

@@ -1,27 +1,40 @@
 //! Indexed multi-relational knowledge graph.
 
+use crate::csr::{BfsScratch, CsrIndex, Neighbors};
 use crate::error::GraphError;
 use crate::ids::{EntityId, RelationId};
 use crate::triple::{Direction, Triple};
 use crate::vocab::Interner;
-use std::collections::{HashSet, VecDeque};
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Shared scratch for the allocating compatibility wrappers, so existing
+    /// call sites get reusable buffers without changing their signatures.
+    static LOCAL_SCRATCH: RefCell<BfsScratch> = RefCell::new(BfsScratch::new());
+}
 
 /// An append-only, indexed knowledge graph.
 ///
-/// The graph stores its triples in a flat vector and maintains per-entity
-/// adjacency lists (outgoing and incoming triple indexes) as well as a
-/// per-relation index. All queries used by the alignment models and the ExEA
-/// framework — neighbourhoods, k-hop triple sets, relation extensions — are
-/// answered from these indexes without scanning the full triple list.
+/// The graph stores its triples in a flat vector and answers every adjacency
+/// question — neighbourhoods, k-hop triple sets, relation extensions — from a
+/// [`CsrIndex`]: three compressed-sparse-row views (outgoing by head,
+/// incoming by tail, by relation) over the triple list. The index is built
+/// lazily on first query after a mutation, in O(V + E) counting-sort passes,
+/// and queries borrow directly from it: [`KnowledgeGraph::neighbors_iter`]
+/// walks slices of the index without allocating.
+///
+/// Per-bucket CSR order equals triple insertion order, so query results are
+/// identical to the historical push-based `Vec<Vec<u32>>` adjacency lists
+/// (property-tested in `tests/prop_graph.rs`).
 #[derive(Debug, Clone, Default)]
 pub struct KnowledgeGraph {
     entities: Interner,
     relations: Interner,
     triples: Vec<Triple>,
     triple_set: HashSet<Triple>,
-    outgoing: Vec<Vec<u32>>,
-    incoming: Vec<Vec<u32>>,
-    by_relation: Vec<Vec<u32>>,
+    csr: OnceLock<CsrIndex>,
 }
 
 impl KnowledgeGraph {
@@ -37,29 +50,42 @@ impl KnowledgeGraph {
             relations: Interner::with_capacity(relations),
             triples: Vec::with_capacity(triples),
             triple_set: HashSet::with_capacity(triples),
-            outgoing: Vec::with_capacity(entities),
-            incoming: Vec::with_capacity(entities),
-            by_relation: Vec::with_capacity(relations),
+            csr: OnceLock::new(),
         }
+    }
+
+    /// The CSR adjacency index, (re)built on demand.
+    ///
+    /// The index is dropped by any mutation and rebuilt lazily on the next
+    /// query, so the build cost is amortised over the (typically very long)
+    /// read-only phases of the explanation pipeline.
+    #[inline]
+    pub fn csr(&self) -> &CsrIndex {
+        self.csr.get_or_init(|| {
+            CsrIndex::build(self.num_entities(), self.num_relations(), &self.triples)
+        })
+    }
+
+    /// Drops the cached CSR index after a mutation.
+    #[inline]
+    fn invalidate_index(&mut self) {
+        self.csr.take();
     }
 
     /// Interns (or finds) an entity by name and returns its id.
+    ///
+    /// A cached CSR index stays valid: a freshly interned entity has no
+    /// triples, and the index reports empty buckets past its built range.
     pub fn add_entity(&mut self, name: &str) -> EntityId {
-        let id = self.entities.intern(name);
-        while self.outgoing.len() <= id as usize {
-            self.outgoing.push(Vec::new());
-            self.incoming.push(Vec::new());
-        }
-        EntityId(id)
+        EntityId(self.entities.intern(name))
     }
 
     /// Interns (or finds) a relation by name and returns its id.
+    ///
+    /// Like [`KnowledgeGraph::add_entity`], this leaves a cached CSR index
+    /// intact.
     pub fn add_relation(&mut self, name: &str) -> RelationId {
-        let id = self.relations.intern(name);
-        while self.by_relation.len() <= id as usize {
-            self.by_relation.push(Vec::new());
-        }
-        RelationId(id)
+        RelationId(self.relations.intern(name))
     }
 
     /// Adds a triple by ids. Duplicate triples are ignored.
@@ -80,11 +106,9 @@ impl KnowledgeGraph {
         if !self.triple_set.insert(triple) {
             return Ok(false);
         }
-        let idx = u32::try_from(self.triples.len()).expect("triple index overflow");
+        let _ = u32::try_from(self.triples.len()).expect("triple index overflow");
         self.triples.push(triple);
-        self.outgoing[triple.head.index()].push(idx);
-        self.incoming[triple.tail.index()].push(idx);
-        self.by_relation[triple.relation.index()].push(idx);
+        self.invalidate_index();
         Ok(true)
     }
 
@@ -131,8 +155,7 @@ impl KnowledgeGraph {
 
     /// Returns `true` if some triple `(head, relation, ?)` exists.
     pub fn has_outgoing_relation(&self, head: EntityId, relation: RelationId) -> bool {
-        self.outgoing_triples(head)
-            .any(|t| t.relation == relation)
+        self.outgoing_triples(head).any(|t| t.relation == relation)
     }
 
     /// Name of an entity.
@@ -167,73 +190,81 @@ impl KnowledgeGraph {
 
     /// Triples whose head is `entity`.
     pub fn outgoing_triples(&self, entity: EntityId) -> impl Iterator<Item = Triple> + '_ {
-        self.outgoing
-            .get(entity.index())
-            .into_iter()
-            .flatten()
+        self.csr()
+            .outgoing(entity)
+            .iter()
             .map(move |&i| self.triples[i as usize])
     }
 
     /// Triples whose tail is `entity`.
     pub fn incoming_triples(&self, entity: EntityId) -> impl Iterator<Item = Triple> + '_ {
-        self.incoming
-            .get(entity.index())
-            .into_iter()
-            .flatten()
+        self.csr()
+            .incoming(entity)
+            .iter()
             .map(move |&i| self.triples[i as usize])
     }
 
     /// All triples touching `entity` (outgoing then incoming; a reflexive
     /// triple appears only once, in the outgoing part).
     pub fn triples_of(&self, entity: EntityId) -> Vec<Triple> {
-        let mut out: Vec<Triple> = self.outgoing_triples(entity).collect();
-        out.extend(self.incoming_triples(entity).filter(|t| t.head != t.tail));
-        out
+        self.neighbors_iter(entity).map(|n| n.triple).collect()
     }
 
     /// Triples carrying `relation`.
     pub fn triples_with_relation(&self, relation: RelationId) -> impl Iterator<Item = Triple> + '_ {
-        self.by_relation
-            .get(relation.index())
-            .into_iter()
-            .flatten()
+        self.csr()
+            .with_relation(relation)
+            .iter()
             .map(move |&i| self.triples[i as usize])
     }
 
     /// Degree (number of incident triples, reflexive triples counted once).
     pub fn degree(&self, entity: EntityId) -> usize {
-        let out = self.outgoing.get(entity.index()).map_or(0, Vec::len);
-        let inc = self
-            .incoming_triples(entity)
-            .filter(|t| t.head != t.tail)
+        let csr = self.csr();
+        let inc = csr
+            .incoming(entity)
+            .iter()
+            .filter(|&&i| {
+                let t = self.triples[i as usize];
+                t.head != t.tail
+            })
             .count();
-        out + inc
+        csr.out_degree(entity) + inc
+    }
+
+    /// Direct neighbours of `entity` as a zero-allocation borrowing iterator.
+    ///
+    /// Yields `(neighbour, triple, direction)` as [`NeighborRef`] values in
+    /// the same order as [`KnowledgeGraph::neighbors`]: outgoing triples
+    /// first (forward), then non-reflexive incoming triples (backward). The
+    /// iterator reads straight out of the CSR index — no per-call heap
+    /// allocation.
+    #[inline]
+    pub fn neighbors_iter(&self, entity: EntityId) -> Neighbors<'_> {
+        let csr = self.csr();
+        Neighbors::new(&self.triples, csr.outgoing(entity), csr.incoming(entity))
     }
 
     /// Direct neighbours of `entity`: `(neighbour, triple, direction)`.
     ///
     /// The direction is the direction in which the connecting triple is
     /// traversed when walking from `entity` to the neighbour.
+    ///
+    /// Allocating compatibility wrapper around
+    /// [`KnowledgeGraph::neighbors_iter`]; prefer the iterator in hot loops.
     pub fn neighbors(&self, entity: EntityId) -> Vec<(EntityId, Triple, Direction)> {
-        let mut result = Vec::new();
-        for t in self.outgoing_triples(entity) {
-            result.push((t.tail, t, Direction::Forward));
-        }
-        for t in self.incoming_triples(entity) {
-            if t.head != t.tail {
-                result.push((t.head, t, Direction::Backward));
-            }
-        }
-        result
+        self.neighbors_iter(entity)
+            .map(|n| (n.entity, n.triple, n.direction))
+            .collect()
     }
 
     /// Distinct neighbour entities (order unspecified but deterministic).
     pub fn neighbor_entities(&self, entity: EntityId) -> Vec<EntityId> {
         let mut seen = HashSet::new();
         let mut result = Vec::new();
-        for (n, _, _) in self.neighbors(entity) {
-            if n != entity && seen.insert(n) {
-                result.push(n);
+        for n in self.neighbors_iter(entity) {
+            if n.entity != entity && seen.insert(n.entity) {
+                result.push(n.entity);
             }
         }
         result
@@ -241,48 +272,104 @@ impl KnowledgeGraph {
 
     /// All triples within `hops` hops of `entity` (BFS over the undirected
     /// skeleton). `hops = 1` returns exactly the triples incident to `entity`.
+    ///
+    /// Allocating wrapper around
+    /// [`KnowledgeGraph::triples_within_hops_into`] using a thread-local
+    /// scratch, so repeated calls reuse their visited bitmaps.
     pub fn triples_within_hops(&self, entity: EntityId, hops: usize) -> Vec<Triple> {
-        let mut seen_triples = HashSet::new();
         let mut result = Vec::new();
-        let mut visited = HashSet::new();
-        let mut queue = VecDeque::new();
-        visited.insert(entity);
-        queue.push_back((entity, 0usize));
-        while let Some((current, depth)) = queue.pop_front() {
-            if depth >= hops {
-                continue;
-            }
-            for (neighbor, triple, _) in self.neighbors(current) {
-                if seen_triples.insert(triple) {
-                    result.push(triple);
-                }
-                if visited.insert(neighbor) {
-                    queue.push_back((neighbor, depth + 1));
-                }
-            }
-        }
+        LOCAL_SCRATCH.with(|scratch| {
+            self.triples_within_hops_into(entity, hops, &mut scratch.borrow_mut(), &mut result);
+        });
         result
     }
 
-    /// All entities within `hops` hops of `entity`, excluding `entity` itself.
-    pub fn entities_within_hops(&self, entity: EntityId, hops: usize) -> Vec<EntityId> {
-        let mut visited = HashSet::new();
-        let mut order = Vec::new();
-        let mut queue = VecDeque::new();
-        visited.insert(entity);
-        queue.push_back((entity, 0usize));
-        while let Some((current, depth)) = queue.pop_front() {
-            if depth >= hops {
+    /// BFS core of [`KnowledgeGraph::triples_within_hops`]: appends the k-hop
+    /// triples to `out` (cleared first), reusing `scratch` buffers so the
+    /// traversal itself performs no heap allocation in steady state.
+    pub fn triples_within_hops_into(
+        &self,
+        entity: EntityId,
+        hops: usize,
+        scratch: &mut BfsScratch,
+        out: &mut Vec<Triple>,
+    ) {
+        out.clear();
+        if hops == 0 {
+            return;
+        }
+        scratch.reset(self.num_entities(), self.num_triples());
+        let csr = self.csr();
+        scratch.visited.insert(entity.index());
+        scratch.queue.push_back((entity, 0));
+        while let Some((current, depth)) = scratch.queue.pop_front() {
+            if depth as usize >= hops {
                 continue;
             }
-            for (neighbor, _, _) in self.neighbors(current) {
-                if visited.insert(neighbor) {
-                    order.push(neighbor);
-                    queue.push_back((neighbor, depth + 1));
+            for &idx in csr.outgoing(current) {
+                let triple = self.triples[idx as usize];
+                if scratch.seen_triples.insert(idx as usize) {
+                    out.push(triple);
+                }
+                if scratch.visited.insert(triple.tail.index()) {
+                    scratch.queue.push_back((triple.tail, depth + 1));
+                }
+            }
+            for &idx in csr.incoming(current) {
+                let triple = self.triples[idx as usize];
+                if triple.head == triple.tail {
+                    continue;
+                }
+                if scratch.seen_triples.insert(idx as usize) {
+                    out.push(triple);
+                }
+                if scratch.visited.insert(triple.head.index()) {
+                    scratch.queue.push_back((triple.head, depth + 1));
                 }
             }
         }
-        order
+    }
+
+    /// All entities within `hops` hops of `entity`, excluding `entity` itself.
+    ///
+    /// Allocating wrapper around
+    /// [`KnowledgeGraph::entities_within_hops_into`] using a thread-local
+    /// scratch.
+    pub fn entities_within_hops(&self, entity: EntityId, hops: usize) -> Vec<EntityId> {
+        let mut result = Vec::new();
+        LOCAL_SCRATCH.with(|scratch| {
+            self.entities_within_hops_into(entity, hops, &mut scratch.borrow_mut(), &mut result);
+        });
+        result
+    }
+
+    /// BFS core of [`KnowledgeGraph::entities_within_hops`]: appends entities
+    /// in discovery order to `out` (cleared first), reusing `scratch`.
+    pub fn entities_within_hops_into(
+        &self,
+        entity: EntityId,
+        hops: usize,
+        scratch: &mut BfsScratch,
+        out: &mut Vec<EntityId>,
+    ) {
+        out.clear();
+        if hops == 0 {
+            return;
+        }
+        scratch.reset(self.num_entities(), 0);
+        scratch.visited.insert(entity.index());
+        scratch.queue.push_back((entity, 0));
+        while let Some((current, depth)) = scratch.queue.pop_front() {
+            if depth as usize >= hops {
+                continue;
+            }
+            for n in self.neighbors_iter(current) {
+                if scratch.visited.insert(n.entity.index()) {
+                    out.push(n.entity);
+                    scratch.queue.push_back((n.entity, depth + 1));
+                }
+            }
+        }
     }
 
     /// Returns a copy of the graph with the given triples removed.
@@ -291,33 +378,25 @@ impl KnowledgeGraph {
     /// alignment references remain valid. This is the operation used by the
     /// fidelity protocol: delete all candidate triples that are not part of an
     /// explanation and retrain the model on the remainder.
+    ///
+    /// The surviving triples are collected in one filtering pass; no
+    /// per-triple hash-set insertion or adjacency bookkeeping is repeated
+    /// (the CSR index of the copy is rebuilt lazily on its first query).
     pub fn without_triples(&self, remove: &HashSet<Triple>) -> KnowledgeGraph {
-        let mut kg = KnowledgeGraph {
-            entities: self.entities.clone(),
-            relations: self.relations.clone(),
-            triples: Vec::with_capacity(self.triples.len()),
-            triple_set: HashSet::with_capacity(self.triples.len()),
-            outgoing: vec![Vec::new(); self.num_entities()],
-            incoming: vec![Vec::new(); self.num_entities()],
-            by_relation: vec![Vec::new(); self.num_relations()],
-        };
-        for &t in &self.triples {
-            if !remove.contains(&t) {
-                kg.add_triple(t).expect("ids are valid in the clone");
-            }
-        }
-        kg
+        self.filter_triples(|t| !remove.contains(t))
     }
 
     /// Returns a copy of the graph keeping only triples accepted by `keep`.
     pub fn filter_triples<F: Fn(&Triple) -> bool>(&self, keep: F) -> KnowledgeGraph {
-        let remove: HashSet<Triple> = self
-            .triples
-            .iter()
-            .copied()
-            .filter(|t| !keep(t))
-            .collect();
-        self.without_triples(&remove)
+        let triples: Vec<Triple> = self.triples.iter().copied().filter(|t| keep(t)).collect();
+        let triple_set: HashSet<Triple> = triples.iter().copied().collect();
+        KnowledgeGraph {
+            entities: self.entities.clone(),
+            relations: self.relations.clone(),
+            triples,
+            triple_set,
+            csr: OnceLock::new(),
+        }
     }
 
     /// Average number of incident triples per entity.
@@ -396,6 +475,39 @@ mod tests {
     }
 
     #[test]
+    fn neighbors_iter_matches_allocating_neighbors() {
+        let kg = example_kg();
+        for e in kg.entity_ids() {
+            let via_iter: Vec<(EntityId, Triple, Direction)> = kg
+                .neighbors_iter(e)
+                .map(|n| (n.entity, n.triple, n.direction))
+                .collect();
+            assert_eq!(via_iter, kg.neighbors(e));
+        }
+    }
+
+    #[test]
+    fn csr_rebuilds_after_mutation() {
+        let mut kg = example_kg();
+        let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
+        assert_eq!(kg.degree(gavin), 4); // builds the index
+        kg.add_triple_by_names("Gavin_Newsom", "office", "Governor_of_California");
+        assert_eq!(kg.degree(gavin), 5); // index was invalidated and rebuilt
+        let office = kg.relation_by_name("office").unwrap();
+        assert_eq!(kg.triples_with_relation(office).count(), 1);
+    }
+
+    #[test]
+    fn late_interned_entity_has_no_neighbors() {
+        let mut kg = example_kg();
+        let _ = kg.degree(EntityId(0)); // build the index
+        let texas = kg.add_entity("Texas");
+        assert_eq!(kg.degree(texas), 0);
+        assert_eq!(kg.neighbors_iter(texas).count(), 0);
+        assert!(kg.triples_within_hops(texas, 2).is_empty());
+    }
+
+    #[test]
     fn degree_counts_incident_triples() {
         let kg = example_kg();
         let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
@@ -446,6 +558,24 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_traversals() {
+        let kg = example_kg();
+        let mut scratch = BfsScratch::new();
+        let mut buffer = Vec::new();
+        for e in kg.entity_ids() {
+            for hops in 0..3 {
+                kg.triples_within_hops_into(e, hops, &mut scratch, &mut buffer);
+                assert_eq!(buffer, kg.triples_within_hops(e, hops));
+            }
+        }
+        let mut entities = Vec::new();
+        for e in kg.entity_ids() {
+            kg.entities_within_hops_into(e, 2, &mut scratch, &mut entities);
+            assert_eq!(entities, kg.entities_within_hops(e, 2));
+        }
+    }
+
+    #[test]
     fn without_triples_preserves_vocabulary() {
         let kg = example_kg();
         let gavin = kg.entity_by_name("Gavin_Newsom").unwrap();
@@ -459,6 +589,8 @@ mod tests {
         assert_eq!(reduced.num_relations(), kg.num_relations());
         assert_eq!(reduced.entity_by_name("Jennifer_Siebel_Newsom"), Some(jen));
         assert!(!reduced.contains_triple(&Triple::new(gavin, spouse, jen)));
+        // The copy answers adjacency queries consistently.
+        assert_eq!(reduced.degree(gavin), 3);
     }
 
     #[test]

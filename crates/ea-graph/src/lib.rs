@@ -14,6 +14,10 @@
 //!   functionality, used by ExEA to weight alignment-dependency-graph edges.
 //! * [`paths`] — enumeration of relation paths between an entity and its
 //!   neighbours, the raw material for semantic-matching-subgraph explanations.
+//! * [`csr`] — the compressed-sparse-row adjacency index behind
+//!   [`KnowledgeGraph`]'s zero-allocation neighbour iteration
+//!   ([`KnowledgeGraph::neighbors_iter`]) and the reusable [`BfsScratch`]
+//!   buffers the k-hop queries run on.
 //!
 //! The crate is deliberately free of any embedding or model logic; it only
 //! knows about symbolic structure.
@@ -22,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod alignment;
+pub mod csr;
 pub mod error;
 pub mod functionality;
 pub mod ids;
@@ -34,6 +39,7 @@ pub mod triple;
 pub mod vocab;
 
 pub use alignment::{AlignmentPair, AlignmentSet};
+pub use csr::{BfsScratch, CsrIndex, NeighborRef, Neighbors};
 pub use error::GraphError;
 pub use functionality::RelationFunctionality;
 pub use ids::{EntityId, KgSide, RelationId};

@@ -41,7 +41,10 @@ impl RelationPath {
     /// Panics if `steps` is empty — a relation path always traverses at least
     /// one triple.
     pub fn new(start: EntityId, steps: Vec<PathStep>) -> Self {
-        assert!(!steps.is_empty(), "a relation path must have at least one step");
+        assert!(
+            !steps.is_empty(),
+            "a relation path must have at least one step"
+        );
         Self { start, steps }
     }
 
@@ -195,7 +198,15 @@ pub fn enumerate_paths(kg: &KnowledgeGraph, start: EntityId, max_len: usize) -> 
     if start.index() < on_path.len() {
         on_path[start.index()] = true;
     }
-    dfs_paths(kg, start, start, max_len, &mut stack_steps, &mut on_path, &mut result);
+    dfs_paths(
+        kg,
+        start,
+        start,
+        max_len,
+        &mut stack_steps,
+        &mut on_path,
+        &mut result,
+    );
     result
 }
 
@@ -225,13 +236,16 @@ fn dfs_paths(
     if remaining == 0 {
         return;
     }
-    for (neighbor, triple, direction) in kg.neighbors(current) {
+    // `neighbors_iter` borrows the CSR index directly: the whole DFS runs
+    // without allocating intermediate neighbour vectors.
+    for n in kg.neighbors_iter(current) {
+        let neighbor = n.entity;
         if neighbor.index() < on_path.len() && on_path[neighbor.index()] {
             continue;
         }
         steps.push(PathStep {
-            relation: triple.relation,
-            direction,
+            relation: n.triple.relation,
+            direction: n.direction,
             entity: neighbor,
         });
         out.push(RelationPath::new(start, steps.clone()));
@@ -286,7 +300,10 @@ mod tests {
         let a = kg.entity_by_name("a").unwrap();
         for p in enumerate_paths(&kg, a, 2) {
             for t in p.triples() {
-                assert!(kg.contains_triple(&t), "reconstructed triple {t} not in graph");
+                assert!(
+                    kg.contains_triple(&t),
+                    "reconstructed triple {t} not in graph"
+                );
             }
         }
     }

@@ -129,10 +129,7 @@ mod tests {
     #[test]
     fn entities_and_relations_are_deduplicated_and_sorted() {
         let s = Subgraph::from_triples([t(3, 1, 0), t(0, 1, 2), t(2, 0, 3)]);
-        assert_eq!(
-            s.entities(),
-            vec![EntityId(0), EntityId(2), EntityId(3)]
-        );
+        assert_eq!(s.entities(), vec![EntityId(0), EntityId(2), EntityId(3)]);
         assert_eq!(s.relations(), vec![RelationId(0), RelationId(1)]);
     }
 

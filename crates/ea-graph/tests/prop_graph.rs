@@ -1,11 +1,83 @@
 //! Property-based tests for the graph substrate.
 
 use ea_graph::{
-    paths::enumerate_paths, AlignmentPair, AlignmentSet, EntityId, KnowledgeGraph,
-    RelationFunctionality, RelationId, Subgraph, Triple,
+    paths::enumerate_paths, AlignmentPair, AlignmentSet, BfsScratch, Direction, EntityId,
+    KnowledgeGraph, RelationFunctionality, RelationId, Subgraph, Triple,
 };
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
+
+/// The pre-CSR reference implementation: push-based per-entity adjacency
+/// lists, exactly as `KnowledgeGraph` stored them before the refactor. The
+/// CSR index must reproduce its query results byte for byte.
+struct ReferenceAdjacency {
+    outgoing: Vec<Vec<u32>>,
+    incoming: Vec<Vec<u32>>,
+    by_relation: Vec<Vec<u32>>,
+}
+
+impl ReferenceAdjacency {
+    fn build(kg: &KnowledgeGraph) -> Self {
+        let mut outgoing = vec![Vec::new(); kg.num_entities()];
+        let mut incoming = vec![Vec::new(); kg.num_entities()];
+        let mut by_relation = vec![Vec::new(); kg.num_relations()];
+        for (i, t) in kg.triples().iter().enumerate() {
+            outgoing[t.head.index()].push(i as u32);
+            incoming[t.tail.index()].push(i as u32);
+            by_relation[t.relation.index()].push(i as u32);
+        }
+        Self {
+            outgoing,
+            incoming,
+            by_relation,
+        }
+    }
+
+    /// The historical `neighbors` result: outgoing triples first (forward),
+    /// then non-reflexive incoming triples (backward), in insertion order.
+    fn neighbors(&self, kg: &KnowledgeGraph, e: EntityId) -> Vec<(EntityId, Triple, Direction)> {
+        let mut result = Vec::new();
+        if let Some(out) = self.outgoing.get(e.index()) {
+            for &i in out {
+                let t = kg.triples()[i as usize];
+                result.push((t.tail, t, Direction::Forward));
+            }
+        }
+        if let Some(inc) = self.incoming.get(e.index()) {
+            for &i in inc {
+                let t = kg.triples()[i as usize];
+                if t.head != t.tail {
+                    result.push((t.head, t, Direction::Backward));
+                }
+            }
+        }
+        result
+    }
+
+    /// The historical hash-set BFS behind `triples_within_hops`.
+    fn triples_within_hops(&self, kg: &KnowledgeGraph, e: EntityId, hops: usize) -> Vec<Triple> {
+        let mut seen_triples = HashSet::new();
+        let mut result = Vec::new();
+        let mut visited = HashSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(e);
+        queue.push_back((e, 0usize));
+        while let Some((current, depth)) = queue.pop_front() {
+            if depth >= hops {
+                continue;
+            }
+            for (neighbor, triple, _) in self.neighbors(kg, current) {
+                if seen_triples.insert(triple) {
+                    result.push(triple);
+                }
+                if visited.insert(neighbor) {
+                    queue.push_back((neighbor, depth + 1));
+                }
+            }
+        }
+        result
+    }
+}
 
 /// Strategy: a random small KG described as a list of (head, rel, tail) index
 /// triples over bounded vocabularies.
@@ -136,6 +208,65 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR `neighbors_iter` reproduces the pre-refactor push-based adjacency
+    /// byte for byte: same triples, same directions, same order — not just
+    /// the same multiset.
+    #[test]
+    fn csr_neighbors_match_reference_exactly(kg in kg_strategy()) {
+        let reference = ReferenceAdjacency::build(&kg);
+        for e in kg.entity_ids() {
+            let via_csr: Vec<(EntityId, Triple, Direction)> = kg
+                .neighbors_iter(e)
+                .map(|n| (n.entity, n.triple, n.direction))
+                .collect();
+            prop_assert_eq!(&via_csr, &reference.neighbors(&kg, e));
+            prop_assert_eq!(&via_csr, &kg.neighbors(e));
+        }
+    }
+
+    /// The bitmap-BFS `triples_within_hops` agrees with the historical
+    /// hash-set BFS on every entity and hop count — identical sequences,
+    /// hence identical multisets.
+    #[test]
+    fn csr_khop_triples_match_reference_exactly(kg in kg_strategy(), hops in 1usize..4) {
+        let reference = ReferenceAdjacency::build(&kg);
+        for e in kg.entity_ids() {
+            prop_assert_eq!(
+                kg.triples_within_hops(e, hops),
+                reference.triples_within_hops(&kg, e, hops)
+            );
+        }
+    }
+
+    /// A single reused scratch buffer yields the same traversals as fresh
+    /// allocations, across interleaved entities and hop counts.
+    #[test]
+    fn bfs_scratch_reuse_is_sound(kg in kg_strategy(), hops in 1usize..4) {
+        let mut scratch = BfsScratch::new();
+        let mut triples = Vec::new();
+        let mut entities = Vec::new();
+        for e in kg.entity_ids() {
+            kg.triples_within_hops_into(e, hops, &mut scratch, &mut triples);
+            prop_assert_eq!(&triples, &kg.triples_within_hops(e, hops));
+            kg.entities_within_hops_into(e, hops, &mut scratch, &mut entities);
+            prop_assert_eq!(&entities, &kg.entities_within_hops(e, hops));
+        }
+    }
+
+    /// The by-relation CSR view equals the reference per-relation buckets.
+    #[test]
+    fn csr_relation_view_matches_reference(kg in kg_strategy()) {
+        let reference = ReferenceAdjacency::build(&kg);
+        for r in kg.relation_ids() {
+            let via_index: Vec<Triple> = kg.triples_with_relation(r).collect();
+            let via_reference: Vec<Triple> = reference.by_relation[r.index()]
+                .iter()
+                .map(|&i| kg.triples()[i as usize])
+                .collect();
+            prop_assert_eq!(via_index, via_reference);
+        }
+    }
 
     /// AlignmentSet maintains the forward-uniqueness invariant and its reverse
     /// index stays consistent under arbitrary insert/remove sequences.

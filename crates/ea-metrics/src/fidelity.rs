@@ -15,8 +15,8 @@ use ea_graph::{AlignmentPair, KgPair, Triple};
 use ea_models::{EaModel, TrainedAlignment};
 use exea_core::Explainer;
 use rand::seq::SliceRandom;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 
 /// Configuration of the fidelity protocol.
@@ -222,7 +222,10 @@ mod tests {
             sample_size: 40,
             ..FidelityProtocol::default()
         };
-        let keep_all = KeepAll { pair: &pair, hops: 1 };
+        let keep_all = KeepAll {
+            pair: &pair,
+            hops: 1,
+        };
         let all = protocol.evaluate(&pair, model.as_ref(), &trained, &keep_all, |_| usize::MAX);
         let none = protocol.evaluate(&pair, model.as_ref(), &trained, &KeepNone, |_| 0);
         assert!(all.fidelity >= 0.9, "keep-all fidelity {:.3}", all.fidelity);
@@ -247,7 +250,8 @@ mod tests {
             sample_size: 40,
             ..FidelityProtocol::default()
         };
-        let exea_outcome = protocol.evaluate(&pair, model.as_ref(), &trained, &exea, |_| usize::MAX);
+        let exea_outcome =
+            protocol.evaluate(&pair, model.as_ref(), &trained, &exea, |_| usize::MAX);
         let none = protocol.evaluate(&pair, model.as_ref(), &trained, &KeepNone, |_| 0);
         assert!(
             exea_outcome.fidelity > none.fidelity,

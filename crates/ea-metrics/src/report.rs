@@ -62,12 +62,22 @@ impl fmt::Display for Table {
         let render_row = |row: &[String]| -> String {
             row.iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:<width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
         writeln!(f, "{}", render_row(&self.header))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", render_row(row))?;
         }

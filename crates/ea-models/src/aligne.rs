@@ -156,7 +156,10 @@ mod tests {
         let trained = AlignE::new(TrainConfig::fast()).train(&pair);
         let acc = trained.accuracy(&pair);
         let random_baseline = 1.0 / pair.target.num_entities() as f64;
-        assert!(acc > random_baseline * 10.0, "AlignE accuracy {acc} too low");
+        assert!(
+            acc > random_baseline * 10.0,
+            "AlignE accuracy {acc} too low"
+        );
     }
 
     #[test]

@@ -54,13 +54,19 @@ impl TrainConfig {
         assert!(self.epochs >= 1, "need at least one epoch");
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
         assert!(self.margin > 0.0, "margin must be positive");
-        assert!(self.negative_samples >= 1, "need at least one negative sample");
+        assert!(
+            self.negative_samples >= 1,
+            "need at least one negative sample"
+        );
     }
 
     /// Returns a copy with a different RNG seed (used to check that training
     /// is seed-deterministic but seed-sensitive).
     pub fn with_seed(&self, seed: u64) -> Self {
-        Self { seed, ..self.clone() }
+        Self {
+            seed,
+            ..self.clone()
+        }
     }
 }
 

@@ -156,8 +156,12 @@ impl EaModel for DualAmn {
                     *v = rng.gen_range(-1.0f32..=1.0);
                 }
                 ea_embed::vector::normalize(&mut anchor);
-                source_base.row_mut(p.source.index()).copy_from_slice(&anchor);
-                target_base.row_mut(p.target.index()).copy_from_slice(&anchor);
+                source_base
+                    .row_mut(p.source.index())
+                    .copy_from_slice(&anchor);
+                target_base
+                    .row_mut(p.target.index())
+                    .copy_from_slice(&anchor);
             }
             let source_plain = propagate(
                 &source_base,
@@ -304,8 +308,10 @@ fn derive_gates(
         let mut acc = vec![0.0f32; dim];
         let mut count = 0usize;
         for t in kg.triples_with_relation(r) {
-            for i in 0..dim {
-                acc[i] += entities.row(t.head.index())[i] - entities.row(t.tail.index())[i];
+            let head = entities.row(t.head.index());
+            let tail = entities.row(t.tail.index());
+            for (a, (h, tl)) in acc.iter_mut().zip(head.iter().zip(tail)) {
+                *a += h - tl;
             }
             count += 1;
         }
@@ -376,6 +382,9 @@ mod tests {
         assert_eq!(gates.rows(), pair.source.num_relations());
         // A used relation's gate differs from the all-ones default.
         let used = pair.source.triples()[0].relation;
-        assert!(gates.row(used.index()).iter().any(|&v| (v - 1.0).abs() > 1e-6));
+        assert!(gates
+            .row(used.index())
+            .iter()
+            .any(|&v| (v - 1.0).abs() > 1e-6));
     }
 }

@@ -13,9 +13,7 @@
 
 use crate::config::TrainConfig;
 use crate::trained::TrainedAlignment;
-use crate::training::{
-    alignment_pull_epoch, training_rng, transe_epoch, TranslationState,
-};
+use crate::training::{alignment_pull_epoch, training_rng, transe_epoch, TranslationState};
 use crate::traits::EaModel;
 use ea_embed::NegativeSampler;
 use ea_graph::KgPair;
@@ -109,10 +107,16 @@ mod tests {
         let model = MTransE::new(TrainConfig::fast());
         let a = model.train(&pair);
         let b = model.train(&pair);
-        assert_eq!(a.entities(ea_graph::KgSide::Source).data(), b.entities(ea_graph::KgSide::Source).data());
+        assert_eq!(
+            a.entities(ea_graph::KgSide::Source).data(),
+            b.entities(ea_graph::KgSide::Source).data()
+        );
         let other = MTransE::new(TrainConfig::fast().with_seed(99));
         let c = other.train(&pair);
-        assert_ne!(a.entities(ea_graph::KgSide::Source).data(), c.entities(ea_graph::KgSide::Source).data());
+        assert_ne!(
+            a.entities(ea_graph::KgSide::Source).data(),
+            c.entities(ea_graph::KgSide::Source).data()
+        );
     }
 
     #[test]

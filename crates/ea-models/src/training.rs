@@ -10,8 +10,8 @@ use crate::config::TrainConfig;
 use ea_embed::{vector, EmbeddingTable, Negatives};
 use ea_graph::{AlignmentSet, KgPair, KnowledgeGraph};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Mutable training state shared by the translation-based models: entity and
 /// relation tables for both graphs.
@@ -210,8 +210,7 @@ pub fn alignment_margin_epoch<N: Negatives>(
             let Some(neg) = sampler.negative(rng, target_entities, t, t) else {
                 continue;
             };
-            let pos_dist =
-                vector::squared_distance(source_entities.row(s), target_entities.row(t));
+            let pos_dist = vector::squared_distance(source_entities.row(s), target_entities.row(t));
             let neg_dist =
                 vector::squared_distance(source_entities.row(s), target_entities.row(neg));
             if config.margin + pos_dist - neg_dist <= 0.0 {
@@ -485,7 +484,10 @@ mod tests {
             );
         }
         let after = avg_dist(&state.source_entities, &state.target_entities);
-        assert!(after < before * 0.7, "pull should shrink seed distances ({before} -> {after})");
+        assert!(
+            after < before * 0.7,
+            "pull should shrink seed distances ({before} -> {after})"
+        );
     }
 
     #[test]
@@ -517,7 +519,10 @@ mod tests {
             );
         }
         let after = avg_dist(&state.source_entities, &state.target_entities);
-        assert!(after < before, "margin epochs should shrink positive distances");
+        assert!(
+            after < before,
+            "margin epochs should shrink positive distances"
+        );
     }
 
     #[test]
@@ -536,8 +541,12 @@ mod tests {
         let pair = load(DatasetName::ZhEn, DatasetScale::Small);
         let config = TrainConfig::fast();
         let mut rng = training_rng(&config);
-        let base =
-            EmbeddingTable::uniform_normalized(pair.source.num_entities(), config.dim, 1.0, &mut rng);
+        let base = EmbeddingTable::uniform_normalized(
+            pair.source.num_entities(),
+            config.dim,
+            1.0,
+            &mut rng,
+        );
         let lists = NeighborLists::build(&pair.source);
         let out = aggregate(&base, &lists, None);
         assert_eq!(out.rows(), base.rows());

@@ -10,7 +10,10 @@ use exea_core::{ExEa, ExeaConfig, RepairConfig};
 fn main() {
     let pair = load(DatasetName::ZhEn, DatasetScale::Small);
     println!("dataset: {}", pair.stats());
-    println!("{:<12} {:>8} {:>8} {:>8}", "model", "base", "repaired", "delta");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>10}",
+        "model", "base", "repaired", "delta", "mean conf"
+    );
     for kind in ModelKind::all() {
         let mut config = TrainConfig::default();
         if kind.is_translation_based() {
@@ -19,16 +22,22 @@ fn main() {
         let trained = build_model(kind, config).train(&pair);
         let base = trained.accuracy(&pair);
         let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        // Score every prediction in one parallel batch; the mean confidence
+        // summarises how well the model's decisions are grounded in matching
+        // structure.
+        let scores = exea.confidence_map();
+        let mean_conf = scores.iter().map(|(_, _, c)| c).sum::<f64>() / scores.len().max(1) as f64;
         let repaired = exea
             .repair(&RepairConfig::default())
             .repaired
             .accuracy_against(&pair.reference);
         println!(
-            "{:<12} {:>8.3} {:>8.3} {:>+8.3}",
+            "{:<12} {:>8.3} {:>8.3} {:>+8.3} {:>10.3}",
             kind.label(),
             base,
             repaired,
-            repaired - base
+            repaired - base,
+            mean_conf
         );
     }
 }

@@ -13,7 +13,10 @@ fn main() {
     let clean = load(DatasetName::ZhEn, DatasetScale::Small);
     let noisy = with_noisy_seed(&clean, 1.0 / 6.0, 99);
 
-    for (label, pair) in [("clean seed", &clean), ("noisy seed (1/6 corrupted)", &noisy)] {
+    for (label, pair) in [
+        ("clean seed", &clean),
+        ("noisy seed (1/6 corrupted)", &noisy),
+    ] {
         let trained = build_model(ModelKind::DualAmn, TrainConfig::default()).train(pair);
         let base = trained.accuracy(pair);
         let exea = ExEa::new(pair, &trained, ExeaConfig::default());

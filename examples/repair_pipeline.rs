@@ -28,7 +28,10 @@ fn main() {
 
     for (name, config) in [
         ("full ExEA repair", RepairConfig::default()),
-        ("without relation conflicts (cr1)", RepairConfig::without_cr1()),
+        (
+            "without relation conflicts (cr1)",
+            RepairConfig::without_cr1(),
+        ),
         ("without one-to-many (cr2)", RepairConfig::without_cr2()),
         ("without low-confidence (cr3)", RepairConfig::without_cr3()),
     ] {

@@ -1,0 +1,16 @@
+//! `exea` — umbrella crate of the ExEA workspace.
+//!
+//! Re-exports every member crate under one roof so downstream users (and the
+//! examples and integration tests in this repository) can depend on a single
+//! package. See the README for the workspace layout and the
+//! explain → ADG → repair → verify pipeline walkthrough.
+
+#![forbid(unsafe_code)]
+
+pub use ea_baselines as baselines;
+pub use ea_data as data;
+pub use ea_embed as embed;
+pub use ea_graph as graph;
+pub use ea_metrics as metrics;
+pub use ea_models as models;
+pub use exea_core as core;

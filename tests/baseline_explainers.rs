@@ -32,7 +32,10 @@ fn llm_match_explainer_pairs_triples_by_name() {
             break;
         }
     }
-    assert!(matched_any, "the simulated LLM should match some triples by name");
+    assert!(
+        matched_any,
+        "the simulated LLM should match some triples by name"
+    );
 }
 
 #[test]
@@ -86,5 +89,8 @@ fn baselines_differ_from_each_other_on_at_least_some_pairs() {
             break;
         }
     }
-    assert!(differ, "EALime and EAShapley should not be byte-identical methods");
+    assert!(
+        differ,
+        "EALime and EAShapley should not be byte-identical methods"
+    );
 }

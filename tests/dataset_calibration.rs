@@ -12,7 +12,10 @@ fn all_five_datasets_generate_with_expected_shape() {
         let stats = pair.stats();
         assert_eq!(stats.seed_pairs + stats.reference_pairs, 300, "{name}");
         assert!(stats.source.average_degree > 3.0, "{name} too sparse");
-        assert_eq!(stats.source.isolated_entities, 0, "{name} has isolated world entities");
+        assert_eq!(
+            stats.source.isolated_entities, 0,
+            "{name} has isolated world entities"
+        );
         // Seed is roughly 30% of the gold alignment, as in the benchmarks.
         let ratio = stats.seed_pairs as f64 / (stats.seed_pairs + stats.reference_pairs) as f64;
         assert!((ratio - 0.3).abs() < 0.02, "{name} seed ratio {ratio}");

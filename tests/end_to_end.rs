@@ -17,7 +17,10 @@ fn full_pipeline_improves_every_model_on_zh_en() {
             repaired >= base,
             "{kind}: repair must not hurt accuracy ({base:.3} -> {repaired:.3})"
         );
-        assert!(outcome.repaired.is_one_to_one(), "{kind}: output must be one-to-one");
+        assert!(
+            outcome.repaired.is_one_to_one(),
+            "{kind}: output must be one-to-one"
+        );
         // Every test entity is still aligned after repair.
         for s in pair.reference.sources() {
             assert!(outcome.repaired.contains_source(s));

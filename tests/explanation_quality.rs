@@ -19,7 +19,8 @@ fn exea_fidelity_is_competitive_with_baselines_at_matched_sparsity() {
         hops: 1,
         ..FidelityProtocol::default()
     };
-    let budget = |p: &ea_graph::AlignmentPair| exea.explain(p.source, p.target).num_triples().max(1);
+    let budget =
+        |p: &ea_graph::AlignmentPair| exea.explain(p.source, p.target).num_triples().max(1);
 
     let exea_outcome = protocol.evaluate(&pair, model.as_ref(), &trained, &exea, budget);
     let lime = PerturbationExplainer::new(&pair, &trained, BaselineMethod::EaLime);
@@ -63,18 +64,42 @@ fn all_explainers_produce_graph_consistent_triples() {
     let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
     let p = pair.reference.iter().next().unwrap();
     let explainers: Vec<Box<dyn Explainer + '_>> = vec![
-        Box::new(PerturbationExplainer::new(&pair, &trained, BaselineMethod::EaLime)),
-        Box::new(PerturbationExplainer::new(&pair, &trained, BaselineMethod::EaShapley)),
-        Box::new(PerturbationExplainer::new(&pair, &trained, BaselineMethod::Anchor)),
-        Box::new(PerturbationExplainer::new(&pair, &trained, BaselineMethod::Lore)),
+        Box::new(PerturbationExplainer::new(
+            &pair,
+            &trained,
+            BaselineMethod::EaLime,
+        )),
+        Box::new(PerturbationExplainer::new(
+            &pair,
+            &trained,
+            BaselineMethod::EaShapley,
+        )),
+        Box::new(PerturbationExplainer::new(
+            &pair,
+            &trained,
+            BaselineMethod::Anchor,
+        )),
+        Box::new(PerturbationExplainer::new(
+            &pair,
+            &trained,
+            BaselineMethod::Lore,
+        )),
     ];
     for explainer in &explainers {
         let e = explainer.explain_pair(p.source, p.target, 6);
         for t in e.source_triples.triples() {
-            assert!(pair.source.contains_triple(&t), "{}", explainer.method_name());
+            assert!(
+                pair.source.contains_triple(&t),
+                "{}",
+                explainer.method_name()
+            );
         }
         for t in e.target_triples.triples() {
-            assert!(pair.target.contains_triple(&t), "{}", explainer.method_name());
+            assert!(
+                pair.target.contains_triple(&t),
+                "{}",
+                explainer.method_name()
+            );
         }
     }
     let exea_explanation = exea.explain(p.source, p.target);

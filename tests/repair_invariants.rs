@@ -14,7 +14,11 @@ fn repaired_alignment_is_one_to_one_complete_and_deterministic() {
         let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
         let a = exea.repair(&RepairConfig::default());
         let b = exea.repair(&RepairConfig::default());
-        assert_eq!(a.repaired.to_vec(), b.repaired.to_vec(), "repair must be deterministic");
+        assert_eq!(
+            a.repaired.to_vec(),
+            b.repaired.to_vec(),
+            "repair must be deterministic"
+        );
         assert!(a.repaired.is_one_to_one());
         assert_eq!(a.repaired.len(), pair.reference.len());
         for s in pair.reference.sources() {

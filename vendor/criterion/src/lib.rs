@@ -1,0 +1,228 @@
+//! Offline shim of the `criterion` API surface this workspace uses.
+//!
+//! Provides `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size`), `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is warmed
+//! up, then timed over enough iterations to fill a small measurement window;
+//! the mean, minimum and maximum per-iteration times are printed as a table
+//! row. No statistics files, plots, or outlier analysis — just honest
+//! wall-clock numbers suitable for before/after comparisons.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion's is equivalent here).
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a group of benchmarks.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Number of timed samples collected per benchmark.
+    sample_size: usize,
+    /// Target wall-clock time per sample.
+    sample_target: Duration,
+    /// Warm-up time before sampling.
+    warm_up: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            sample_target: Duration::from_millis(50),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing row.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &self.settings, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks with shared settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            settings: Settings::default(),
+        }
+    }
+}
+
+/// A group of benchmarks with its own settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &self.settings, f);
+        self
+    }
+
+    /// Ends the group (matching criterion's API; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; calls back into the timing loop.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Collected per-iteration durations (one entry per sample).
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing per-iteration durations.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up: also used to estimate a per-iteration cost so each sample
+        // batches enough iterations to dominate timer overhead.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((self.settings.sample_target.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, settings: &Settings, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("  {name:<42} (no samples collected)");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let mean = bencher
+        .samples
+        .iter()
+        .sum::<Duration>()
+        .checked_div(bencher.samples.len() as u32)
+        .unwrap_or_default();
+    println!(
+        "  {name:<42} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        // Keep the shim test fast: tiny warm-up and window.
+        let mut criterion = Criterion {
+            settings: Settings {
+                sample_size: 3,
+                sample_target: Duration::from_micros(200),
+                warm_up: Duration::from_micros(200),
+            },
+        };
+        let mut ran = false;
+        criterion.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_apply_sample_size() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        assert_eq!(group.settings.sample_size, 5);
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

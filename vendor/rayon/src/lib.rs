@@ -1,0 +1,279 @@
+//! Offline shim of the `rayon` API surface this workspace uses.
+//!
+//! The build container has no crates.io access, so this crate re-implements
+//! the small slice of rayon the ExEA pipeline needs — `par_iter` /
+//! `into_par_iter`, `map`, `collect`, `for_each`, and `join` — on top of
+//! `std::thread::scope`. Work is split into per-thread chunks that preserve
+//! input order, so `par_iter().map(f).collect::<Vec<_>>()` returns results in
+//! exactly the order a sequential `iter().map(f).collect()` would: parallel
+//! runs are bit-identical to sequential ones for pure `f`.
+//!
+//! Swapping in the real rayon crate requires no source changes: the exercised
+//! names and semantics match.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Number of worker threads to use (respects `RAYON_NUM_THREADS`).
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim: join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map used by every adapter in this shim.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, result) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    let item = slot.take().expect("rayon shim: item already consumed");
+                    *result = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("rayon shim: worker chunk did not complete"))
+        .collect()
+}
+
+/// A parallel iterator: a materialized work list plus a composed pipeline.
+pub trait ParallelIterator: Sized + Send {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Executes the pipeline and returns all results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let _ = self.map(f).run();
+    }
+
+    /// Collects the results into `C` (input order is preserved).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_vec(self.run())
+    }
+
+    /// Accepted for API compatibility; the shim ignores the hint.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Collection types a parallel iterator can `collect` into.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from the already-ordered results.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Base parallel iterator over a materialized item list.
+pub struct IterBridge<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterBridge<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Parallel `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterBridge<T>;
+
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IterBridge<usize>;
+
+    fn into_par_iter(self) -> IterBridge<usize> {
+        IterBridge {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a shared reference).
+    type Item: Send + 'data;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Creates a borrowing parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = IterBridge<&'data T>;
+
+    fn par_iter(&'data self) -> IterBridge<&'data T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = IterBridge<&'data T>;
+
+    fn par_iter(&'data self) -> IterBridge<&'data T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual glob import: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        let sequential: Vec<u64> = input.iter().map(|&x| x * x).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| format!("v{x}"))
+            .collect();
+        assert_eq!(out, vec!["v1", "v2", "v3"]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 40 + 2, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        items.par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+}

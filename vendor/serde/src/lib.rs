@@ -1,0 +1,17 @@
+//! Offline shim of `serde`.
+//!
+//! Provides marker traits with the canonical names plus the no-op derive
+//! macros from the vendored `serde_derive`, so `#[derive(Serialize,
+//! Deserialize)]` and `use serde::{Serialize, Deserialize}` compile without
+//! network access. Replace this vendored crate with the real `serde` to get
+//! functional serialization — no source changes needed elsewhere.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
