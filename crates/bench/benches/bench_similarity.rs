@@ -1,0 +1,98 @@
+//! Criterion benchmarks of the alignment-inference hot paths: the dense
+//! `SimilarityMatrix` reference vs the blocked top-k `CandidateIndex` engine
+//! (build + greedy alignment, CSLS re-scoring, and the cr2-style id-lookup
+//! loop that used to be quadratic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ea_embed::{CandidateIndex, EmbeddingTable, SimilarityMatrix};
+use ea_graph::EntityId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const K: usize = 5;
+const DIM: usize = 32;
+
+fn tables(
+    n_s: usize,
+    n_t: usize,
+) -> (EmbeddingTable, EmbeddingTable, Vec<EntityId>, Vec<EntityId>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let s = EmbeddingTable::xavier(n_s, DIM, &mut rng);
+    let t = EmbeddingTable::xavier(n_t, DIM, &mut rng);
+    let sids: Vec<EntityId> = (0..n_s as u32).map(EntityId).collect();
+    let tids: Vec<EntityId> = (0..n_t as u32).map(EntityId).collect();
+    (s, t, sids, tids)
+}
+
+/// Dense matrix vs blocked engine: build + greedy alignment.
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_inference");
+    group.sample_size(10);
+    for &(n_s, n_t) in &[(200usize, 400usize), (400, 800)] {
+        let (s, t, sids, tids) = tables(n_s, n_t);
+        group.bench_function(&format!("dense_{n_s}x{n_t}"), |b| {
+            b.iter(|| black_box(SimilarityMatrix::compute(&s, &sids, &t, &tids).greedy_alignment()))
+        });
+        group.bench_function(&format!("blocked_topk_{n_s}x{n_t}"), |b| {
+            b.iter(|| {
+                black_box(CandidateIndex::compute(&s, &sids, &t, &tids, K).greedy_alignment())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// CSLS re-scoring: dense full-matrix re-rank vs blocked top-k re-score.
+fn bench_csls(c: &mut Criterion) {
+    let (s, t, sids, tids) = tables(300, 600);
+    let matrix = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+    let index = CandidateIndex::compute_bidirectional(&s, &sids, &t, &tids, K);
+    let mut group = c.benchmark_group("csls");
+    group.sample_size(10);
+    group.bench_function("dense_300x600", |b| {
+        b.iter(|| {
+            let mut m = matrix.clone();
+            m.apply_csls(3);
+            black_box(m)
+        })
+    });
+    group.bench_function("blocked_topk_300x600", |b| {
+        b.iter(|| {
+            let mut i = index.clone();
+            i.apply_csls(3);
+            black_box(i)
+        })
+    });
+    group.finish();
+}
+
+/// The cr2 repair access pattern: for every source entity, an id→row lookup
+/// plus a walk of its top-k candidates. With the hash-backed maps this is
+/// O(n·k); the old linear-scan `source_index` made it O(n²).
+fn bench_cr2_lookup_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cr2_candidate_walk");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let (s, t, sids, tids) = tables(n, n);
+        let index = CandidateIndex::compute(&s, &sids, &t, &tids, K);
+        group.bench_function(&format!("lookup_walk_{n}"), |b| {
+            b.iter(|| {
+                let mut claimed = 0usize;
+                for &sid in &sids {
+                    let row = index.source_index(sid).unwrap();
+                    for rank in 0..K {
+                        if index.ranked_target(row, rank).is_some() {
+                            claimed += 1;
+                        }
+                    }
+                }
+                black_box(claimed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_csls, bench_cr2_lookup_loop);
+criterion_main!(benches);

@@ -17,6 +17,7 @@
 //!   table6   EA verification precision/recall/F1
 //!   table7   explanation generation under seed noise
 //!   table8   EA repair under seed noise
+//!   topk     dense similarity matrix vs blocked top-k candidate engine
 //!   all      run everything above in sequence
 //! ```
 //!
@@ -81,7 +82,7 @@ fn run(experiment: Experiment, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|all> \
+        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|all> \
          [--scale small|bench|paper] [--samples N]"
     );
 }

@@ -6,11 +6,13 @@ use crate::explanation::{generate_explanation, Explanation};
 use crate::pipeline::BatchOptions;
 use crate::relation_embed::RelationEmbeddings;
 use crate::rules::{mine_not_same_as_rules, relation_alignment, NotSameAsRules, RelationAlignment};
+use ea_embed::CandidateIndex;
 use ea_graph::paths::enumerate_paths;
 use ea_graph::{
     AlignmentSet, Direction, EntityId, KgPair, KgSide, RelationFunctionality, RelationPath,
 };
 use ea_models::TrainedAlignment;
+use std::sync::OnceLock;
 
 /// The ExEA framework bound to one KG pair and one trained EA model.
 ///
@@ -32,6 +34,9 @@ pub struct ExEa<'a> {
     target_rules: NotSameAsRules,
     predictions: AlignmentSet,
     batch: BatchOptions,
+    /// Lazily built blocked top-k candidate engine (`k = config.top_k`),
+    /// shared by the repair loops and candidate verification.
+    candidates: OnceLock<CandidateIndex>,
 }
 
 impl<'a> ExEa<'a> {
@@ -69,7 +74,17 @@ impl<'a> ExEa<'a> {
             target_rules,
             predictions,
             batch: BatchOptions::default(),
+            candidates: OnceLock::new(),
         }
+    }
+
+    /// The blocked top-k candidate engine over the pair's test source
+    /// entities and all target entities (`k = config.top_k`) — the bounded
+    /// O(n·k) form of the paper's ranked candidate matrix `M`. Built on
+    /// first use and cached for the lifetime of the framework.
+    pub fn candidate_index(&self) -> &CandidateIndex {
+        self.candidates
+            .get_or_init(|| self.trained.candidate_index(self.pair, self.config.top_k))
     }
 
     /// The batch-execution options used by [`ExEa::explain_all`] and the

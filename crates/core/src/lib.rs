@@ -57,4 +57,4 @@ pub use framework::ExEa;
 pub use pipeline::{BatchOptions, ConfidenceMap, PairScore, ScoredExplanation};
 pub use repair::{RepairConfig, RepairOutcome};
 pub use rules::{mine_not_same_as_rules, relation_alignment, NotSameAsRules, RelationAlignment};
-pub use verification::{verify_pairs, VerificationOutcome};
+pub use verification::{verify_pairs, verify_top_candidates, VerificationOutcome};

@@ -87,6 +87,19 @@ pub struct RepairStats {
     pub greedy_fallback: usize,
 }
 
+/// Keeps only the `k` best-scored candidates, best first, via
+/// [`ea_embed::select_top_k_by`] partial selection instead of fully sorting
+/// the list. The `(score desc, id asc)` total order matches what the old
+/// stable descending sort produced over the id-sorted candidate list, so
+/// repair decisions are unchanged bit for bit.
+fn select_top_candidates(scored: &mut Vec<(EntityId, f64)>, k: usize) {
+    ea_embed::select_top_k_by(scored, k, |a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+}
+
 /// The result of running the repair pipeline.
 #[derive(Debug, Clone)]
 pub struct RepairOutcome {
@@ -240,6 +253,11 @@ impl<'a> ExEa<'a> {
     /// Lines 2–21 of Algorithm 1: iteratively re-align the unaligned source
     /// entities from their ranked candidate lists, stealing a target from a
     /// weaker claim when the explanation confidence says so.
+    ///
+    /// Candidates come from the cached blocked top-k engine
+    /// ([`ExEa::candidate_index`]): O(n·k) storage instead of the dense
+    /// matrix, and the per-claim `source_index` lookups are O(1) hash probes
+    /// rather than the linear scans that used to make this loop quadratic.
     fn realign_by_similarity(
         &self,
         a_star: &mut AlignmentSet,
@@ -247,7 +265,7 @@ impl<'a> ExEa<'a> {
         k: usize,
         cr1: bool,
     ) {
-        let matrix = self.trained().similarity_matrix(self.pair());
+        let index = self.candidate_index();
         loop {
             if unaligned.is_empty() {
                 break;
@@ -256,13 +274,13 @@ impl<'a> ExEa<'a> {
             let mut next_round: Vec<EntityId> = Vec::new();
             let current: Vec<EntityId> = std::mem::take(unaligned);
             for e1 in current {
-                let Some(row) = matrix.source_index(e1) else {
+                let Some(row) = index.source_index(e1) else {
                     next_round.push(e1);
                     continue;
                 };
                 let mut aligned = false;
                 for rank in 0..k {
-                    let Some(e2) = matrix.ranked_target(row, rank) else {
+                    let Some(e2) = index.ranked_target(row, rank) else {
                         break;
                     };
                     if !a_star.contains_target(e2) && !self.pair().seed.contains_target(e2) {
@@ -349,10 +367,10 @@ impl<'a> ExEa<'a> {
                     .into_iter()
                     .map(|e2| (e2, self.alignment_score(e1, e2, &state, cr1)))
                     .collect();
-                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                select_top_candidates(&mut scored, k);
 
                 let mut aligned = false;
-                for &(e2, score) in scored.iter().take(k) {
+                for &(e2, score) in scored.iter() {
                     if !a_star.contains_target(e2) && !self.pair().seed.contains_target(e2) {
                         a_star.insert(AlignmentPair::new(e1, e2));
                         aligned = true;

@@ -89,6 +89,31 @@ pub fn verify_pairs(
     (decisions, outcome)
 }
 
+/// Verifies every test source entity's top-`k` candidate targets straight
+/// from the blocked candidate engine ([`ExEa::candidate_index`]): each
+/// `(source, candidate)` pair is explained and scored in one parallel batch
+/// and accepted on the usual strong-edges + `beta` rule.
+///
+/// This is the candidate-generation form of verification the engine makes
+/// affordable at scale — O(n·k) pairs, with `k` capped by the engine's own
+/// `top_k` — and the verdict for any pair is identical to [`verify_pair`].
+/// Returns the pairs in (source row, rank) order with their verdicts.
+pub fn verify_top_candidates(exea: &ExEa<'_>, k: usize) -> Vec<(AlignmentPair, bool)> {
+    let index = exea.candidate_index();
+    let mut pairs = Vec::with_capacity(index.source_ids().len() * k.min(index.k()));
+    for (row, &source) in index.source_ids().iter().enumerate() {
+        for (target, _) in index.candidates(row).take(k) {
+            pairs.push(AlignmentPair::new(source, target));
+        }
+    }
+    let state = exea.default_alignment_state();
+    let beta = exea.config().beta();
+    exea.score_batch(&pairs, &state, true, exea.batch_options())
+        .into_iter()
+        .map(|s| (s.pair, s.has_strong_edges && s.confidence >= beta))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +170,28 @@ mod tests {
         // separable task.
         assert!(outcome.f1 > 0.55, "verification F1 too low: {:?}", outcome);
         let _ = EntityId(0);
+    }
+
+    #[test]
+    fn top_candidate_verification_matches_per_pair_verdicts() {
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let trained = build_model(ModelKind::GcnAlign, TrainConfig::fast()).train(&pair);
+        let exea = ExEa::new(&pair, &trained, ExeaConfig::default());
+        let k = 2;
+        let verdicts = verify_top_candidates(&exea, k);
+        let index = exea.candidate_index();
+        assert_eq!(verdicts.len(), index.source_ids().len() * k);
+        // Pairs come back in (source row, rank) order and each verdict is
+        // exactly what the per-pair API decides.
+        for (row, &source) in index.source_ids().iter().enumerate().take(5) {
+            for (rank, (target, _)) in index.candidates(row).take(k).enumerate() {
+                let (p, accepted) = verdicts[row * k + rank];
+                assert_eq!(p, AlignmentPair::new(source, target));
+                assert_eq!(accepted, verify_pair(&exea, &p));
+            }
+        }
+        // Some accepted, some rejected on a weak model's candidate lists.
+        assert!(verdicts.iter().any(|&(_, a)| a));
+        assert!(verdicts.iter().any(|&(_, a)| !a));
     }
 }

@@ -1,0 +1,680 @@
+//! Blocked top-k candidate engine for alignment inference.
+//!
+//! The dense [`SimilarityMatrix`](crate::SimilarityMatrix) materialises every
+//! `n_s × n_t` similarity **and** a full per-source ranking — O(n²) memory —
+//! even though repair and verification only ever consume the `top_k`
+//! candidates of each source entity plus point lookups. [`CandidateIndex`]
+//! computes the same similarities in cache-friendly tiles fanned out over the
+//! rayon pool, but keeps only a bounded per-source top-k candidate list
+//! (binary-heap selection), so peak candidate storage — including every
+//! transient block buffer — is O(n·k). Consumers that need the per-target
+//! *reverse* neighbourhoods (CSLS, mutual-nearest-neighbour mining) opt in
+//! with [`CandidateIndex::compute_bidirectional`], which runs a second,
+//! transposed blocked pass: still O(n·k) peak memory, at twice the dot-product
+//! work. `dot(a, b)` and `dot(b, a)` multiply and accumulate the same values
+//! in the same lane order, so the transposed pass is bit-identical to reading
+//! the forward scores.
+//!
+//! **Determinism contract.** Embedding rows are normalised once
+//! ([`EmbeddingTable::gather_normalized`]) and every similarity is the same
+//! [`vector::cosine_prenormalized`] dot product the dense reference computes,
+//! so scores are bit-identical. Candidates are ordered by the canonical
+//! `(score desc, column asc)` total order — exactly what the dense stable
+//! descending sort produces — and parallel blocks are merged in input order,
+//! so the engine returns the same top-k lists and the same greedy alignment
+//! whether it runs on one thread or many
+//! (`crates/ea-embed/tests/prop_candidates.rs` pins it against the dense
+//! reference, `tests/candidates_threads.rs` under `RAYON_NUM_THREADS=8`).
+//! Scores must be NaN-free; zero-norm rows are handled (they score 0).
+//!
+//! **CSLS.** [`CandidateIndex::apply_csls`] (bidirectional indexes only)
+//! re-scores the stored candidate lists using the top-k neighbourhood
+//! averages — the standard approximation for hubness correction. Because the
+//! engine tracks the exact forward *and* reverse top-k neighbourhoods, every
+//! adjusted score is bit-identical to the dense
+//! [`SimilarityMatrix::apply_csls`](crate::SimilarityMatrix::apply_csls)
+//! value at the same cell whenever `csls_k <= k`; the approximation is only
+//! that re-ranking cannot pull in targets that were outside the raw top-k.
+
+use crate::embedding::EmbeddingTable;
+use crate::vector;
+use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::ops::Range;
+
+/// Default number of source rows per parallel work block.
+const DEFAULT_ROW_TILE: usize = 128;
+/// Default number of target columns per cache tile: the tile's normalised
+/// target rows stay hot while every source row of the block scans them.
+const DEFAULT_COL_TILE: usize = 256;
+
+/// One scored candidate: a column (or row) index plus its similarity.
+#[derive(Debug, Clone, Copy)]
+struct Ranked {
+    score: f32,
+    index: u32,
+}
+
+impl Ranked {
+    /// Canonical candidate order: descending score, ties broken by ascending
+    /// index. `Less` means `self` ranks earlier (is the better candidate).
+    /// This is the total order the dense ranking's stable descending sort
+    /// realises, so selections made under it match the dense reference
+    /// exactly, including tie-breaks.
+    fn rank_cmp(&self, other: &Ranked) -> Ordering {
+        match other.score.partial_cmp(&self.score) {
+            Some(Ordering::Equal) | None => self.index.cmp(&other.index),
+            Some(order) => order,
+        }
+    }
+}
+
+/// Max-heap wrapper whose greatest element is the *worst*-ranked candidate,
+/// so `peek`/`pop` expose the eviction victim of bounded top-k selection.
+struct Worst(Ranked);
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.rank_cmp(&other.0)
+    }
+}
+
+/// Bounded top-k selector backed by a binary heap of the kept candidates,
+/// worst on top.
+struct TopK {
+    cap: usize,
+    heap: BinaryHeap<Worst>,
+}
+
+impl TopK {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            heap: BinaryHeap::with_capacity(cap.saturating_add(1)),
+        }
+    }
+
+    fn push(&mut self, score: f32, index: u32) {
+        if self.cap == 0 {
+            return;
+        }
+        let entry = Ranked { score, index };
+        if self.heap.len() < self.cap {
+            self.heap.push(Worst(entry));
+        } else if let Some(worst) = self.heap.peek() {
+            if entry.rank_cmp(&worst.0) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(Worst(entry));
+            }
+        }
+    }
+
+    /// Drains the heap into a best-first list.
+    fn into_sorted(self) -> Vec<Ranked> {
+        let mut entries: Vec<Ranked> = self.heap.into_iter().map(|w| w.0).collect();
+        entries.sort_unstable_by(|a, b| a.rank_cmp(b));
+        entries
+    }
+}
+
+/// Scans one block of query rows against the whole corpus in column tiles,
+/// keeping the per-row top-`cap` candidates. Pure function of its inputs:
+/// block results are identical however blocks are scheduled. Output is the
+/// flattened best-first lists, exactly `cap.min(corpus.rows())` entries per
+/// block row.
+fn process_block(
+    queries: &EmbeddingTable,
+    corpus: &EmbeddingTable,
+    rows: Range<usize>,
+    cap: usize,
+    col_tile: usize,
+) -> Vec<Ranked> {
+    let n_c = corpus.rows();
+    let mut select: Vec<TopK> = rows.clone().map(|_| TopK::new(cap)).collect();
+    let mut tile_start = 0;
+    while tile_start < n_c {
+        let tile_end = (tile_start + col_tile).min(n_c);
+        for (slot, i) in rows.clone().enumerate() {
+            let q_row = queries.row(i);
+            for j in tile_start..tile_end {
+                select[slot].push(vector::cosine_prenormalized(q_row, corpus.row(j)), j as u32);
+            }
+        }
+        tile_start = tile_end;
+    }
+    let mut out = Vec::with_capacity(select.len() * cap.min(n_c));
+    for s in select {
+        out.extend(s.into_sorted());
+    }
+    out
+}
+
+/// Fans query-row blocks over the rayon pool and concatenates the block
+/// results in input order: the flattened top-`cap` lists of every query row
+/// against the corpus. Peak transient memory is the block outputs themselves
+/// — O(queries · cap).
+fn blocked_topk(
+    queries: &EmbeddingTable,
+    corpus: &EmbeddingTable,
+    cap: usize,
+    row_tile: usize,
+    col_tile: usize,
+) -> Vec<Ranked> {
+    let n_q = queries.rows();
+    let block_starts: Vec<usize> = (0..n_q).step_by(row_tile).collect();
+    let blocks: Vec<Vec<Ranked>> = block_starts
+        .par_iter()
+        .map(|&start| {
+            process_block(
+                queries,
+                corpus,
+                start..(start + row_tile).min(n_q),
+                cap,
+                col_tile,
+            )
+        })
+        .collect();
+    blocks.concat()
+}
+
+/// Bounded top-k candidate lists between source and target entities — the
+/// O(n·k) replacement for the dense similarity matrix `M` of Algorithm 1.
+///
+/// Stores, per source entity, its `min(k, n_t)` best target candidates (best
+/// first) plus hash-backed id→index maps for O(1) lookups.
+/// [`CandidateIndex::compute_bidirectional`] additionally stores, per target
+/// entity, its `min(k, n_s)` best source rows (exact reverse neighbourhoods,
+/// required by CSLS and mutual-nearest-neighbour checks).
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    source_ids: Vec<EntityId>,
+    target_ids: Vec<EntityId>,
+    k: usize,
+    /// Candidates stored per source row: `min(k, n_t)`.
+    row_len: usize,
+    /// Per-source candidate target columns, best first (`n_s * row_len`).
+    cand_cols: Vec<u32>,
+    /// Scores aligned with `cand_cols`; [`CandidateIndex::apply_csls`]
+    /// rewrites these in place.
+    cand_scores: Vec<f32>,
+    /// Whether the reverse neighbourhoods were computed.
+    has_reverse: bool,
+    /// Entries stored per target column: `min(k, n_s)` on bidirectional
+    /// indexes, 0 on forward-only ones.
+    rev_len: usize,
+    /// Per-target best source rows, best first (`n_t * rev_len`); raw scores.
+    rev_rows: Vec<u32>,
+    rev_scores: Vec<f32>,
+    source_index: HashMap<EntityId, u32>,
+    target_index: HashMap<EntityId, u32>,
+}
+
+impl CandidateIndex {
+    /// Computes the forward top-`k` candidate lists between the embeddings of
+    /// `source_ids` and `target_ids` with the default tile sizes. This is the
+    /// production inference path: one blocked pass, O(n·k) peak memory.
+    pub fn compute(
+        source_table: &EmbeddingTable,
+        source_ids: &[EntityId],
+        target_table: &EmbeddingTable,
+        target_ids: &[EntityId],
+        k: usize,
+    ) -> Self {
+        Self::compute_with_tiles(
+            source_table,
+            source_ids,
+            target_table,
+            target_ids,
+            k,
+            false,
+            DEFAULT_ROW_TILE,
+            DEFAULT_COL_TILE,
+        )
+    }
+
+    /// [`CandidateIndex::compute`] plus the exact per-target reverse top-k
+    /// lists, produced by a second, transposed blocked pass (twice the dot
+    /// products, still O(n·k) peak memory). Required for
+    /// [`CandidateIndex::apply_csls`] and
+    /// [`CandidateIndex::best_source_for_target`].
+    pub fn compute_bidirectional(
+        source_table: &EmbeddingTable,
+        source_ids: &[EntityId],
+        target_table: &EmbeddingTable,
+        target_ids: &[EntityId],
+        k: usize,
+    ) -> Self {
+        Self::compute_with_tiles(
+            source_table,
+            source_ids,
+            target_table,
+            target_ids,
+            k,
+            true,
+            DEFAULT_ROW_TILE,
+            DEFAULT_COL_TILE,
+        )
+    }
+
+    /// [`CandidateIndex::compute`] / [`CandidateIndex::compute_bidirectional`]
+    /// with explicit tile sizes (tuning knob; results are bit-identical for
+    /// any tile sizes — pinned by the property suite).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_with_tiles(
+        source_table: &EmbeddingTable,
+        source_ids: &[EntityId],
+        target_table: &EmbeddingTable,
+        target_ids: &[EntityId],
+        k: usize,
+        reverse: bool,
+        row_tile: usize,
+        col_tile: usize,
+    ) -> Self {
+        let n_s = source_ids.len();
+        let n_t = target_ids.len();
+        let row_tile = row_tile.max(1);
+        let col_tile = col_tile.max(1);
+        let row_len = k.min(n_t);
+
+        // One-time normalisation pass; all scoring below is plain dots.
+        let source_rows: Vec<usize> = source_ids.iter().map(|s| s.index()).collect();
+        let target_rows: Vec<usize> = target_ids.iter().map(|t| t.index()).collect();
+        let source_norm = source_table.gather_normalized(&source_rows);
+        let target_norm = target_table.gather_normalized(&target_rows);
+
+        let forward = blocked_topk(&source_norm, &target_norm, row_len, row_tile, col_tile);
+        let mut cand_cols = Vec::with_capacity(forward.len());
+        let mut cand_scores = Vec::with_capacity(forward.len());
+        for entry in forward {
+            cand_cols.push(entry.index);
+            cand_scores.push(entry.score);
+        }
+
+        // Reverse neighbourhoods are the forward problem transposed; the
+        // dot-product kernel is symmetric bit for bit, so these scores equal
+        // the forward ones exactly.
+        let rev_len = if reverse { k.min(n_s) } else { 0 };
+        let mut rev_rows = Vec::new();
+        let mut rev_scores = Vec::new();
+        if reverse {
+            let backward = blocked_topk(&target_norm, &source_norm, rev_len, row_tile, col_tile);
+            rev_rows.reserve(backward.len());
+            rev_scores.reserve(backward.len());
+            for entry in backward {
+                rev_rows.push(entry.index);
+                rev_scores.push(entry.score);
+            }
+        }
+
+        // First occurrence wins, matching the dense linear-scan semantics.
+        let mut source_index = HashMap::with_capacity(n_s);
+        for (i, &s) in source_ids.iter().enumerate() {
+            source_index.entry(s).or_insert(i as u32);
+        }
+        let mut target_index = HashMap::with_capacity(n_t);
+        for (j, &t) in target_ids.iter().enumerate() {
+            target_index.entry(t).or_insert(j as u32);
+        }
+
+        Self {
+            source_ids: source_ids.to_vec(),
+            target_ids: target_ids.to_vec(),
+            k,
+            row_len,
+            cand_cols,
+            cand_scores,
+            has_reverse: reverse,
+            rev_len,
+            rev_rows,
+            rev_scores,
+            source_index,
+            target_index,
+        }
+    }
+
+    /// The `k` the index was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Candidates actually stored per source entity: `min(k, n_t)`.
+    pub fn candidates_per_source(&self) -> usize {
+        self.row_len
+    }
+
+    /// Whether the index carries the per-target reverse neighbourhoods
+    /// ([`CandidateIndex::compute_bidirectional`]).
+    pub fn has_reverse(&self) -> bool {
+        self.has_reverse
+    }
+
+    /// Source entities (row labels).
+    pub fn source_ids(&self) -> &[EntityId] {
+        &self.source_ids
+    }
+
+    /// Target entities (column labels).
+    pub fn target_ids(&self) -> &[EntityId] {
+        &self.target_ids
+    }
+
+    /// Row index of a source entity — O(1), hash-backed.
+    pub fn source_index(&self, source: EntityId) -> Option<usize> {
+        self.source_index.get(&source).map(|&i| i as usize)
+    }
+
+    /// Column index of a target entity — O(1), hash-backed.
+    pub fn target_index(&self, target: EntityId) -> Option<usize> {
+        self.target_index.get(&target).map(|&j| j as usize)
+    }
+
+    /// The target entity at `rank` (0 = most similar) of the `i`-th source
+    /// entity's candidate list — the `M[i][j]` access of Algorithm 1,
+    /// bounded at `min(k, n_t)` candidates.
+    pub fn ranked_target(&self, i: usize, rank: usize) -> Option<EntityId> {
+        if i >= self.source_ids.len() || rank >= self.row_len {
+            return None;
+        }
+        let col = self.cand_cols[i * self.row_len + rank] as usize;
+        Some(self.target_ids[col])
+    }
+
+    /// The `i`-th source entity's candidates, best first, with scores.
+    /// Out-of-range rows yield an empty iterator (mirroring
+    /// [`CandidateIndex::ranked_target`] returning `None`).
+    pub fn candidates(&self, i: usize) -> impl Iterator<Item = (EntityId, f32)> + '_ {
+        let base = i.saturating_mul(self.row_len).min(self.cand_cols.len());
+        let end = (base + self.row_len).min(self.cand_cols.len());
+        self.cand_cols[base..end]
+            .iter()
+            .zip(&self.cand_scores[base..end])
+            .map(|(&col, &score)| (self.target_ids[col as usize], score))
+    }
+
+    /// The best `k` stored candidates of a source entity (at most the
+    /// index's own `k`).
+    pub fn top_k(&self, source: EntityId, k: usize) -> Vec<(EntityId, f32)> {
+        match self.source_index(source) {
+            Some(i) => self.candidates(i).take(k).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Point lookup: the stored score of `(source, target)`, if `target` is
+    /// among `source`'s top-k candidates.
+    pub fn candidate_score(&self, source: EntityId, target: EntityId) -> Option<f32> {
+        let i = self.source_index(source)?;
+        let j = self.target_index(target)? as u32;
+        let base = i * self.row_len;
+        self.cand_cols[base..base + self.row_len]
+            .iter()
+            .position(|&col| col == j)
+            .map(|slot| self.cand_scores[base + slot])
+    }
+
+    /// The most similar source entity of a target entity with its raw score
+    /// (head of the exact reverse neighbourhood; ties resolved to the
+    /// earliest source row, like the dense column scan).
+    ///
+    /// # Panics
+    /// Panics on a forward-only index — build with
+    /// [`CandidateIndex::compute_bidirectional`].
+    pub fn best_source_for_target(&self, target: EntityId) -> Option<(EntityId, f32)> {
+        assert!(
+            self.has_reverse,
+            "best_source_for_target requires an index built with compute_bidirectional"
+        );
+        let j = self.target_index(target)?;
+        if self.rev_len == 0 {
+            return None;
+        }
+        let base = j * self.rev_len;
+        Some((
+            self.source_ids[self.rev_rows[base] as usize],
+            self.rev_scores[base],
+        ))
+    }
+
+    /// Greedy alignment: every source entity aligned to its best candidate.
+    /// Bit-identical to the dense [`crate::SimilarityMatrix::greedy_alignment`].
+    pub fn greedy_alignment(&self) -> AlignmentSet {
+        let mut set = AlignmentSet::new();
+        if self.row_len == 0 {
+            return set;
+        }
+        for (i, &s) in self.source_ids.iter().enumerate() {
+            let col = self.cand_cols[i * self.row_len] as usize;
+            set.insert(AlignmentPair::new(s, self.target_ids[col]));
+        }
+        set
+    }
+
+    /// CSLS re-scoring on the stored top-k neighbourhoods (the standard
+    /// blocked approximation for hubness correction): every stored candidate
+    /// score becomes `2·s − r(source) − r(target)` where the neighbourhood
+    /// averages come from the exact forward/reverse top-k lists, then each
+    /// row is re-ranked.
+    ///
+    /// For `k <= self.k()` every adjusted score is bit-identical to the dense
+    /// [`crate::SimilarityMatrix::apply_csls`] value at the same cell; the
+    /// only divergence from the dense path is that candidates outside the raw
+    /// top-k can never enter a row. Apply at most once (reverse
+    /// neighbourhoods keep raw scores).
+    ///
+    /// # Panics
+    /// Panics on a forward-only index — build with
+    /// [`CandidateIndex::compute_bidirectional`].
+    pub fn apply_csls(&mut self, k: usize) {
+        assert!(
+            self.has_reverse,
+            "apply_csls requires an index built with compute_bidirectional"
+        );
+        let n_s = self.source_ids.len();
+        let n_t = self.target_ids.len();
+        if n_s == 0 || n_t == 0 || self.row_len == 0 {
+            return;
+        }
+        let k = k.max(1);
+        // Neighbourhood averages: the stored lists are sorted descending, so
+        // their k-prefix is the top-k neighbourhood and the sum runs in the
+        // same descending order as the dense reference (bit-identical sums).
+        let row_avg: Vec<f32> = (0..n_s)
+            .map(|i| {
+                let row = &self.cand_scores[i * self.row_len..(i + 1) * self.row_len];
+                let take = k.min(row.len());
+                row[..take].iter().sum::<f32>() / k.min(n_t).max(1) as f32
+            })
+            .collect();
+        let col_avg: Vec<f32> = (0..n_t)
+            .map(|j| {
+                let col = &self.rev_scores[j * self.rev_len..(j + 1) * self.rev_len];
+                let take = k.min(col.len());
+                col[..take].iter().sum::<f32>() / k.min(n_s).max(1) as f32
+            })
+            .collect();
+        let mut entries: Vec<Ranked> = Vec::with_capacity(self.row_len);
+        for (i, &r_avg) in row_avg.iter().enumerate() {
+            let base = i * self.row_len;
+            entries.clear();
+            for slot in 0..self.row_len {
+                let col = self.cand_cols[base + slot];
+                let raw = self.cand_scores[base + slot];
+                entries.push(Ranked {
+                    score: 2.0 * raw - r_avg - col_avg[col as usize],
+                    index: col,
+                });
+            }
+            entries.sort_unstable_by(|a, b| a.rank_cmp(b));
+            for (slot, entry) in entries.iter().enumerate() {
+                self.cand_cols[base + slot] = entry.index;
+                self.cand_scores[base + slot] = entry.score;
+            }
+        }
+    }
+
+    /// Bytes held by the candidate lists (forward + reverse) — the O(n·k)
+    /// storage that replaces the dense O(n_s·n_t) matrix + rankings.
+    pub fn candidate_bytes(&self) -> usize {
+        (self.cand_cols.len() + self.rev_rows.len())
+            * (std::mem::size_of::<u32>() + std::mem::size_of::<f32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn basis_tables() -> (EmbeddingTable, EmbeddingTable, Vec<EntityId>, Vec<EntityId>) {
+        let mut s = EmbeddingTable::zeros(3, 3);
+        let mut t = EmbeddingTable::zeros(3, 3);
+        let basis = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        for i in 0..3 {
+            s.row_mut(i).copy_from_slice(&basis[i]);
+            let mut v = basis[i];
+            v[(i + 1) % 3] = 0.1;
+            t.row_mut(i).copy_from_slice(&v);
+        }
+        let ids: Vec<EntityId> = (0..3).map(EntityId).collect();
+        (s, t, ids.clone(), ids)
+    }
+
+    #[test]
+    fn recovers_identity_alignment() {
+        let (s, t, sids, tids) = basis_tables();
+        let index = CandidateIndex::compute(&s, &sids, &t, &tids, 2);
+        let alignment = index.greedy_alignment();
+        for i in 0..3u32 {
+            assert_eq!(alignment.target_of(EntityId(i)), Some(EntityId(i)));
+        }
+        assert_eq!(index.k(), 2);
+        assert_eq!(index.candidates_per_source(), 2);
+        assert_eq!(index.source_ids().len(), 3);
+        assert_eq!(index.target_ids().len(), 3);
+    }
+
+    #[test]
+    fn lookups_are_hash_backed_and_bounded() {
+        let (s, t, sids, tids) = basis_tables();
+        let index = CandidateIndex::compute(&s, &sids, &t, &tids, 2);
+        assert_eq!(index.source_index(EntityId(2)), Some(2));
+        assert_eq!(index.source_index(EntityId(9)), None);
+        assert_eq!(index.target_index(EntityId(1)), Some(1));
+        assert_eq!(index.ranked_target(0, 0), Some(EntityId(0)));
+        assert_eq!(index.ranked_target(0, 2), None, "rank bounded by k");
+        assert_eq!(index.ranked_target(9, 0), None);
+        let top = index.top_k(EntityId(0), 5);
+        assert_eq!(top.len(), 2, "at most min(k, n_t) candidates stored");
+        assert!(top[0].1 >= top[1].1);
+        assert!(index.top_k(EntityId(42), 2).is_empty());
+        assert!(index.candidate_score(EntityId(0), EntityId(0)).is_some());
+    }
+
+    #[test]
+    fn k_larger_than_targets_stores_full_ranking() {
+        let (s, t, sids, tids) = basis_tables();
+        let index = CandidateIndex::compute(&s, &sids, &t, &tids, 99);
+        assert_eq!(index.candidates_per_source(), 3);
+        for i in 0..3 {
+            assert_eq!(index.candidates(i).count(), 3);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        let s = EmbeddingTable::zeros(1, 2);
+        let t = EmbeddingTable::zeros(1, 2);
+        let mut empty = CandidateIndex::compute_bidirectional(&s, &[], &t, &[], 3);
+        empty.apply_csls(2);
+        assert!(empty.greedy_alignment().is_empty());
+        assert_eq!(empty.candidate_bytes(), 0);
+        let no_targets = CandidateIndex::compute(&s, &[EntityId(0)], &t, &[], 3);
+        assert!(no_targets.greedy_alignment().is_empty());
+        assert_eq!(no_targets.ranked_target(0, 0), None);
+    }
+
+    #[test]
+    fn zero_norm_rows_score_zero() {
+        let s = EmbeddingTable::zeros(2, 2); // all-zero source rows
+        let mut t = EmbeddingTable::zeros(1, 2);
+        t.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        let sids: Vec<EntityId> = (0..2).map(EntityId).collect();
+        let index = CandidateIndex::compute(&s, &sids, &t, &[EntityId(0)], 1);
+        for i in 0..2 {
+            let (_, score) = index.candidates(i).next().unwrap();
+            assert_eq!(score, 0.0);
+        }
+    }
+
+    #[test]
+    fn reverse_lists_expose_best_source() {
+        let (s, t, sids, tids) = basis_tables();
+        let index = CandidateIndex::compute_bidirectional(&s, &sids, &t, &tids, 2);
+        assert!(index.has_reverse());
+        for i in 0..3u32 {
+            let (best, score) = index.best_source_for_target(EntityId(i)).unwrap();
+            assert_eq!(best, EntityId(i));
+            assert!(score > 0.9);
+        }
+        assert!(index.best_source_for_target(EntityId(7)).is_none());
+    }
+
+    #[test]
+    fn csls_demotes_hub_targets() {
+        // Same hub construction as the dense CSLS test.
+        let mut s = EmbeddingTable::zeros(2, 2);
+        s.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        s.row_mut(1).copy_from_slice(&[0.0, 1.0]);
+        let mut t = EmbeddingTable::zeros(3, 2);
+        t.row_mut(0).copy_from_slice(&[0.8, 0.75]); // hub
+        t.row_mut(1).copy_from_slice(&[1.0, 0.0]);
+        t.row_mut(2).copy_from_slice(&[0.1, 1.0]);
+        let sids: Vec<EntityId> = (0..2).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..3).map(EntityId).collect();
+        let mut index = CandidateIndex::compute_bidirectional(&s, &sids, &t, &tids, 3);
+        index.apply_csls(1);
+        let alignment = index.greedy_alignment();
+        assert_eq!(alignment.target_of(EntityId(0)), Some(EntityId(1)));
+        assert_eq!(alignment.target_of(EntityId(1)), Some(EntityId(2)));
+    }
+
+    #[test]
+    fn memory_is_bounded_by_n_times_k() {
+        let (s, t, sids, tids) = basis_tables();
+        let forward = CandidateIndex::compute(&s, &sids, &t, &tids, 2);
+        // Forward-only: 3 sources * 2 entries, 8 bytes each.
+        assert!(!forward.has_reverse());
+        assert_eq!(forward.candidate_bytes(), 3 * 2 * 8);
+        let both = CandidateIndex::compute_bidirectional(&s, &sids, &t, &tids, 2);
+        // Bidirectional adds 3 targets * 2 reverse entries.
+        assert_eq!(both.candidate_bytes(), (3 * 2 + 3 * 2) * 8);
+    }
+
+    #[test]
+    fn out_of_range_row_yields_empty_candidates() {
+        let (s, t, sids, tids) = basis_tables();
+        let index = CandidateIndex::compute(&s, &sids, &t, &tids, 2);
+        assert_eq!(index.candidates(99).count(), 0);
+        assert_eq!(index.candidates(usize::MAX).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute_bidirectional")]
+    fn forward_only_csls_panics() {
+        let (s, t, sids, tids) = basis_tables();
+        let mut index = CandidateIndex::compute(&s, &sids, &t, &tids, 2);
+        index.apply_csls(1);
+    }
+}

@@ -101,6 +101,28 @@ impl EmbeddingTable {
         vector::add_scaled(self.row_mut(i), grad, alpha);
     }
 
+    /// Gathers the given rows into a new table with every row L2-normalised.
+    ///
+    /// Rows whose norm is numerically zero (`<= f32::EPSILON`) come out
+    /// all-zero, so downstream dot products score them as 0 against
+    /// everything — the same contract [`vector::cosine`] applies to
+    /// degenerate embeddings. This is the one-time normalisation pass the
+    /// similarity engines run instead of re-deriving norms per pair.
+    pub fn gather_normalized(&self, rows: &[usize]) -> EmbeddingTable {
+        let mut out = EmbeddingTable::zeros(rows.len(), self.dim);
+        for (dst, &src) in rows.iter().enumerate() {
+            let row = self.row(src);
+            let n = vector::norm(row);
+            if n > f32::EPSILON {
+                let inv = 1.0 / n;
+                for (o, &v) in out.row_mut(dst).iter_mut().zip(row) {
+                    *o = v * inv;
+                }
+            }
+        }
+        out
+    }
+
     /// Cosine similarity between two rows of (possibly different) tables.
     pub fn cosine_between(&self, i: usize, other: &EmbeddingTable, j: usize) -> f32 {
         vector::cosine(self.row(i), other.row(j))

@@ -11,8 +11,15 @@
 //! * [`optimizer`] — SGD and AdaGrad optimisers applied per-row (sparse
 //!   updates, which is how EA training touches parameters).
 //! * [`sampling`] — uniform and hard (similarity-ranked) negative sampling.
-//! * [`similarity`] — similarity matrices, top-k nearest-neighbour search,
-//!   greedy alignment inference and CSLS re-scoring.
+//! * [`similarity`] — the dense similarity-matrix *reference* (O(n²) memory),
+//!   top-k nearest-neighbour search, greedy alignment inference and CSLS
+//!   re-scoring.
+//! * [`candidates`] — the blocked top-k [`CandidateIndex`] engine: the O(n·k)
+//!   production path for alignment inference. Rows are normalised once,
+//!   similarities are computed in cache-friendly tiles fanned over rayon with
+//!   order-preserving merges, and only bounded per-source candidate lists are
+//!   kept — bit-identical to the dense reference (pinned by the property
+//!   suite) at a fraction of the memory.
 //!
 //! The crate is deliberately framework-free: no BLAS, no autograd. Gradients
 //! of the margin-based losses used by the models are simple enough to write
@@ -22,13 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod candidates;
 pub mod embedding;
 pub mod optimizer;
 pub mod sampling;
 pub mod similarity;
 pub mod vector;
 
+pub use candidates::CandidateIndex;
 pub use embedding::EmbeddingTable;
 pub use optimizer::{Adagrad, Optimizer, Sgd};
 pub use sampling::{HardNegativeCache, NegativeSampler, Negatives};
-pub use similarity::{greedy_alignment, top_k_targets, SimilarityMatrix};
+pub use similarity::{greedy_alignment, select_top_k_by, top_k_targets, SimilarityMatrix};

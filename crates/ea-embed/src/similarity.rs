@@ -6,10 +6,16 @@
 //! ExEA's repair algorithms additionally need ranked candidate lists (the
 //! matrix `M` of Algorithm 1) and, optionally, CSLS re-scoring to reduce
 //! hubness.
+//!
+//! [`SimilarityMatrix`] is the dense O(n²) *reference implementation* of that
+//! phase. Production inference goes through the blocked O(n·k)
+//! [`crate::CandidateIndex`] engine, whose results the property suite pins
+//! against this matrix bit for bit.
 
 use crate::embedding::EmbeddingTable;
 use crate::vector;
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
+use std::collections::HashMap;
 
 /// A dense similarity matrix between a list of source entities and a list of
 /// target entities, with cached descending-similarity rankings per source.
@@ -21,11 +27,21 @@ pub struct SimilarityMatrix {
     values: Vec<f32>,
     /// Per-source ranking of target column indexes, most similar first.
     rankings: Vec<Vec<u32>>,
+    /// Hash-backed id→row/column maps; `source_index`/`target_index` are on
+    /// per-claim hot paths (repair cr2, verification), where the old linear
+    /// scans made the surrounding loops quadratic.
+    source_index: HashMap<EntityId, u32>,
+    target_index: HashMap<EntityId, u32>,
 }
 
 impl SimilarityMatrix {
     /// Computes cosine similarities between the embeddings of `source_ids`
     /// (rows of `source_table`) and `target_ids` (rows of `target_table`).
+    ///
+    /// Rows are L2-normalised once up front and every similarity is a plain
+    /// dot product ([`vector::cosine_prenormalized`]) — the same kernel the
+    /// blocked [`crate::CandidateIndex`] uses, so the two paths score
+    /// bit-identically.
     pub fn compute(
         source_table: &EmbeddingTable,
         source_ids: &[EntityId],
@@ -34,18 +50,33 @@ impl SimilarityMatrix {
     ) -> Self {
         let n_s = source_ids.len();
         let n_t = target_ids.len();
+        let source_rows: Vec<usize> = source_ids.iter().map(|s| s.index()).collect();
+        let target_rows: Vec<usize> = target_ids.iter().map(|t| t.index()).collect();
+        let source_norm = source_table.gather_normalized(&source_rows);
+        let target_norm = target_table.gather_normalized(&target_rows);
         let mut values = vec![0.0f32; n_s * n_t];
-        for (i, &s) in source_ids.iter().enumerate() {
-            let s_vec = source_table.row(s.index());
-            for (j, &t) in target_ids.iter().enumerate() {
-                values[i * n_t + j] = vector::cosine(s_vec, target_table.row(t.index()));
+        for i in 0..n_s {
+            let s_vec = source_norm.row(i);
+            for j in 0..n_t {
+                values[i * n_t + j] = vector::cosine_prenormalized(s_vec, target_norm.row(j));
             }
+        }
+        // First occurrence wins, matching the old linear-scan semantics.
+        let mut source_index = HashMap::with_capacity(n_s);
+        for (i, &s) in source_ids.iter().enumerate() {
+            source_index.entry(s).or_insert(i as u32);
+        }
+        let mut target_index = HashMap::with_capacity(n_t);
+        for (j, &t) in target_ids.iter().enumerate() {
+            target_index.entry(t).or_insert(j as u32);
         }
         let mut matrix = Self {
             source_ids: source_ids.to_vec(),
             target_ids: target_ids.to_vec(),
             values,
             rankings: Vec::new(),
+            source_index,
+            target_index,
         };
         matrix.recompute_rankings();
         matrix
@@ -70,6 +101,11 @@ impl SimilarityMatrix {
     /// place: each similarity is penalised by the average similarity of its
     /// row and column neighbourhoods, which suppresses "hub" target entities
     /// that are close to everything.
+    ///
+    /// Neighbourhood averages use partial top-k selection on a reused scratch
+    /// buffer instead of cloning and fully sorting every row and column; the
+    /// results are bit-identical to the full-sort implementation (pinned by
+    /// `csls_partial_selection_matches_full_sort_reference`).
     pub fn apply_csls(&mut self, k: usize) {
         let n_s = self.source_ids.len();
         let n_t = self.target_ids.len();
@@ -77,18 +113,19 @@ impl SimilarityMatrix {
             return;
         }
         let k = k.max(1);
+        let mut scratch: Vec<f32> = Vec::with_capacity(n_t.max(n_s));
         let row_avg: Vec<f32> = (0..n_s)
             .map(|i| {
-                let mut row: Vec<f32> = self.values[i * n_t..(i + 1) * n_t].to_vec();
-                row.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-                row.iter().take(k).sum::<f32>() / k.min(row.len()).max(1) as f32
+                scratch.clear();
+                scratch.extend_from_slice(&self.values[i * n_t..(i + 1) * n_t]);
+                top_k_mean_desc(&mut scratch, k)
             })
             .collect();
         let col_avg: Vec<f32> = (0..n_t)
             .map(|j| {
-                let mut col: Vec<f32> = (0..n_s).map(|i| self.values[i * n_t + j]).collect();
-                col.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
-                col.iter().take(k).sum::<f32>() / k.min(col.len()).max(1) as f32
+                scratch.clear();
+                scratch.extend((0..n_s).map(|i| self.values[i * n_t + j]));
+                top_k_mean_desc(&mut scratch, k)
             })
             .collect();
         for (row, &r_avg) in self.values.chunks_mut(n_t).zip(&row_avg) {
@@ -109,14 +146,15 @@ impl SimilarityMatrix {
         &self.target_ids
     }
 
-    /// Row index of a source entity, if present.
+    /// Row index of a source entity, if present — O(1), hash-backed (the old
+    /// linear scan made per-claim callers quadratic).
     pub fn source_index(&self, source: EntityId) -> Option<usize> {
-        self.source_ids.iter().position(|&s| s == source)
+        self.source_index.get(&source).map(|&i| i as usize)
     }
 
-    /// Column index of a target entity, if present.
+    /// Column index of a target entity, if present — O(1), hash-backed.
     pub fn target_index(&self, target: EntityId) -> Option<usize> {
-        self.target_ids.iter().position(|&t| t == target)
+        self.target_index.get(&target).map(|&j| j as usize)
     }
 
     /// Similarity between the `i`-th source and `j`-th target entity.
@@ -165,6 +203,44 @@ impl SimilarityMatrix {
     }
 }
 
+/// Keeps only the `k` best elements of `items` under `cmp`, best first,
+/// using `select_nth_unstable_by` partial selection plus a sort of the
+/// surviving prefix instead of a full sort.
+///
+/// With a comparator realising a strict total order (break score ties on a
+/// secondary key), the result is exactly the first `k` elements a stable
+/// full sort would produce — the single selection primitive behind the CSLS
+/// neighbourhood averages, [`top_k_targets`] and the repair loops'
+/// candidate scoring, so their bit-identical-to-full-sort contracts hinge
+/// only on the comparator each caller passes.
+pub fn select_top_k_by<T, F>(items: &mut Vec<T>, k: usize, cmp: F)
+where
+    F: Fn(&T, &T) -> std::cmp::Ordering,
+{
+    if k == 0 {
+        items.clear();
+        return;
+    }
+    if k < items.len() {
+        items.select_nth_unstable_by(k - 1, &cmp);
+        items.truncate(k);
+    }
+    items.sort_unstable_by(&cmp);
+}
+
+/// Mean of the `k` largest values of `values`, summed in descending order —
+/// bit-identical to sorting the whole slice descending and averaging the
+/// first `k` (ties are equal values, so partial selection cannot change the
+/// summed multiset). `values` is scratch and is left truncated.
+fn top_k_mean_desc(values: &mut Vec<f32>, k: usize) -> f32 {
+    let len = values.len();
+    debug_assert!(len > 0 && k > 0);
+    select_top_k_by(values, k, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    values.iter().sum::<f32>() / k.min(len).max(1) as f32
+}
+
 /// Convenience wrapper: greedy alignment straight from embedding tables.
 pub fn greedy_alignment(
     source_table: &EmbeddingTable,
@@ -176,6 +252,9 @@ pub fn greedy_alignment(
 }
 
 /// Convenience wrapper: top-k targets for one source entity.
+///
+/// Uses partial selection (score descending, ties by `target_ids` position)
+/// instead of fully sorting all targets.
 pub fn top_k_targets(
     source_table: &EmbeddingTable,
     source: EntityId,
@@ -184,13 +263,23 @@ pub fn top_k_targets(
     k: usize,
 ) -> Vec<(EntityId, f32)> {
     let q = source_table.row(source.index());
-    let mut scored: Vec<(EntityId, f32)> = target_ids
+    let mut scored: Vec<(u32, EntityId, f32)> = target_ids
         .iter()
-        .map(|&t| (t, vector::cosine(q, target_table.row(t.index()))))
+        .enumerate()
+        .map(|(pos, &t)| {
+            (
+                pos as u32,
+                t,
+                vector::cosine(q, target_table.row(t.index())),
+            )
+        })
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    scored.truncate(k);
-    scored
+    select_top_k_by(&mut scored, k, |a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored.into_iter().map(|(_, t, s)| (t, s)).collect()
 }
 
 #[cfg(test)]
@@ -293,6 +382,62 @@ mod tests {
         let topk = top_k_targets(&s, EntityId(0), &t, &tids, 2);
         assert_eq!(topk[0].0, EntityId(0));
         assert_eq!(topk.len(), 2);
+    }
+
+    /// The old full-sort CSLS, kept as a reference the partial-selection
+    /// implementation is pinned against bit for bit.
+    fn csls_full_sort_reference(m: &SimilarityMatrix, k: usize) -> Vec<f32> {
+        let n_s = m.source_ids.len();
+        let n_t = m.target_ids.len();
+        let k = k.max(1);
+        let row_avg: Vec<f32> = (0..n_s)
+            .map(|i| {
+                let mut row: Vec<f32> = m.values[i * n_t..(i + 1) * n_t].to_vec();
+                row.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                row.iter().take(k).sum::<f32>() / k.min(row.len()).max(1) as f32
+            })
+            .collect();
+        let col_avg: Vec<f32> = (0..n_t)
+            .map(|j| {
+                let mut col: Vec<f32> = (0..n_s).map(|i| m.values[i * n_t + j]).collect();
+                col.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                col.iter().take(k).sum::<f32>() / k.min(col.len()).max(1) as f32
+            })
+            .collect();
+        let mut expected = m.values.clone();
+        for (row, &r_avg) in expected.chunks_mut(n_t).zip(&row_avg) {
+            for (v, &c_avg) in row.iter_mut().zip(&col_avg) {
+                *v = 2.0 * *v - r_avg - c_avg;
+            }
+        }
+        expected
+    }
+
+    #[test]
+    fn csls_partial_selection_matches_full_sort_reference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n_s = 3 + (seed as usize % 5);
+            let n_t = 2 + (seed as usize % 7);
+            let s = EmbeddingTable::xavier(n_s, 6, &mut rng);
+            let t = EmbeddingTable::xavier(n_t, 6, &mut rng);
+            let sids: Vec<EntityId> = (0..n_s as u32).map(EntityId).collect();
+            let tids: Vec<EntityId> = (0..n_t as u32).map(EntityId).collect();
+            for k in [1usize, 2, 3, 10] {
+                let mut m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+                let expected = csls_full_sort_reference(&m, k);
+                m.apply_csls(k);
+                for (got, want) in m.values.iter().zip(&expected) {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "CSLS diverged from full-sort reference (seed {seed}, k {k})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

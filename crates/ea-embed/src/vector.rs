@@ -48,6 +48,22 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
 }
 
+/// Cosine similarity of two *pre-normalised* vectors (unit rows, or all-zero
+/// rows standing in for degenerate embeddings): a plain dot product clamped
+/// to `[-1, 1]`.
+///
+/// Every similarity the alignment-inference phase computes — the dense
+/// [`crate::SimilarityMatrix`] reference and the blocked
+/// [`crate::CandidateIndex`] engine — goes through this one function on rows
+/// produced by [`crate::EmbeddingTable::gather_normalized`], so the two paths
+/// score bit-identically. Skipping the per-pair norm derivation of
+/// [`cosine`] removes the O(n_s·n_t·d) of redundant norm work the old dense
+/// compute paid.
+#[inline]
+pub fn cosine_prenormalized(a: &[f32], b: &[f32]) -> f32 {
+    dot(a, b).clamp(-1.0, 1.0)
+}
+
 /// `out += alpha * x` (axpy).
 #[inline]
 pub fn add_scaled(out: &mut [f32], x: &[f32], alpha: f32) {

@@ -1,0 +1,193 @@
+//! Property suite pinning the blocked top-k [`CandidateIndex`] engine to the
+//! dense [`SimilarityMatrix`] reference: same top-k candidate sets (ids AND
+//! bit-identical scores), same greedy alignment, same tie-breaks, for any
+//! tile sizes. CSLS re-scoring is pinned cell-by-cell against the dense
+//! adjusted values.
+
+use ea_embed::{CandidateIndex, EmbeddingTable, SimilarityMatrix};
+use ea_graph::EntityId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tables(seed: u64, n_s: usize, n_t: usize, dim: usize) -> (EmbeddingTable, EmbeddingTable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = EmbeddingTable::xavier(n_s, dim, &mut rng);
+    let t = EmbeddingTable::xavier(n_t, dim, &mut rng);
+    (s, t)
+}
+
+fn ids(n: usize) -> Vec<EntityId> {
+    (0..n as u32).map(EntityId).collect()
+}
+
+/// Asserts the blocked index reproduces the dense matrix's top-k lists
+/// (identical ids, bit-identical scores) and greedy alignment.
+fn assert_matches_dense(m: &SimilarityMatrix, index: &CandidateIndex, k: usize) {
+    let mut dense_pairs = m.greedy_alignment().to_vec();
+    let mut blocked_pairs = index.greedy_alignment().to_vec();
+    dense_pairs.sort();
+    blocked_pairs.sort();
+    assert_eq!(dense_pairs, blocked_pairs, "greedy alignment diverged");
+    for (i, &sid) in m.source_ids().iter().enumerate() {
+        let dense_top = m.top_k(sid, k);
+        let blocked_top: Vec<(EntityId, f32)> = index.candidates(i).collect();
+        assert_eq!(dense_top.len(), blocked_top.len(), "row {i} length");
+        for (rank, ((dt, ds), (bt, bs))) in dense_top.iter().zip(&blocked_top).enumerate() {
+            assert_eq!(dt, bt, "row {i} rank {rank} candidate id diverged");
+            assert_eq!(
+                ds.to_bits(),
+                bs.to_bits(),
+                "row {i} rank {rank} score diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core determinism contract: for random embeddings and any k, the
+    /// blocked engine's candidate lists and greedy alignment are identical to
+    /// the dense reference, including tie-breaks.
+    #[test]
+    fn blocked_topk_matches_dense_reference(
+        seed in 0u64..10_000,
+        n_s in 1usize..28,
+        n_t in 1usize..28,
+        k in 1usize..9,
+        dim in 2usize..9,
+    ) {
+        let (s, t) = tables(seed, n_s, n_t, dim);
+        let (sids, tids) = (ids(n_s), ids(n_t));
+        let m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        let index = CandidateIndex::compute(&s, &sids, &t, &tids, k);
+        assert_matches_dense(&m, &index, k);
+    }
+
+    /// Tiling is a pure performance knob: any block/tile sizes give
+    /// bit-identical results.
+    #[test]
+    fn tile_sizes_do_not_change_results(
+        seed in 0u64..10_000,
+        n_s in 1usize..24,
+        n_t in 1usize..24,
+        k in 1usize..6,
+        row_tile in 1usize..9,
+        col_tile in 1usize..9,
+    ) {
+        let (s, t) = tables(seed, n_s, n_t, 6);
+        let (sids, tids) = (ids(n_s), ids(n_t));
+        let default = CandidateIndex::compute(&s, &sids, &t, &tids, k);
+        let tiled =
+            CandidateIndex::compute_with_tiles(&s, &sids, &t, &tids, k, true, row_tile, col_tile);
+        for i in 0..n_s {
+            let a: Vec<(EntityId, u32)> =
+                default.candidates(i).map(|(t, s)| (t, s.to_bits())).collect();
+            let b: Vec<(EntityId, u32)> =
+                tiled.candidates(i).map(|(t, s)| (t, s.to_bits())).collect();
+            prop_assert_eq!(a, b, "row {} diverged across tilings", i);
+        }
+    }
+
+    /// CSLS on the blocked lists is bit-identical to the dense CSLS at every
+    /// stored cell, and the surviving order matches the dense ranking
+    /// restricted to the stored candidate set (csls_k <= k, the exact
+    /// regime).
+    #[test]
+    fn blocked_csls_matches_dense_cells(
+        seed in 0u64..10_000,
+        n_s in 1usize..20,
+        n_t in 1usize..20,
+        k in 1usize..7,
+        csls_k in 1usize..7,
+    ) {
+        prop_assume!(csls_k <= k);
+        let (s, t) = tables(seed, n_s, n_t, 6);
+        let (sids, tids) = (ids(n_s), ids(n_t));
+        let mut m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        let mut index = CandidateIndex::compute_bidirectional(&s, &sids, &t, &tids, k);
+        let raw_candidates: Vec<Vec<EntityId>> = (0..n_s)
+            .map(|i| index.candidates(i).map(|(t, _)| t).collect())
+            .collect();
+        m.apply_csls(csls_k);
+        index.apply_csls(csls_k);
+        for (i, &sid) in sids.iter().enumerate() {
+            // Every adjusted score matches the dense adjusted value.
+            for (tid, score) in index.candidates(i) {
+                let dense = m.similarity(sid, tid).unwrap();
+                prop_assert_eq!(
+                    score.to_bits(),
+                    dense.to_bits(),
+                    "CSLS cell ({}, {}) diverged",
+                    sid,
+                    tid
+                );
+            }
+            // Row order equals the dense CSLS ranking filtered to the raw
+            // top-k candidate set.
+            let dense_order: Vec<EntityId> = m
+                .top_k(sid, n_t)
+                .into_iter()
+                .map(|(t, _)| t)
+                .filter(|t| raw_candidates[i].contains(t))
+                .collect();
+            let blocked_order: Vec<EntityId> =
+                index.candidates(i).map(|(t, _)| t).collect();
+            prop_assert_eq!(blocked_order, dense_order, "row {} CSLS order", i);
+        }
+    }
+
+    /// k larger than the target list stores the full dense ranking.
+    #[test]
+    fn oversized_k_equals_full_ranking(
+        seed in 0u64..10_000,
+        n_s in 1usize..12,
+        n_t in 1usize..12,
+    ) {
+        let (s, t) = tables(seed, n_s, n_t, 5);
+        let (sids, tids) = (ids(n_s), ids(n_t));
+        let m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        let index = CandidateIndex::compute(&s, &sids, &t, &tids, n_t + 10);
+        for (i, &sid) in sids.iter().enumerate() {
+            let full: Vec<EntityId> = (0..n_t).map(|r| m.ranked_target(i, r).unwrap()).collect();
+            let blocked: Vec<EntityId> = index.candidates(i).map(|(t, _)| t).collect();
+            prop_assert_eq!(blocked, full, "row {} ({}) full ranking", i, sid);
+        }
+    }
+
+    /// Zero-norm rows (all-zero embeddings) score 0 against everything in
+    /// both paths and never produce NaN.
+    #[test]
+    fn zero_norm_rows_are_safe(seed in 0u64..10_000, n in 1usize..10, k in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = EmbeddingTable::xavier(n, 4, &mut rng);
+        let t = EmbeddingTable::xavier(n, 4, &mut rng);
+        // Zero out every other source row.
+        for i in (0..n).step_by(2) {
+            s.row_mut(i).fill(0.0);
+        }
+        let (sids, tids) = (ids(n), ids(n));
+        let m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        let index = CandidateIndex::compute(&s, &sids, &t, &tids, k);
+        assert_matches_dense(&m, &index, k);
+        for i in (0..n).step_by(2) {
+            for (_, score) in index.candidates(i) {
+                prop_assert_eq!(score, 0.0, "zero row {} must score 0", i);
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_inputs_match_dense() {
+    let s = EmbeddingTable::zeros(1, 3);
+    let t = EmbeddingTable::zeros(1, 3);
+    let m = SimilarityMatrix::compute(&s, &[], &t, &[]);
+    let index = CandidateIndex::compute(&s, &[], &t, &[], 4);
+    assert!(m.greedy_alignment().is_empty());
+    assert!(index.greedy_alignment().is_empty());
+    let no_targets = CandidateIndex::compute(&s, &[EntityId(0)], &t, &[], 4);
+    assert!(no_targets.greedy_alignment().is_empty());
+    assert!(no_targets.top_k(EntityId(0), 4).is_empty());
+}

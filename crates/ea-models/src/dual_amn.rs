@@ -242,32 +242,23 @@ fn mutual_anchor_candidates(
     if sources.is_empty() || targets.is_empty() {
         return Vec::new();
     }
-    let matrix = ea_embed::SimilarityMatrix::compute(source_out, &sources, target_out, &targets);
-    // Best target for each source and best source for each target.
-    let mut best_for_source: Vec<(EntityId, f32)> = Vec::with_capacity(sources.len());
-    for (i, _s) in sources.iter().enumerate() {
-        let t = matrix.ranked_target(i, 0).expect("non-empty targets");
-        let sim = matrix.value(i, matrix.target_index(t).unwrap());
-        best_for_source.push((t, sim));
-    }
-    let mut best_source_for_target: std::collections::HashMap<EntityId, (EntityId, f32)> =
-        std::collections::HashMap::new();
-    for (i, &s) in sources.iter().enumerate() {
-        for (j, &t) in targets.iter().enumerate() {
-            let v = matrix.value(i, j);
-            let entry = best_source_for_target.entry(t).or_insert((s, v));
-            if v > entry.1 {
-                *entry = (s, v);
-            }
-        }
-    }
+    // Blocked top-1 candidate engine: best target per source from the
+    // forward lists, best source per target from the exact reverse lists —
+    // no dense n_s × n_t matrix, no quadratic rescan. Ties resolve to the
+    // earliest row/column, like the dense scans did.
+    let index = ea_embed::CandidateIndex::compute_bidirectional(
+        source_out, &sources, target_out, &targets, 1,
+    );
     let mut pseudo = Vec::new();
     for (i, &s) in sources.iter().enumerate() {
-        let (t, sim) = best_for_source[i];
+        let (t, sim) = index
+            .candidates(i)
+            .next()
+            .expect("non-empty targets yield a best candidate");
         if sim < threshold {
             continue;
         }
-        if let Some(&(best_s, _)) = best_source_for_target.get(&t) {
+        if let Some((best_s, _)) = index.best_source_for_target(t) {
             if best_s == s {
                 pseudo.push(ea_graph::AlignmentPair::new(s, t));
             }

@@ -1,6 +1,6 @@
 //! The artifact produced by training: embeddings plus inference helpers.
 
-use ea_embed::{EmbeddingTable, SimilarityMatrix};
+use ea_embed::{CandidateIndex, EmbeddingTable, SimilarityMatrix};
 use ea_graph::{AlignmentSet, EntityId, KgPair, KgSide, RelationId};
 
 /// The output of training an EA model on a [`KgPair`]: entity embeddings for
@@ -92,6 +92,10 @@ impl TrainedAlignment {
 
     /// The similarity matrix between the pair's test source entities and all
     /// target entities, the structure Algorithm 1 of the paper calls `M`.
+    ///
+    /// This is the dense O(n²) *reference*; inference hot paths use
+    /// [`TrainedAlignment::candidate_index`] instead, which produces
+    /// bit-identical top-k candidates and greedy alignments in O(n·k) memory.
     pub fn similarity_matrix(&self, pair: &KgPair) -> SimilarityMatrix {
         let sources = pair.test_source_entities();
         let targets: Vec<EntityId> = pair.target.entity_ids().collect();
@@ -117,10 +121,38 @@ impl TrainedAlignment {
         )
     }
 
+    /// Blocked top-`k` candidate lists between the pair's test source
+    /// entities and all target entities — the bounded-memory production form
+    /// of the matrix `M` (same greedy alignment and top-k candidates as
+    /// [`TrainedAlignment::similarity_matrix`], O(n·k) storage).
+    pub fn candidate_index(&self, pair: &KgPair, k: usize) -> CandidateIndex {
+        let sources = pair.test_source_entities();
+        let targets: Vec<EntityId> = pair.target.entity_ids().collect();
+        self.candidate_index_between(&sources, &targets, k)
+    }
+
+    /// Blocked top-`k` candidate lists between arbitrary entity lists.
+    pub fn candidate_index_between(
+        &self,
+        sources: &[EntityId],
+        targets: &[EntityId],
+        k: usize,
+    ) -> CandidateIndex {
+        CandidateIndex::compute(
+            &self.source_entities,
+            sources,
+            &self.target_entities,
+            targets,
+            k,
+        )
+    }
+
     /// Greedy alignment prediction for the pair's test source entities
-    /// (the paper's `Ares`).
+    /// (the paper's `Ares`). Runs on the blocked candidate engine with
+    /// `k = 1`, so prediction memory is O(n) instead of the dense matrix's
+    /// O(n²).
     pub fn predict(&self, pair: &KgPair) -> AlignmentSet {
-        self.similarity_matrix(pair).greedy_alignment()
+        self.candidate_index(pair, 1).greedy_alignment()
     }
 
     /// Alignment accuracy of the greedy prediction against the reference
@@ -216,6 +248,35 @@ mod tests {
         let sub = trained.similarity_matrix_between(&[b1], &[b2, c2]);
         assert_eq!(sub.source_ids().len(), 1);
         assert_eq!(sub.target_ids().len(), 2);
+    }
+
+    #[test]
+    fn candidate_index_matches_dense_matrix() {
+        let pair = tiny_pair();
+        let trained = perfect_artifact(&pair);
+        let m = trained.similarity_matrix(&pair);
+        let index = trained.candidate_index(&pair, 3);
+        let mut dense = m.greedy_alignment().to_vec();
+        let mut blocked = index.greedy_alignment().to_vec();
+        dense.sort();
+        blocked.sort();
+        assert_eq!(dense, blocked);
+        for &s in &pair.test_source_entities() {
+            let dense_top: Vec<_> = m.top_k(s, 3);
+            let blocked_top: Vec<_> = index.top_k(s, 3);
+            assert_eq!(dense_top.len(), blocked_top.len());
+            for ((dt, ds), (bt, bs)) in dense_top.iter().zip(&blocked_top) {
+                assert_eq!(dt, bt);
+                assert_eq!(ds.to_bits(), bs.to_bits());
+            }
+        }
+        let sub = trained.candidate_index_between(
+            &[pair.source.entity_by_name("b1").unwrap()],
+            &[pair.target.entity_by_name("b2").unwrap()],
+            2,
+        );
+        assert_eq!(sub.source_ids().len(), 1);
+        assert_eq!(sub.candidates_per_source(), 1);
     }
 
     #[test]

@@ -26,6 +26,17 @@ fn main() {
         exea.predictions().one_to_many_conflicts().len()
     );
 
+    // Repair re-aligns from the blocked top-k candidate engine rather than a
+    // dense similarity matrix: candidate storage is O(n·k), not O(n²).
+    let index = exea.candidate_index();
+    println!(
+        "candidate engine: {} sources x top-{} candidates ({} KiB vs {} KiB dense)",
+        index.source_ids().len(),
+        index.k(),
+        index.candidate_bytes() / 1024,
+        index.source_ids().len() * index.target_ids().len() * 8 / 1024,
+    );
+
     for (name, config) in [
         ("full ExEA repair", RepairConfig::default()),
         (
