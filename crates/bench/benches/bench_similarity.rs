@@ -1,10 +1,11 @@
 //! Criterion benchmarks of the alignment-inference hot paths: the dense
 //! `SimilarityMatrix` reference vs the blocked top-k `CandidateIndex` engine
 //! (build + greedy alignment, CSLS re-scoring, and the cr2-style id-lookup
-//! loop that used to be quadratic).
+//! loop that used to be quadratic), plus the IVF ANN pre-filter vs the exact
+//! scan at n >= 2000 targets.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ea_embed::{CandidateIndex, EmbeddingTable, SimilarityMatrix};
+use ea_embed::{CandidateIndex, EmbeddingTable, IvfIndex, IvfParams, SimilarityMatrix};
 use ea_graph::EntityId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -94,5 +95,70 @@ fn bench_cr2_lookup_loop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference, bench_csls, bench_cr2_lookup_loop);
+/// IVF ANN pre-filter vs the exact blocked scan, per-query-batch cost. The
+/// quantizer is built once outside the timing loop (the deployment shape:
+/// build amortises over query batches) and benched separately. Clustered
+/// corpora are the representative case for trained embeddings — random
+/// uniform vectors have no cluster structure for any IVF to exploit.
+fn bench_ann_prefilter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ann_prefilter");
+    group.sample_size(10);
+    const K: usize = 10;
+    for &n_t in &[2000usize, 4000] {
+        let n_s = 256;
+        let mut rng = StdRng::seed_from_u64(11);
+        // Clustered targets: cluster centres plus small jitter; queries are
+        // jittered copies of random targets.
+        let centres = EmbeddingTable::xavier(64, DIM, &mut rng);
+        let mut t = EmbeddingTable::zeros(n_t, DIM);
+        for i in 0..n_t {
+            let c_row = i % centres.rows();
+            let row = t.row_mut(i);
+            row.copy_from_slice(centres.row(c_row));
+            for v in row.iter_mut() {
+                *v += 0.05 * rand::Rng::gen_range(&mut rng, -1.0f32..=1.0);
+            }
+        }
+        let mut s = EmbeddingTable::zeros(n_s, DIM);
+        for i in 0..n_s {
+            let t_row = rand::Rng::gen_range(&mut rng, 0..n_t);
+            let row = s.row_mut(i);
+            row.copy_from_slice(t.row(t_row));
+            for v in row.iter_mut() {
+                *v += 0.02 * rand::Rng::gen_range(&mut rng, -1.0f32..=1.0);
+            }
+        }
+        let sids: Vec<EntityId> = (0..n_s as u32).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..n_t as u32).map(EntityId).collect();
+
+        let s_rows: Vec<usize> = (0..n_s).collect();
+        let t_rows: Vec<usize> = (0..n_t).collect();
+        let s_norm = s.gather_normalized(&s_rows);
+        let t_norm = t.gather_normalized(&t_rows);
+        let params = IvfParams::default();
+        let nlist = params.resolved_nlist(n_t);
+        let nprobe = params.resolved_nprobe(nlist);
+        let index = IvfIndex::build(&t_norm, &params);
+
+        group.bench_function(&format!("exact_scan_{n_s}x{n_t}"), |b| {
+            b.iter(|| black_box(CandidateIndex::compute(&s, &sids, &t, &tids, K)))
+        });
+        group.bench_function(
+            &format!("ivf_query_{n_s}x{n_t}_nlist{nlist}_nprobe{nprobe}"),
+            |b| b.iter(|| black_box(index.search(&s_norm, &t_norm, K, nprobe))),
+        );
+        group.bench_function(&format!("ivf_build_{n_t}_nlist{nlist}"), |b| {
+            b.iter(|| black_box(IvfIndex::build(&t_norm, &params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_csls,
+    bench_cr2_lookup_loop,
+    bench_ann_prefilter
+);
 criterion_main!(benches);

@@ -64,11 +64,15 @@ pub enum Experiment {
     /// Candidate-engine comparison (not in the paper): dense similarity
     /// matrix vs blocked top-k inference, time and candidate storage.
     TopK,
+    /// ANN pre-filter comparison (not in the paper): exact blocked scan vs
+    /// the IVF pre-filter across nprobe settings — recall@k, query time,
+    /// speedup, and greedy-decision parity at `nprobe = nlist`.
+    Ann,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub fn all() -> [Experiment; 12] {
+    pub fn all() -> [Experiment; 13] {
         [
             Experiment::Table1,
             Experiment::Table2,
@@ -82,6 +86,7 @@ impl Experiment {
             Experiment::Table7,
             Experiment::Table8,
             Experiment::TopK,
+            Experiment::Ann,
         ]
     }
 
@@ -100,6 +105,7 @@ impl Experiment {
             "table7" => Experiment::Table7,
             "table8" => Experiment::Table8,
             "topk" => Experiment::TopK,
+            "ann" => Experiment::Ann,
             _ => return None,
         })
     }
@@ -120,6 +126,7 @@ pub fn run_experiment(experiment: Experiment, config: &BenchConfig) {
         Experiment::Table7 => table7(config),
         Experiment::Table8 => table8(config),
         Experiment::TopK => topk(config),
+        Experiment::Ann => ann(config),
     }
 }
 
@@ -664,5 +671,138 @@ fn topk(config: &BenchConfig) {
     println!(
         "(candidate lists shrink inference storage {:.0}x at this scale; the factor grows linearly with n_t)",
         dense_bytes as f64 / index.candidate_bytes().max(1) as f64
+    );
+}
+
+/// ANN pre-filter rows (not in the paper): the exact blocked scan vs the IVF
+/// pre-filter on the real trained embeddings of the synthetic ZH-EN dataset.
+/// For each nprobe setting the table reports quantizer build time, query
+/// time (the per-batch cost the build amortises over), recall@k against the
+/// exact top-k, query-time speedup, and how many greedy alignment decisions
+/// changed. At `nprobe = nlist` the results are asserted bit-identical to
+/// the exact scan.
+fn ann(config: &BenchConfig) {
+    use ea_embed::{CandidateSearch, IvfIndex, IvfParams};
+
+    let pair = load(DatasetName::ZhEn, config.scale);
+    let (_, trained) = train(ModelKind::GcnAlign, &pair);
+    let k = 10usize;
+
+    let (exact, exact_time) = ea_metrics::time_it(|| trained.candidate_index(&pair, k));
+    let n_s = exact.source_ids().len();
+    let n_t = exact.target_ids().len();
+    let params = IvfParams::default();
+    let nlist = params.resolved_nlist(n_t);
+
+    // Query-time comparison runs on prebuilt normalised tables, like a real
+    // IVF deployment (normalise once, build once, query per batch).
+    let sources = pair.test_source_entities();
+    let targets: Vec<ea_graph::EntityId> = pair.target.entity_ids().collect();
+    let source_rows: Vec<usize> = sources.iter().map(|e| e.index()).collect();
+    let target_rows: Vec<usize> = targets.iter().map(|e| e.index()).collect();
+    let source_norm = trained
+        .entities(ea_graph::KgSide::Source)
+        .gather_normalized(&source_rows);
+    let target_norm = trained
+        .entities(ea_graph::KgSide::Target)
+        .gather_normalized(&target_rows);
+
+    let mut table = Table::new(
+        format!(
+            "ANN pre-filter — exact scan vs IVF (GCN-Align, ZH-EN, {n_s}x{n_t}, k={k}, nlist={nlist})"
+        ),
+        &[
+            "Path",
+            "Build (s)",
+            "Query (s)",
+            "Speedup",
+            "Recall@10",
+            "Greedy changed",
+        ],
+    );
+    table.add_row(vec![
+        "exact".into(),
+        "-".into(),
+        format!("{:.4}", exact_time.as_secs_f64()),
+        "1.0x".into(),
+        Table::num(1.0),
+        "0".into(),
+    ]);
+
+    let exact_greedy = exact.greedy_alignment();
+    let mut probes: Vec<usize> = [
+        nlist.div_ceil(8),
+        nlist.div_ceil(4),
+        nlist.div_ceil(2),
+        nlist,
+    ]
+    .into_iter()
+    .collect();
+    probes.dedup();
+    for nprobe in probes {
+        let ivf_params = IvfParams {
+            nlist,
+            nprobe,
+            ..IvfParams::default()
+        };
+        let (ivf, build_time) = ea_metrics::time_it(|| IvfIndex::build(&target_norm, &ivf_params));
+        let (rows, query_time) =
+            ea_metrics::time_it(|| ivf.search(&source_norm, &target_norm, k, nprobe));
+
+        // Recall@k: fraction of each exact top-k list the pre-filter kept.
+        let mut kept = 0usize;
+        let mut total = 0usize;
+        for (i, row) in rows.iter().enumerate() {
+            let exact_ids: Vec<u32> = (0..k.min(n_t))
+                .map(|rank| exact.ranked_target(i, rank).unwrap().0)
+                .collect();
+            let approx_ids: std::collections::HashSet<u32> = row
+                .iter()
+                .map(|&(col, _)| targets[col as usize].0)
+                .collect();
+            kept += exact_ids
+                .iter()
+                .filter(|id| approx_ids.contains(id))
+                .count();
+            total += exact_ids.len();
+        }
+        let recall = kept as f64 / total.max(1) as f64;
+
+        let search = CandidateSearch::Ivf(ivf_params.clone());
+        let approx_index = trained.candidate_index_with(&pair, k, &search);
+        let approx_greedy = approx_index.greedy_alignment();
+        let changed = sources
+            .iter()
+            .filter(|&&s| approx_greedy.target_of(s) != exact_greedy.target_of(s))
+            .count();
+
+        if nprobe == nlist {
+            assert_eq!(
+                approx_greedy.to_vec(),
+                exact_greedy.to_vec(),
+                "nprobe = nlist must reproduce the exact greedy alignment"
+            );
+            assert!(
+                (recall - 1.0).abs() < 1e-12,
+                "nprobe = nlist must reach recall 1.0"
+            );
+        }
+
+        table.add_row(vec![
+            format!("ivf nprobe={nprobe}"),
+            format!("{:.4}", build_time.as_secs_f64()),
+            format!("{:.4}", query_time.as_secs_f64()),
+            format!(
+                "{:.1}x",
+                exact_time.as_secs_f64() / query_time.as_secs_f64().max(1e-12)
+            ),
+            Table::num(recall),
+            format!("{changed}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "(IVF build amortises across query batches; `cargo bench --bench bench_similarity` \
+         has the n>=2000-target microbenchmarks)"
     );
 }

@@ -82,7 +82,7 @@ fn run(experiment: Experiment, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|all> \
+        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|all> \
          [--scale small|bench|paper] [--samples N]"
     );
 }

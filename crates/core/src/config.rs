@@ -1,6 +1,7 @@
 //! ExEA hyper-parameters.
 
 use ea_embed::vector::sigmoid;
+use ea_embed::CandidateSearch;
 
 /// Hyper-parameters of the ExEA framework.
 ///
@@ -28,6 +29,13 @@ pub struct ExeaConfig {
     /// Number of candidate target entities considered during repair
     /// (the `k` of Algorithms 1 and 2).
     pub top_k: usize,
+    /// How candidate lists (and the initial greedy prediction) are produced:
+    /// the exact blocked scan, or the IVF approximate pre-filter
+    /// ([`CandidateSearch::Ivf`]) for corpora where the exact O(n_s·n_t)
+    /// sweep dominates. At `nprobe = nlist` the IVF path is bit-identical to
+    /// the exact one; below that it trades recall for query time (see the
+    /// README's recall/speed table).
+    pub candidate_search: CandidateSearch,
 }
 
 impl Default for ExeaConfig {
@@ -39,6 +47,7 @@ impl Default for ExeaConfig {
             gamma: 0.0,
             weak_edge_weight: 0.05,
             top_k: 5,
+            candidate_search: CandidateSearch::Exact,
         }
     }
 }

@@ -193,15 +193,15 @@ pub fn generate_explanation(
         let dim = emb1[0].len().min(emb2[0].len());
         let sim = |a: &[f32], b: &[f32]| vector::cosine(&a[..dim], &b[..dim]);
 
+        // NaN-safe ascending total order: a NaN path similarity always loses
+        // the argmax (the old `unwrap_or(Equal)` made it compare equal to
+        // everything, so the winner depended on operand order). Ties between
+        // real scores keep the last index, as before.
         let best_for_p1: Vec<usize> = emb1
             .iter()
             .map(|a| {
                 (0..emb2.len())
-                    .max_by(|&x, &y| {
-                        sim(a, &emb2[x])
-                            .partial_cmp(&sim(a, &emb2[y]))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
+                    .max_by(|&x, &y| ea_embed::order::asc_f32(sim(a, &emb2[x]), sim(a, &emb2[y])))
                     .expect("p2s is non-empty")
             })
             .collect();
@@ -209,11 +209,7 @@ pub fn generate_explanation(
             .iter()
             .map(|b| {
                 (0..emb1.len())
-                    .max_by(|&x, &y| {
-                        sim(&emb1[x], b)
-                            .partial_cmp(&sim(&emb1[y], b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
+                    .max_by(|&x, &y| ea_embed::order::asc_f32(sim(&emb1[x], b), sim(&emb1[y], b)))
                     .expect("p1s is non-empty")
             })
             .collect();

@@ -12,14 +12,15 @@ use ea_graph::{
     AlignmentSet, Direction, EntityId, KgPair, KgSide, RelationFunctionality, RelationPath,
 };
 use ea_models::TrainedAlignment;
-use std::sync::OnceLock;
 
 /// The ExEA framework bound to one KG pair and one trained EA model.
 ///
 /// Construction precomputes everything the explanation and repair loops need
 /// repeatedly: relation paths around every entity (up to the configured hop
 /// count), relation embeddings, relation functionalities, the cross-KG
-/// relation alignment and the ¬sameAs rules of the target graph.
+/// relation alignment, the ¬sameAs rules of the target graph, and the top-k
+/// candidate engine (one scan — and, for the IVF strategy, one quantizer
+/// build — serves prediction, repair and verification alike).
 pub struct ExEa<'a> {
     pair: &'a KgPair,
     trained: &'a TrainedAlignment,
@@ -34,9 +35,10 @@ pub struct ExEa<'a> {
     target_rules: NotSameAsRules,
     predictions: AlignmentSet,
     batch: BatchOptions,
-    /// Lazily built blocked top-k candidate engine (`k = config.top_k`),
-    /// shared by the repair loops and candidate verification.
-    candidates: OnceLock<CandidateIndex>,
+    /// Top-k candidate engine (`k = config.top_k`), built once at
+    /// construction and shared by prediction, the repair loops and candidate
+    /// verification.
+    candidates: CandidateIndex,
 }
 
 impl<'a> ExEa<'a> {
@@ -59,7 +61,14 @@ impl<'a> ExEa<'a> {
             .collect();
         let relation_alignment = relation_alignment(pair, trained);
         let target_rules = mine_not_same_as_rules(&pair.target);
-        let predictions = trained.predict(pair);
+        // One candidate build serves everything downstream: the greedy
+        // prediction `Ares` is the rank-0 column of the same engine the
+        // repair loops walk (bit-identical to a dedicated k=1 exact scan;
+        // for partial-probing IVF it can only see *more* lists than a k=1
+        // search would, never fewer), and the IVF quantizer — when
+        // configured — is built exactly once per framework.
+        let candidates = trained.candidate_index_with(pair, config.top_k, &config.candidate_search);
+        let predictions = candidates.greedy_alignment();
         Self {
             pair,
             trained,
@@ -74,17 +83,18 @@ impl<'a> ExEa<'a> {
             target_rules,
             predictions,
             batch: BatchOptions::default(),
-            candidates: OnceLock::new(),
+            candidates,
         }
     }
 
-    /// The blocked top-k candidate engine over the pair's test source
-    /// entities and all target entities (`k = config.top_k`) — the bounded
-    /// O(n·k) form of the paper's ranked candidate matrix `M`. Built on
-    /// first use and cached for the lifetime of the framework.
+    /// The top-k candidate engine over the pair's test source entities and
+    /// all target entities (`k = config.top_k`) — the bounded O(n·k) form of
+    /// the paper's ranked candidate matrix `M`, produced by the configured
+    /// [`ea_embed::CandidateSearch`] strategy (exact blocked scan or IVF
+    /// pre-filter). Built once at construction and shared by prediction,
+    /// repair (cr2/cr3) and candidate verification.
     pub fn candidate_index(&self) -> &CandidateIndex {
-        self.candidates
-            .get_or_init(|| self.trained.candidate_index(self.pair, self.config.top_k))
+        &self.candidates
     }
 
     /// The batch-execution options used by [`ExEa::explain_all`] and the

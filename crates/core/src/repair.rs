@@ -89,15 +89,29 @@ pub struct RepairStats {
 
 /// Keeps only the `k` best-scored candidates, best first, via
 /// [`ea_embed::select_top_k_by`] partial selection instead of fully sorting
-/// the list. The `(score desc, id asc)` total order matches what the old
-/// stable descending sort produced over the id-sorted candidate list, so
-/// repair decisions are unchanged bit for bit.
+/// the list. The `(score desc, id asc)` NaN-safe total order matches what the
+/// old stable descending sort produced over the id-sorted candidate list (a
+/// NaN score now deterministically ranks last), so repair decisions are
+/// unchanged bit for bit on real scores.
 fn select_top_candidates(scored: &mut Vec<(EntityId, f64)>, k: usize) {
     ea_embed::select_top_k_by(scored, k, |a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
+        ea_embed::order::desc_f64(a.1, b.1).then(a.0.cmp(&b.0))
     });
+}
+
+/// The winning claim of a one-to-many conflict: highest alignment score,
+/// ties broken by the smallest source entity id. Comparing under this strict
+/// total order makes the winner independent of the order the claims are
+/// listed in (and a NaN score can never win over a real one). Returns `None`
+/// on an empty claim list — the caller skips such conflicts instead of
+/// panicking.
+fn conflict_winner(claims: &[(EntityId, f64)]) -> Option<EntityId> {
+    claims
+        .iter()
+        .max_by(|a, b| {
+            ea_embed::order::asc_f64(a.1, b.1).then(b.0.cmp(&a.0)) // max ⇒ smallest id wins ties
+        })
+        .map(|&(source, _)| source)
 }
 
 /// The result of running the repair pipeline.
@@ -229,16 +243,26 @@ impl<'a> ExEa<'a> {
         let scores = self.alignment_score_batch(&claims, &state, cr1);
         let mut cursor = 0usize;
         for (target, sources) in conflicts {
-            let mut best: Option<(EntityId, f64)> = None;
-            for &s in &sources {
-                let conf = scores[cursor];
-                cursor += 1;
-                match best {
-                    Some((_, best_conf)) if conf <= best_conf => {}
-                    _ => best = Some((s, conf)),
-                }
-            }
-            let winner = best.expect("conflict has at least one source").0;
+            let scored: Vec<(EntityId, f64)> = sources
+                .iter()
+                .map(|&s| {
+                    let conf = scores[cursor];
+                    cursor += 1;
+                    (s, conf)
+                })
+                .collect();
+            // Deterministic winner: (score desc, entity id asc) — equal
+            // confidences can no longer make the outcome depend on claim
+            // order. A conflict with no claims (should not occur; defensive
+            // against future callers) is logged and skipped rather than
+            // panicking mid-repair.
+            let Some(winner) = conflict_winner(&scored) else {
+                debug_assert!(false, "one-to-many conflict with no claims");
+                eprintln!(
+                    "repair: skipping one-to-many conflict on target {target}: no competing claims"
+                );
+                continue;
+            };
             for &s in &sources {
                 if s != winner {
                     resolved.remove(&AlignmentPair::new(s, target));
@@ -547,6 +571,28 @@ mod tests {
         );
         assert!(outcome.stats.changed_pairs > 0);
         let _ = pair;
+    }
+
+    #[test]
+    fn conflict_winner_is_order_independent_on_ties() {
+        let e = EntityId;
+        // Equal confidences: the smallest entity id wins, however the claims
+        // are listed (the regression case for the old first-seen-wins loop).
+        let tied = vec![(e(7), 0.5), (e(2), 0.5), (e(9), 0.5)];
+        assert_eq!(conflict_winner(&tied), Some(e(2)));
+        let mut reversed = tied.clone();
+        reversed.reverse();
+        assert_eq!(conflict_winner(&reversed), Some(e(2)));
+        // A strictly higher confidence still wins regardless of id.
+        let mixed = vec![(e(1), 0.4), (e(8), 0.6), (e(3), 0.6)];
+        assert_eq!(conflict_winner(&mixed), Some(e(3)));
+        // NaN confidences lose to any real confidence and tie among
+        // themselves by id; an empty conflict yields None instead of a panic.
+        let with_nan = vec![(e(5), f64::NAN), (e(6), -1.0)];
+        assert_eq!(conflict_winner(&with_nan), Some(e(6)));
+        let all_nan = vec![(e(5), f64::NAN), (e(4), f64::NAN)];
+        assert_eq!(conflict_winner(&all_nan), Some(e(4)));
+        assert_eq!(conflict_winner(&[]), None);
     }
 
     #[test]

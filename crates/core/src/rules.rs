@@ -130,17 +130,19 @@ pub fn relation_alignment(pair: &KgPair, trained: &TrainedAlignment) -> Relation
         0.5 * name_sim + 0.5 * struct_sim
     };
 
+    // NaN-safe ascending total order: a NaN combined score loses the argmax
+    // instead of panicking the `partial_cmp(..).unwrap()` these loops used.
     let mut best_t_for_s: Vec<usize> = Vec::with_capacity(n_s);
     for i in 0..n_s {
         let j = (0..n_t)
-            .max_by(|&a, &b| score(i, a).partial_cmp(&score(i, b)).unwrap())
+            .max_by(|&a, &b| ea_embed::order::asc_f64(score(i, a), score(i, b)))
             .unwrap();
         best_t_for_s.push(j);
     }
     let mut best_s_for_t: Vec<usize> = Vec::with_capacity(n_t);
     for j in 0..n_t {
         let i = (0..n_s)
-            .max_by(|&a, &b| score(a, j).partial_cmp(&score(b, j)).unwrap())
+            .max_by(|&a, &b| ea_embed::order::asc_f64(score(a, j), score(b, j)))
             .unwrap();
         best_s_for_t.push(i);
     }

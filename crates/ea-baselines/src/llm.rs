@@ -109,7 +109,14 @@ impl Explainer for SimulatedLlmExplainer<'_> {
                 scored.push((i, j, sim));
             }
         }
-        scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        // NaN-safe strict total order (similarity desc, then source/target
+        // triple position): rankings stay well-defined even if a name
+        // similarity degenerates to NaN.
+        scored.sort_unstable_by(|a, b| {
+            ea_embed::order::desc_f64(a.2, b.2)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
 
         let mut used_source = vec![false; source_cands.len()];
         let mut used_target = vec![false; target_cands.len()];

@@ -440,9 +440,10 @@ fn ridge_regression(masks: &[Vec<bool>], values: &[f64], weights: &[f64], lambda
 fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
-        // Pivot.
+        // Pivot. NaN-safe ascending order: a NaN coefficient loses the pivot
+        // race instead of panicking the `partial_cmp(..).unwrap()` this used.
         let pivot = (col..n)
-            .max_by(|&x, &y| a[x][col].abs().partial_cmp(&a[y][col].abs()).unwrap())
+            .max_by(|&x, &y| ea_embed::order::asc_f64(a[x][col].abs(), a[y][col].abs()))
             .unwrap();
         a.swap(col, pivot);
         b.swap(col, pivot);
@@ -487,10 +488,10 @@ impl Explainer for PerturbationExplainer<'_> {
             ChaCha8Rng::seed_from_u64(self.seed ^ ((source.0 as u64) << 32) ^ target.0 as u64);
         let scores = self.score_candidates(source, target, &candidates, &mut rng);
         let mut ranked: Vec<usize> = (0..candidates.len()).collect();
-        ranked.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
+        // NaN-safe strict total order (score desc, candidate index asc): a
+        // degenerate perturbation score can no longer scramble the ranking.
+        ranked.sort_unstable_by(|&a, &b| {
+            ea_embed::order::desc_f64(scores[a], scores[b]).then(a.cmp(&b))
         });
 
         let mut explanation = Explanation::empty(source, target);

@@ -30,30 +30,47 @@ pub fn kg_to_tsv(kg: &KnowledgeGraph) -> String {
     out
 }
 
+/// Splits a data line into exactly `expected` tab-separated, non-empty
+/// fields, each trimmed of surrounding whitespace (the old parser trimmed
+/// the line ends; trimming per field is the consistent extension, and keeps
+/// a stray trailing space from minting a phantom `"name "` entity). Lines
+/// with *more* fields are rejected too — silently dropping the extras used
+/// to mask corrupt exports (a stray tab inside a name shifts every
+/// following field). Errors carry the 1-based line number.
+fn split_fields(line: &str, expected: usize, line_number: usize) -> Result<Vec<&str>, GraphError> {
+    let fields: Vec<&str> = line.split('\t').map(str::trim).collect();
+    if fields.len() != expected {
+        return Err(GraphError::ParseError {
+            line: line_number,
+            detail: format!(
+                "expected exactly {expected} tab-separated fields, got {} in {line:?}",
+                fields.len()
+            ),
+        });
+    }
+    if let Some(pos) = fields.iter().position(|f| f.is_empty()) {
+        return Err(GraphError::ParseError {
+            line: line_number,
+            detail: format!("field {} is empty in {line:?}", pos + 1),
+        });
+    }
+    Ok(fields)
+}
+
 /// Parses a knowledge graph from `head<TAB>relation<TAB>tail` lines.
 ///
-/// Empty lines are ignored; malformed lines produce a
-/// [`GraphError::ParseError`] with a 1-based line number.
+/// Blank lines are ignored and CRLF line endings are accepted
+/// ([`str::lines`] strips the `\r`). Malformed lines — fewer *or more* than
+/// 3 fields, or an empty field — produce a [`GraphError::ParseError`] with a
+/// 1-based line number instead of silently dropping data.
 pub fn kg_from_tsv(text: &str) -> Result<KnowledgeGraph, GraphError> {
     let mut kg = KnowledgeGraph::new();
     for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
+        if line.trim().is_empty() {
             continue;
         }
-        let mut fields = line.split('\t');
-        let (h, r, t) = match (fields.next(), fields.next(), fields.next()) {
-            (Some(h), Some(r), Some(t)) if !h.is_empty() && !r.is_empty() && !t.is_empty() => {
-                (h, r, t)
-            }
-            _ => {
-                return Err(GraphError::ParseError {
-                    line: i + 1,
-                    detail: format!("expected 3 tab-separated fields, got {line:?}"),
-                })
-            }
-        };
-        kg.add_triple_by_names(h, r, t);
+        let fields = split_fields(line, 3, i + 1)?;
+        kg.add_triple_by_names(fields[0], fields[1], fields[2]);
     }
     Ok(kg)
 }
@@ -76,6 +93,11 @@ pub fn alignment_to_tsv(
 
 /// Parses an alignment set from `source_name<TAB>target_name` lines, resolving
 /// names against the two graphs.
+///
+/// Blank lines are ignored and CRLF line endings are accepted
+/// ([`str::lines`] strips the `\r`). Lines with fewer *or more* than 2
+/// fields, or an empty field, produce a [`GraphError::ParseError`] with a
+/// 1-based line number.
 pub fn alignment_from_tsv(
     text: &str,
     source: &KnowledgeGraph,
@@ -83,20 +105,11 @@ pub fn alignment_from_tsv(
 ) -> Result<AlignmentSet, GraphError> {
     let mut set = AlignmentSet::new();
     for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
+        if line.trim().is_empty() {
             continue;
         }
-        let mut fields = line.split('\t');
-        let (s_name, t_name) = match (fields.next(), fields.next()) {
-            (Some(s), Some(t)) if !s.is_empty() && !t.is_empty() => (s, t),
-            _ => {
-                return Err(GraphError::ParseError {
-                    line: i + 1,
-                    detail: format!("expected 2 tab-separated fields, got {line:?}"),
-                })
-            }
-        };
+        let fields = split_fields(line, 2, i + 1)?;
+        let (s_name, t_name) = (fields[0], fields[1]);
         let s = source
             .entity_by_name(s_name)
             .ok_or_else(|| GraphError::UnknownEntityName(s_name.to_owned()))?;
@@ -223,5 +236,72 @@ mod tests {
         let pair = load(DatasetName::ZhEn, DatasetScale::Small);
         let alignment = alignment_from_tsv("\n\n", &pair.source, &pair.target).unwrap();
         assert!(alignment.is_empty());
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_unix_ones() {
+        let unix = kg_from_tsv("a\tr\tb\nb\tr\tc\n").unwrap();
+        let crlf = kg_from_tsv("a\tr\tb\r\nb\tr\tc\r\n").unwrap();
+        assert_eq!(crlf.num_triples(), unix.num_triples());
+        assert_eq!(crlf.num_entities(), unix.num_entities());
+        // The last field must not keep a stray '\r' glued to the name.
+        assert!(crlf.entity_by_name("b").is_some());
+        assert!(crlf.entity_by_name("b\r").is_none());
+        let pair = load(DatasetName::ZhEn, DatasetScale::Small);
+        let text = alignment_to_tsv(&pair.seed, &pair.source, &pair.target).replace('\n', "\r\n");
+        let parsed = alignment_from_tsv(&text, &pair.source, &pair.target).unwrap();
+        assert_eq!(parsed.to_vec(), pair.seed.to_vec());
+    }
+
+    #[test]
+    fn extra_fields_are_rejected_with_line_numbers() {
+        // A stray tab used to be silently swallowed (first 3 fields kept);
+        // now it is a parse error naming the offending line.
+        let err = kg_from_tsv("a\tr\tb\nc\tr\td\textra\n").unwrap_err();
+        match err {
+            GraphError::ParseError { line, detail } => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("got 4"), "detail: {detail}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let pair = load(DatasetName::FrEn, DatasetScale::Small);
+        let s = pair
+            .source
+            .entity_name(pair.seed.to_vec()[0].source)
+            .unwrap();
+        let t = pair
+            .target
+            .entity_name(pair.seed.to_vec()[0].target)
+            .unwrap();
+        let err = alignment_from_tsv(&format!("{s}\t{t}\tjunk\n"), &pair.source, &pair.target)
+            .unwrap_err();
+        assert!(matches!(err, GraphError::ParseError { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_fields_are_rejected_with_field_position() {
+        let err = kg_from_tsv("a\t\tb\n").unwrap_err();
+        match err {
+            GraphError::ParseError { line, detail } => {
+                assert_eq!(line, 1);
+                assert!(detail.contains("field 2"), "detail: {detail}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = kg_from_tsv("a\tr\t  \n").unwrap_err();
+        assert!(matches!(err, GraphError::ParseError { line: 1, .. }));
+    }
+
+    #[test]
+    fn surrounding_field_whitespace_is_trimmed_not_minted_into_names() {
+        // A stray trailing/leading space must resolve to the same entity as
+        // the clean spelling (the pre-hardening parser trimmed line ends; a
+        // phantom "b " entity would break alignment lookups silently).
+        let kg = kg_from_tsv("a\tr\tb \n b\tr\tc\n").unwrap();
+        assert!(kg.entity_by_name("b").is_some());
+        assert!(kg.entity_by_name("b ").is_none());
+        assert!(kg.entity_by_name(" b").is_none());
+        assert_eq!(kg.num_triples(), 2);
     }
 }

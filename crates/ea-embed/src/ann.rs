@@ -1,0 +1,698 @@
+//! IVF-style approximate pre-filter for candidate generation.
+//!
+//! The exact blocked scan ([`CandidateIndex::compute`]) is O(n·k) in memory
+//! but still O(n_s·n_t) in compute: every query row is dotted against every
+//! corpus row. Past a few million entities that product is the wall. This
+//! module puts an inverted-file (IVF) coarse quantizer in front of the exact
+//! kernel:
+//!
+//! 1. **Build** ([`IvfIndex::build`]): a deterministic, seeded
+//!    ([`rand_chacha::ChaCha8Rng`]) spherical k-means clusters the normalised
+//!    corpus rows into `nlist` centroids; each row is filed into the inverted
+//!    list of its nearest centroid (CSR storage, rows ascending per list).
+//! 2. **Search** ([`IvfIndex::search`]): a query ranks the centroids by dot
+//!    product, probes the `nprobe` nearest lists, and runs the *existing*
+//!    exact top-k machinery — the same [`vector::cosine_prenormalized`]
+//!    kernel, the same bounded heap selection, the same order-preserving
+//!    rayon block merges as the exact scan — over only the gathered rows.
+//!
+//! **Determinism contract.** Everything is a pure function of (embeddings,
+//! params): k-means initialisation is seeded, assignment blocks are merged in
+//! input order, centroid updates accumulate in ascending row order, and the
+//! candidate heap's strict total order makes the selected set independent of
+//! scan order. Results are bit-identical across thread counts and repeated
+//! runs (pinned by `tests/ann_threads.rs` under `RAYON_NUM_THREADS=8`).
+//!
+//! **Exactness contract.** Scores are computed by the same kernel on the same
+//! normalised rows as the exact scan, so every returned `(id, score)` entry
+//! is bit-identical to the corresponding exact entry — the pre-filter can
+//! only *miss* candidates (recall < 1), never re-score them. Probing is
+//! *minimum-fill*: after the `nprobe` requested lists, further lists are
+//! probed (in centroid rank order) until at least `k` candidates were
+//! gathered, so result lists always carry the full `min(k, n)` entries and
+//! drop-in consumers ([`CandidateIndex`]) keep their fixed-stride layout.
+//! With `nprobe >= nlist` every list is scanned and the result is
+//! bit-identical to the exact blocked scan (recall 1.0) — the property suite
+//! (`tests/prop_ann.rs`) pins both contracts.
+//!
+//! The [`CandidateSearch`] strategy enum (implementing the [`CandidateSource`]
+//! trait) is what consumers store in their configs to switch exact ↔ ANN.
+
+use crate::candidates::{CandidateIndex, Ranked, TopK};
+use crate::embedding::EmbeddingTable;
+use crate::vector;
+use ea_graph::EntityId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Rows per parallel work block in k-means assignment and IVF search.
+const ANN_ROW_TILE: usize = 128;
+
+/// Tuning knobs of the IVF pre-filter. `nlist`/`nprobe` set to 0 mean
+/// "choose automatically" (`⌈√n⌉` lists, `⌈nlist/4⌉` probes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IvfParams {
+    /// Number of inverted lists (k-means centroids). 0 = `⌈√n⌉`.
+    pub nlist: usize,
+    /// Number of lists probed per query. 0 = `⌈nlist/4⌉`; values above
+    /// `nlist` are clamped (probing every list reproduces the exact scan bit
+    /// for bit).
+    pub nprobe: usize,
+    /// Seed of the k-means initialisation (quantizer is fully deterministic
+    /// given this seed).
+    pub seed: u64,
+    /// Maximum k-means refinement iterations (converges earlier when
+    /// assignments stabilise).
+    pub kmeans_iters: usize,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        Self {
+            nlist: 0,
+            nprobe: 0,
+            seed: 0x1EF_5EED,
+            kmeans_iters: 8,
+        }
+    }
+}
+
+impl IvfParams {
+    /// Parameters that probe every list: recall 1.0, bit-identical to the
+    /// exact scan (useful to validate a deployment before dialling `nprobe`
+    /// down for speed).
+    pub fn exhaustive() -> Self {
+        Self {
+            nprobe: usize::MAX,
+            ..Self::default()
+        }
+    }
+
+    /// The list count actually used for a corpus of `n` rows.
+    pub fn resolved_nlist(&self, n: usize) -> usize {
+        let nlist = if self.nlist == 0 {
+            (n as f64).sqrt().ceil() as usize
+        } else {
+            self.nlist
+        };
+        nlist.min(n).max(usize::from(n > 0))
+    }
+
+    /// The probe count actually used against `nlist` lists.
+    pub fn resolved_nprobe(&self, nlist: usize) -> usize {
+        let nprobe = if self.nprobe == 0 {
+            nlist.div_ceil(4)
+        } else {
+            self.nprobe
+        };
+        nprobe.min(nlist).max(usize::from(nlist > 0))
+    }
+}
+
+/// The coarse quantizer plus inverted lists over one (normalised) corpus.
+///
+/// Build once per corpus, search with many query batches — the k-means cost
+/// amortises across queries, which is how IVF deployments run. The index
+/// stores *row indexes into the corpus it was built from*; callers must pass
+/// the same normalised corpus table to [`IvfIndex::search`].
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    /// `nlist × dim` spherical k-means centroids (unit rows; an all-zero row
+    /// can occur for degenerate clusters and scores 0 like any zero row).
+    centroids: EmbeddingTable,
+    /// CSR offsets into `list_rows`, length `nlist + 1`.
+    list_offsets: Vec<u32>,
+    /// Corpus row indexes grouped by list, ascending within each list.
+    list_rows: Vec<u32>,
+}
+
+impl IvfIndex {
+    /// Clusters the rows of `corpus` (which must already be L2-normalised,
+    /// e.g. by [`EmbeddingTable::gather_normalized`]) into
+    /// `params.resolved_nlist` inverted lists with seeded spherical k-means.
+    pub fn build(corpus: &EmbeddingTable, params: &IvfParams) -> Self {
+        let n = corpus.rows();
+        let nlist = params.resolved_nlist(n);
+        if n == 0 || nlist == 0 {
+            return Self {
+                centroids: EmbeddingTable::zeros(0, corpus.dim()),
+                list_offsets: vec![0],
+                list_rows: Vec::new(),
+            };
+        }
+
+        // Seeded initialisation: a ChaCha8 shuffle of the row indexes picks
+        // `nlist` distinct seed rows — deterministic for a given seed.
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.shuffle(&mut rng);
+        let mut centroids = EmbeddingTable::zeros(nlist, corpus.dim());
+        for (c, &row) in perm[..nlist].iter().enumerate() {
+            centroids
+                .row_mut(c)
+                .copy_from_slice(corpus.row(row as usize));
+        }
+
+        // Lloyd iterations. Assignment fans fixed row blocks over rayon and
+        // concatenates in input order; the update accumulates sums strictly
+        // in ascending row order — both bit-deterministic for any thread
+        // count.
+        let mut assignments = assign_to_centroids(corpus, &centroids);
+        for _ in 0..params.kmeans_iters {
+            let mut sums = vec![0.0f32; nlist * corpus.dim()];
+            let mut counts = vec![0usize; nlist];
+            for (row, &c) in assignments.iter().enumerate() {
+                let base = c as usize * corpus.dim();
+                for (acc, &v) in sums[base..base + corpus.dim()]
+                    .iter_mut()
+                    .zip(corpus.row(row))
+                {
+                    *acc += v;
+                }
+                counts[c as usize] += 1;
+            }
+            for (c, &count) in counts.iter().enumerate() {
+                if count == 0 {
+                    continue; // empty cluster: keep the previous centroid
+                }
+                let base = c * corpus.dim();
+                let mean = &mut sums[base..base + corpus.dim()];
+                vector::normalize(mean); // spherical k-means re-projection
+                centroids.row_mut(c).copy_from_slice(mean);
+            }
+            let next = assign_to_centroids(corpus, &centroids);
+            let converged = next == assignments;
+            assignments = next;
+            if converged {
+                break;
+            }
+        }
+
+        // CSR inverted lists; scanning rows in ascending order per list keeps
+        // the stable-fill deterministic.
+        let mut counts = vec![0u32; nlist];
+        for &c in &assignments {
+            counts[c as usize] += 1;
+        }
+        let mut list_offsets = Vec::with_capacity(nlist + 1);
+        let mut acc = 0u32;
+        list_offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            list_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = list_offsets[..nlist].to_vec();
+        let mut list_rows = vec![0u32; n];
+        for (row, &c) in assignments.iter().enumerate() {
+            list_rows[cursor[c as usize] as usize] = row as u32;
+            cursor[c as usize] += 1;
+        }
+
+        Self {
+            centroids,
+            list_offsets,
+            list_rows,
+        }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// The centroid vector of list `c` (unit row, or all-zero for a
+    /// degenerate cluster).
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        self.centroids.row(c)
+    }
+
+    /// Number of corpus rows filed in list `c`.
+    pub fn list_len(&self, c: usize) -> usize {
+        (self.list_offsets[c + 1] - self.list_offsets[c]) as usize
+    }
+
+    /// The corpus rows of list `c`, ascending.
+    pub fn list(&self, c: usize) -> &[u32] {
+        &self.list_rows[self.list_offsets[c] as usize..self.list_offsets[c + 1] as usize]
+    }
+
+    /// Approximate top-`k` search: each query row of `queries` probes its
+    /// `nprobe` nearest lists (minimum-fill: more lists, in centroid rank
+    /// order, if fewer than `min(k, n)` candidates were gathered) and the
+    /// exact kernel scores the gathered rows. Returns one best-first list of
+    /// exactly `min(k, n)` `(corpus row, score)` entries per query.
+    ///
+    /// `corpus` must be the table the index was built from; `queries` must be
+    /// normalised the same way. With `nprobe >= nlist` the result is
+    /// bit-identical to the exact blocked scan.
+    pub fn search(
+        &self,
+        queries: &EmbeddingTable,
+        corpus: &EmbeddingTable,
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let cap = k.min(corpus.rows());
+        if cap == 0 {
+            // Degenerate corpus or k = 0: still one (empty) list per query,
+            // as documented.
+            return vec![Vec::new(); queries.rows()];
+        }
+        let flat = self.search_flat(queries, corpus, cap, nprobe);
+        flat.chunks(cap)
+            .map(|chunk| chunk.iter().map(|r| (r.index, r.score)).collect())
+            .collect()
+    }
+
+    /// [`IvfIndex::search`] returning the flattened best-first lists
+    /// (`queries.rows() * cap` entries) consumed by the [`CandidateIndex`]
+    /// assembly path.
+    pub(crate) fn search_flat(
+        &self,
+        queries: &EmbeddingTable,
+        corpus: &EmbeddingTable,
+        cap: usize,
+        nprobe: usize,
+    ) -> Vec<Ranked> {
+        let n_q = queries.rows();
+        if cap == 0 || n_q == 0 || self.nlist() == 0 {
+            return Vec::new();
+        }
+        let nprobe = nprobe.min(self.nlist()).max(1);
+        // Same fan-out shape as the exact scan: fixed query blocks over the
+        // rayon pool, block results concatenated in input order.
+        let block_starts: Vec<usize> = (0..n_q).step_by(ANN_ROW_TILE).collect();
+        let blocks: Vec<Vec<Ranked>> = block_starts
+            .par_iter()
+            .map(|&start| {
+                let end = (start + ANN_ROW_TILE).min(n_q);
+                let mut out = Vec::with_capacity((end - start) * cap);
+                let mut probe_order: Vec<Ranked> = Vec::with_capacity(self.nlist());
+                for q in start..end {
+                    out.extend(self.search_row(
+                        queries.row(q),
+                        corpus,
+                        cap,
+                        nprobe,
+                        &mut probe_order,
+                    ));
+                }
+                out
+            })
+            .collect();
+        blocks.concat()
+    }
+
+    /// Scores one query: ranks the centroids, scans lists in rank order until
+    /// `nprobe` lists are probed *and* `cap` candidates were gathered, and
+    /// drains the bounded heap best-first.
+    fn search_row(
+        &self,
+        query: &[f32],
+        corpus: &EmbeddingTable,
+        cap: usize,
+        nprobe: usize,
+        probe_order: &mut Vec<Ranked>,
+    ) -> Vec<Ranked> {
+        probe_order.clear();
+        for c in 0..self.nlist() {
+            probe_order.push(Ranked {
+                score: vector::cosine_prenormalized(query, self.centroids.row(c)),
+                index: c as u32,
+            });
+        }
+        // nlist ~ √n, so fully ordering the probe sequence is cheap and the
+        // minimum-fill extension can walk it without re-selection.
+        probe_order.sort_unstable_by(|a, b| a.rank_cmp(b));
+
+        let mut select = TopK::new(cap);
+        let mut gathered = 0usize;
+        for (probed, centroid) in probe_order.iter().enumerate() {
+            if probed >= nprobe && gathered >= cap {
+                break;
+            }
+            for &row in self.list(centroid.index as usize) {
+                select.push(
+                    vector::cosine_prenormalized(query, corpus.row(row as usize)),
+                    row,
+                );
+            }
+            gathered += self.list_len(centroid.index as usize);
+        }
+        debug_assert!(select.kept() == cap, "minimum-fill probing must fill rows");
+        select.into_sorted()
+    }
+}
+
+/// Deterministic nearest-centroid assignment: parallel over fixed row
+/// blocks (order-preserving concat), ties to the lowest centroid index.
+fn assign_to_centroids(corpus: &EmbeddingTable, centroids: &EmbeddingTable) -> Vec<u32> {
+    let n = corpus.rows();
+    let block_starts: Vec<usize> = (0..n).step_by(ANN_ROW_TILE).collect();
+    let blocks: Vec<Vec<u32>> = block_starts
+        .par_iter()
+        .map(|&start| {
+            let end = (start + ANN_ROW_TILE).min(n);
+            (start..end)
+                .map(|row| {
+                    let v = corpus.row(row);
+                    let mut best = 0u32;
+                    let mut best_score = vector::cosine_prenormalized(v, centroids.row(0));
+                    for c in 1..centroids.rows() {
+                        let score = vector::cosine_prenormalized(v, centroids.row(c));
+                        // Strictly-greater keeps the lowest index on ties and
+                        // ignores NaN scores (comparison is false).
+                        if score > best_score {
+                            best = c as u32;
+                            best_score = score;
+                        }
+                    }
+                    best
+                })
+                .collect()
+        })
+        .collect();
+    blocks.concat()
+}
+
+/// Candidate-generation strategy: how top-k candidate lists are produced.
+///
+/// Implemented by [`CandidateSearch`]; consumers that want to accept custom
+/// strategies can take `&dyn CandidateSource`.
+pub trait CandidateSource {
+    /// Short human-readable strategy label for logs and bench tables.
+    fn name(&self) -> &'static str;
+
+    /// Builds the forward top-`k` candidate lists between the embeddings of
+    /// `source_ids` and `target_ids` (the [`CandidateIndex::compute`]
+    /// contract; ANN strategies may miss candidates but never re-score them).
+    fn forward_index(
+        &self,
+        source_table: &EmbeddingTable,
+        source_ids: &[EntityId],
+        target_table: &EmbeddingTable,
+        target_ids: &[EntityId],
+        k: usize,
+    ) -> CandidateIndex;
+
+    /// [`CandidateSource::forward_index`] plus per-target reverse top-`k`
+    /// lists (the [`CandidateIndex::compute_bidirectional`] contract).
+    fn bidirectional_index(
+        &self,
+        source_table: &EmbeddingTable,
+        source_ids: &[EntityId],
+        target_table: &EmbeddingTable,
+        target_ids: &[EntityId],
+        k: usize,
+    ) -> CandidateIndex;
+}
+
+/// The built-in candidate-generation strategies, as a config-friendly value
+/// type: store it in a config struct and every consumer downstream of that
+/// config (prediction, repair, anchor mining, verification) switches with it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CandidateSearch {
+    /// The exact blocked scan — every source row against every target row.
+    #[default]
+    Exact,
+    /// The IVF pre-filter: probe `nprobe` of `nlist` inverted lists, exact
+    /// kernel over the gathered rows only.
+    Ivf(IvfParams),
+}
+
+impl CandidateSource for CandidateSearch {
+    fn name(&self) -> &'static str {
+        match self {
+            CandidateSearch::Exact => "exact",
+            CandidateSearch::Ivf(_) => "ivf",
+        }
+    }
+
+    fn forward_index(
+        &self,
+        source_table: &EmbeddingTable,
+        source_ids: &[EntityId],
+        target_table: &EmbeddingTable,
+        target_ids: &[EntityId],
+        k: usize,
+    ) -> CandidateIndex {
+        match self {
+            CandidateSearch::Exact => {
+                CandidateIndex::compute(source_table, source_ids, target_table, target_ids, k)
+            }
+            CandidateSearch::Ivf(params) => ivf_candidate_index(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+                false,
+                params,
+            ),
+        }
+    }
+
+    fn bidirectional_index(
+        &self,
+        source_table: &EmbeddingTable,
+        source_ids: &[EntityId],
+        target_table: &EmbeddingTable,
+        target_ids: &[EntityId],
+        k: usize,
+    ) -> CandidateIndex {
+        match self {
+            CandidateSearch::Exact => CandidateIndex::compute_bidirectional(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+            ),
+            CandidateSearch::Ivf(params) => ivf_candidate_index(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+                true,
+                params,
+            ),
+        }
+    }
+}
+
+/// One-shot IVF candidate generation: normalise, build the quantizer(s), run
+/// the pre-filtered scan, assemble a [`CandidateIndex`]. The reverse lists of
+/// a bidirectional index come from a second quantizer over the *source* rows
+/// probed by the target rows — the transposed problem, exactly like the exact
+/// engine's second pass.
+fn ivf_candidate_index(
+    source_table: &EmbeddingTable,
+    source_ids: &[EntityId],
+    target_table: &EmbeddingTable,
+    target_ids: &[EntityId],
+    k: usize,
+    reverse: bool,
+    params: &IvfParams,
+) -> CandidateIndex {
+    let source_rows: Vec<usize> = source_ids.iter().map(|s| s.index()).collect();
+    let target_rows: Vec<usize> = target_ids.iter().map(|t| t.index()).collect();
+    let source_norm = source_table.gather_normalized(&source_rows);
+    let target_norm = target_table.gather_normalized(&target_rows);
+
+    let forward_ivf = IvfIndex::build(&target_norm, params);
+    let forward = forward_ivf.search_flat(
+        &source_norm,
+        &target_norm,
+        k.min(target_ids.len()),
+        params.resolved_nprobe(forward_ivf.nlist()),
+    );
+
+    let backward = if reverse {
+        let backward_ivf = IvfIndex::build(&source_norm, params);
+        Some(backward_ivf.search_flat(
+            &target_norm,
+            &source_norm,
+            k.min(source_ids.len()),
+            params.resolved_nprobe(backward_ivf.nlist()),
+        ))
+    } else {
+        None
+    };
+
+    CandidateIndex::from_parts(source_ids, target_ids, k, forward, backward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_table(seed: u64, rows: usize, dim: usize) -> EmbeddingTable {
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = EmbeddingTable::xavier(rows, dim, &mut rng);
+        let all: Vec<usize> = (0..rows).collect();
+        t.gather_normalized(&all)
+    }
+
+    #[test]
+    fn params_resolve_auto_values() {
+        let p = IvfParams::default();
+        assert_eq!(p.resolved_nlist(100), 10);
+        assert_eq!(p.resolved_nlist(0), 0);
+        assert_eq!(p.resolved_nlist(1), 1);
+        assert_eq!(p.resolved_nprobe(10), 3);
+        assert_eq!(p.resolved_nprobe(0), 0);
+        let explicit = IvfParams {
+            nlist: 7,
+            nprobe: 99,
+            ..IvfParams::default()
+        };
+        assert_eq!(explicit.resolved_nlist(100), 7);
+        assert_eq!(explicit.resolved_nlist(3), 3, "nlist clamped to corpus");
+        assert_eq!(explicit.resolved_nprobe(7), 7, "nprobe clamped to nlist");
+        assert_eq!(IvfParams::exhaustive().resolved_nprobe(5), 5);
+    }
+
+    #[test]
+    fn inverted_lists_partition_the_corpus() {
+        let corpus = random_table(3, 200, 8);
+        let params = IvfParams {
+            nlist: 12,
+            ..IvfParams::default()
+        };
+        let index = IvfIndex::build(&corpus, &params);
+        assert_eq!(index.nlist(), 12);
+        let mut seen = [false; 200];
+        for c in 0..index.nlist() {
+            let list = index.list(c);
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "lists ascend");
+            for &row in list {
+                assert!(!seen[row as usize], "row filed twice");
+                seen[row as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every row filed exactly once");
+    }
+
+    #[test]
+    fn build_is_seed_deterministic_and_seed_sensitive() {
+        let corpus = random_table(5, 150, 8);
+        let params = IvfParams {
+            nlist: 10,
+            ..IvfParams::default()
+        };
+        let a = IvfIndex::build(&corpus, &params);
+        let b = IvfIndex::build(&corpus, &params);
+        assert_eq!(a.list_offsets, b.list_offsets);
+        assert_eq!(a.list_rows, b.list_rows);
+        for c in 0..a.nlist() {
+            assert_eq!(a.centroids.row(c), b.centroids.row(c), "centroid {c}");
+        }
+        let other = IvfIndex::build(&corpus, &IvfParams { seed: 99, ..params });
+        assert_ne!(
+            a.list_rows, other.list_rows,
+            "different seed should shuffle the quantizer"
+        );
+    }
+
+    #[test]
+    fn exhaustive_probing_matches_exact_scan() {
+        let corpus = random_table(7, 90, 6);
+        let queries = random_table(8, 40, 6);
+        let params = IvfParams {
+            nlist: 9,
+            ..IvfParams::default()
+        };
+        let index = IvfIndex::build(&corpus, &params);
+        let approx = index.search(&queries, &corpus, 5, index.nlist());
+        for (q, row) in approx.iter().enumerate() {
+            // Reference: brute-force over the corpus under the same order.
+            let mut exact: Vec<Ranked> = (0..corpus.rows())
+                .map(|j| Ranked {
+                    score: vector::cosine_prenormalized(queries.row(q), corpus.row(j)),
+                    index: j as u32,
+                })
+                .collect();
+            exact.sort_unstable_by(|a, b| a.rank_cmp(b));
+            assert_eq!(row.len(), 5);
+            for (got, want) in row.iter().zip(&exact) {
+                assert_eq!(got.0, want.index, "query {q}");
+                assert_eq!(got.1.to_bits(), want.score.to_bits(), "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimum_fill_always_returns_full_rows() {
+        // One probe of highly unbalanced lists must still return min(k, n).
+        let corpus = random_table(11, 64, 4);
+        let queries = random_table(12, 10, 4);
+        let params = IvfParams {
+            nlist: 16,
+            nprobe: 1,
+            ..IvfParams::default()
+        };
+        let index = IvfIndex::build(&corpus, &params);
+        for row in index.search(&queries, &corpus, 12, 1) {
+            assert_eq!(row.len(), 12);
+        }
+        // k larger than the corpus: every row comes back.
+        for row in index.search(&queries, &corpus, 1000, 1) {
+            assert_eq!(row.len(), 64);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_and_empty_queries_are_handled() {
+        let empty = EmbeddingTable::zeros(0, 4);
+        let queries = random_table(1, 3, 4);
+        let index = IvfIndex::build(&empty, &IvfParams::default());
+        assert_eq!(index.nlist(), 0);
+        // One (empty) list per query even when the corpus has no rows.
+        let results = index.search(&queries, &empty, 5, 3);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(Vec::is_empty));
+        let corpus = random_table(2, 5, 4);
+        let index = IvfIndex::build(&corpus, &IvfParams::default());
+        assert_eq!(results.len(), index.search(&queries, &corpus, 0, 1).len());
+        assert!(index
+            .search(&EmbeddingTable::zeros(0, 4), &corpus, 5, 1)
+            .is_empty());
+    }
+
+    #[test]
+    fn candidate_search_strategies_build_compatible_indexes() {
+        use ea_graph::EntityId;
+        let s = random_table(21, 30, 6);
+        let t = random_table(22, 50, 6);
+        let sids: Vec<EntityId> = (0..30).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..50).map(EntityId).collect();
+        let exact = CandidateSearch::Exact.forward_index(&s, &sids, &t, &tids, 4);
+        let ivf =
+            CandidateSearch::Ivf(IvfParams::exhaustive()).forward_index(&s, &sids, &t, &tids, 4);
+        assert_eq!(CandidateSearch::Exact.name(), "exact");
+        assert_eq!(CandidateSearch::default(), CandidateSearch::Exact);
+        assert_eq!(CandidateSearch::Ivf(IvfParams::default()).name(), "ivf");
+        for i in 0..30 {
+            let a: Vec<(EntityId, u32)> =
+                exact.candidates(i).map(|(e, s)| (e, s.to_bits())).collect();
+            let b: Vec<(EntityId, u32)> =
+                ivf.candidates(i).map(|(e, s)| (e, s.to_bits())).collect();
+            assert_eq!(a, b, "row {i}: exhaustive IVF must equal exact");
+        }
+        // Bidirectional parity under exhaustive probing, reverse lists too.
+        let exact = CandidateSearch::Exact.bidirectional_index(&s, &sids, &t, &tids, 3);
+        let ivf = CandidateSearch::Ivf(IvfParams::exhaustive())
+            .bidirectional_index(&s, &sids, &t, &tids, 3);
+        assert!(ivf.has_reverse());
+        for &t_id in &tids {
+            let a = exact.best_source_for_target(t_id).unwrap();
+            let b = ivf.best_source_for_target(t_id).unwrap();
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+}

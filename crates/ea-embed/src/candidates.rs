@@ -37,7 +37,7 @@
 //! that re-ranking cannot pull in targets that were outside the raw top-k.
 
 use crate::embedding::EmbeddingTable;
-use crate::vector;
+use crate::{order, vector};
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
 use rayon::prelude::*;
 use std::cmp::Ordering;
@@ -52,28 +52,28 @@ const DEFAULT_COL_TILE: usize = 256;
 
 /// One scored candidate: a column (or row) index plus its similarity.
 #[derive(Debug, Clone, Copy)]
-struct Ranked {
-    score: f32,
-    index: u32,
+pub(crate) struct Ranked {
+    pub(crate) score: f32,
+    pub(crate) index: u32,
 }
 
 impl Ranked {
-    /// Canonical candidate order: descending score, ties broken by ascending
-    /// index. `Less` means `self` ranks earlier (is the better candidate).
-    /// This is the total order the dense ranking's stable descending sort
-    /// realises, so selections made under it match the dense reference
-    /// exactly, including tie-breaks.
-    fn rank_cmp(&self, other: &Ranked) -> Ordering {
-        match other.score.partial_cmp(&self.score) {
-            Some(Ordering::Equal) | None => self.index.cmp(&other.index),
-            Some(order) => order,
-        }
+    /// Canonical candidate order: descending score ([`order::desc_f32`], so
+    /// NaN scores rank strictly last), ties broken by ascending index.
+    /// `Less` means `self` ranks earlier (is the better candidate). This is
+    /// the strict total order the dense ranking sorts with, so selections
+    /// made under it match the dense reference exactly, including tie-breaks
+    /// — and, being a total order, the selected set is independent of the
+    /// order candidates are pushed in (the property the IVF pre-filter's
+    /// list-order scans rely on).
+    pub(crate) fn rank_cmp(&self, other: &Ranked) -> Ordering {
+        order::desc_f32(self.score, other.score).then(self.index.cmp(&other.index))
     }
 }
 
 /// Max-heap wrapper whose greatest element is the *worst*-ranked candidate,
 /// so `peek`/`pop` expose the eviction victim of bounded top-k selection.
-struct Worst(Ranked);
+pub(crate) struct Worst(pub(crate) Ranked);
 
 impl PartialEq for Worst {
     fn eq(&self, other: &Self) -> bool {
@@ -93,21 +93,28 @@ impl Ord for Worst {
 }
 
 /// Bounded top-k selector backed by a binary heap of the kept candidates,
-/// worst on top.
-struct TopK {
+/// worst on top. Because [`Ranked::rank_cmp`] is a strict total order, the
+/// kept set (and its sorted drain) is a pure function of the pushed
+/// candidates — push order never matters.
+pub(crate) struct TopK {
     cap: usize,
     heap: BinaryHeap<Worst>,
 }
 
 impl TopK {
-    fn new(cap: usize) -> Self {
+    pub(crate) fn new(cap: usize) -> Self {
         Self {
             cap,
             heap: BinaryHeap::with_capacity(cap.saturating_add(1)),
         }
     }
 
-    fn push(&mut self, score: f32, index: u32) {
+    /// Number of candidates currently kept.
+    pub(crate) fn kept(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(crate) fn push(&mut self, score: f32, index: u32) {
         if self.cap == 0 {
             return;
         }
@@ -123,7 +130,7 @@ impl TopK {
     }
 
     /// Drains the heap into a best-first list.
-    fn into_sorted(self) -> Vec<Ranked> {
+    pub(crate) fn into_sorted(self) -> Vec<Ranked> {
         let mut entries: Vec<Ranked> = self.heap.into_iter().map(|w| w.0).collect();
         entries.sort_unstable_by(|a, b| a.rank_cmp(b));
         entries
@@ -283,11 +290,9 @@ impl CandidateIndex {
         row_tile: usize,
         col_tile: usize,
     ) -> Self {
-        let n_s = source_ids.len();
-        let n_t = target_ids.len();
         let row_tile = row_tile.max(1);
         let col_tile = col_tile.max(1);
-        let row_len = k.min(n_t);
+        let row_len = k.min(target_ids.len());
 
         // One-time normalisation pass; all scoring below is plain dots.
         let source_rows: Vec<usize> = source_ids.iter().map(|s| s.index()).collect();
@@ -296,6 +301,42 @@ impl CandidateIndex {
         let target_norm = target_table.gather_normalized(&target_rows);
 
         let forward = blocked_topk(&source_norm, &target_norm, row_len, row_tile, col_tile);
+
+        // Reverse neighbourhoods are the forward problem transposed; the
+        // dot-product kernel is symmetric bit for bit, so these scores equal
+        // the forward ones exactly.
+        let backward = if reverse {
+            let rev_len = k.min(source_ids.len());
+            Some(blocked_topk(
+                &target_norm,
+                &source_norm,
+                rev_len,
+                row_tile,
+                col_tile,
+            ))
+        } else {
+            None
+        };
+
+        Self::from_parts(source_ids, target_ids, k, forward, backward)
+    }
+
+    /// Assembles an index from flattened best-first candidate lists (exactly
+    /// `k.min(n_t)` forward entries per source row and, when present,
+    /// `k.min(n_s)` reverse entries per target column) — the shared tail of
+    /// the exact blocked scan and the IVF pre-filtered scan.
+    pub(crate) fn from_parts(
+        source_ids: &[EntityId],
+        target_ids: &[EntityId],
+        k: usize,
+        forward: Vec<Ranked>,
+        backward: Option<Vec<Ranked>>,
+    ) -> Self {
+        let n_s = source_ids.len();
+        let n_t = target_ids.len();
+        let row_len = k.min(n_t);
+        debug_assert_eq!(forward.len(), n_s * row_len, "forward lists must be full");
+
         let mut cand_cols = Vec::with_capacity(forward.len());
         let mut cand_scores = Vec::with_capacity(forward.len());
         for entry in forward {
@@ -303,14 +344,12 @@ impl CandidateIndex {
             cand_scores.push(entry.score);
         }
 
-        // Reverse neighbourhoods are the forward problem transposed; the
-        // dot-product kernel is symmetric bit for bit, so these scores equal
-        // the forward ones exactly.
-        let rev_len = if reverse { k.min(n_s) } else { 0 };
+        let has_reverse = backward.is_some();
+        let rev_len = if has_reverse { k.min(n_s) } else { 0 };
         let mut rev_rows = Vec::new();
         let mut rev_scores = Vec::new();
-        if reverse {
-            let backward = blocked_topk(&target_norm, &source_norm, rev_len, row_tile, col_tile);
+        if let Some(backward) = backward {
+            debug_assert_eq!(backward.len(), n_t * rev_len, "reverse lists must be full");
             rev_rows.reserve(backward.len());
             rev_scores.reserve(backward.len());
             for entry in backward {
@@ -336,7 +375,7 @@ impl CandidateIndex {
             row_len,
             cand_cols,
             cand_scores,
-            has_reverse: reverse,
+            has_reverse,
             rev_len,
             rev_rows,
             rev_scores,

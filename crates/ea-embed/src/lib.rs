@@ -20,6 +20,13 @@
 //!   order-preserving merges, and only bounded per-source candidate lists are
 //!   kept — bit-identical to the dense reference (pinned by the property
 //!   suite) at a fraction of the memory.
+//! * [`ann`] — the IVF-style approximate pre-filter in front of the exact
+//!   blocked scan: a deterministic seeded k-means coarse quantizer partitions
+//!   the target rows into inverted lists, queries probe the nearest lists and
+//!   the exact top-k kernel runs only over the gathered candidates. The
+//!   [`CandidateSearch`] strategy enum ([`CandidateSource`] trait) lets every
+//!   consumer switch exact ↔ ANN via config.
+//! * [`order`] — NaN-safe total-order comparators every ranking sorts with.
 //!
 //! The crate is deliberately framework-free: no BLAS, no autograd. Gradients
 //! of the margin-based losses used by the models are simple enough to write
@@ -29,13 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ann;
 pub mod candidates;
 pub mod embedding;
 pub mod optimizer;
+pub mod order;
 pub mod sampling;
 pub mod similarity;
 pub mod vector;
 
+pub use ann::{CandidateSearch, CandidateSource, IvfIndex, IvfParams};
 pub use candidates::CandidateIndex;
 pub use embedding::EmbeddingTable;
 pub use optimizer::{Adagrad, Optimizer, Sgd};

@@ -1,0 +1,113 @@
+//! NaN-safe total-order comparators for similarity scores.
+//!
+//! Every ranking in the workspace used to be built on
+//! `partial_cmp(..).unwrap_or(Ordering::Equal)`. That comparator is not a
+//! total order once a NaN enters the slice: NaN compares `Equal` to
+//! everything, which breaks transitivity, makes `sort_by` results depend on
+//! element order (and, for `sort_unstable_by`, on the pivot sequence), and
+//! lets a single NaN score scramble an otherwise well-defined ranking.
+//!
+//! The comparators here realise a genuine total order:
+//!
+//! * on NaN-free data they agree **bit for bit** with the old
+//!   `partial_cmp`-based comparators (in particular `-0.0` and `+0.0` still
+//!   compare `Equal`, so existing tie-breaks and the dense-vs-blocked
+//!   determinism pins are unaffected — this is why the implementation is not
+//!   a bare [`f32::total_cmp`], which would order `-0.0 < +0.0` and reshuffle
+//!   zero-score ties);
+//! * every NaN belongs to a single equivalence class that ranks **below every
+//!   real value** — descending sorts therefore push NaN scores to the end of
+//!   a ranking and `max_by` never selects a NaN over a real score.
+//!
+//! NaNs compare `Equal` to each other, so callers that need a *strict* total
+//! order (stable selections, reproducible top-k) must chain a secondary
+//! index/id tie-break with [`Ordering::then`], exactly as they already do for
+//! tied real scores.
+
+use std::cmp::Ordering;
+
+macro_rules! impl_order {
+    ($asc:ident, $desc:ident, $ty:ty) => {
+        /// Ascending NaN-safe total order: smaller scores first, every NaN
+        /// below every real value, NaNs mutually `Equal`.
+        #[inline]
+        pub fn $asc(a: $ty, b: $ty) -> Ordering {
+            match a.partial_cmp(&b) {
+                Some(order) => order,
+                // `partial_cmp` is `None` iff at least one side is NaN:
+                // non-NaN outranks NaN, two NaNs tie.
+                None => (!a.is_nan()).cmp(&(!b.is_nan())),
+            }
+        }
+
+        /// Descending NaN-safe total order: larger scores first, every NaN
+        /// after every real value, NaNs mutually `Equal`. This is the
+        /// comparator rankings sort with.
+        #[inline]
+        pub fn $desc(a: $ty, b: $ty) -> Ordering {
+            $asc(b, a)
+        }
+    };
+}
+
+impl_order!(asc_f32, desc_f32, f32);
+impl_order!(asc_f64, desc_f64, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_partial_cmp_on_real_values() {
+        for (a, b) in [
+            (1.0f32, 2.0),
+            (2.0, 1.0),
+            (0.0, 0.0),
+            (-0.0, 0.0),
+            (f32::INFINITY, f32::NEG_INFINITY),
+            (f32::MIN_POSITIVE, 0.0),
+        ] {
+            assert_eq!(asc_f32(a, b), a.partial_cmp(&b).unwrap());
+            assert_eq!(desc_f32(a, b), b.partial_cmp(&a).unwrap());
+        }
+        // Unlike `total_cmp`, signed zeros stay tied (bit-compat with the old
+        // comparators; callers break the tie on a secondary index).
+        assert_eq!(asc_f32(-0.0, 0.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn nan_ranks_below_every_real_value() {
+        assert_eq!(asc_f32(f32::NAN, f32::NEG_INFINITY), Ordering::Less);
+        assert_eq!(asc_f32(f32::NEG_INFINITY, f32::NAN), Ordering::Greater);
+        assert_eq!(asc_f32(f32::NAN, f32::NAN), Ordering::Equal);
+        assert_eq!(desc_f32(f32::NAN, -1.0e30), Ordering::Greater);
+        assert_eq!(desc_f64(f64::NAN, f64::NEG_INFINITY), Ordering::Greater);
+        assert_eq!(asc_f64(f64::NAN, 0.0), Ordering::Less);
+    }
+
+    #[test]
+    fn descending_sort_pushes_nan_last() {
+        let mut v = [0.5f32, f32::NAN, 1.0, f32::NAN, -2.0];
+        v.sort_by(|a, b| desc_f32(*a, *b));
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 0.5);
+        assert_eq!(v[2], -2.0);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+
+    #[test]
+    fn is_transitive_with_nans_present() {
+        // The exact failure mode of the old comparator: NaN "equal" to both
+        // endpoints of a strictly ordered pair.
+        let (a, b, c) = (1.0f32, f32::NAN, 2.0);
+        assert_eq!(asc_f32(a, b), Ordering::Greater);
+        assert_eq!(asc_f32(b, c), Ordering::Less);
+        assert_eq!(asc_f32(a, c), Ordering::Less);
+        // max_by under the ascending order never picks the NaN.
+        let best = [a, b, c]
+            .into_iter()
+            .max_by(|x, y| asc_f32(*x, *y))
+            .unwrap();
+        assert_eq!(best, 2.0);
+    }
+}

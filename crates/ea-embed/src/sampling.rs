@@ -10,7 +10,7 @@
 //!   distinguish similar entities (paper §V-B5, §V-C4).
 
 use crate::embedding::EmbeddingTable;
-use crate::vector;
+use crate::{order, vector};
 use rand::Rng;
 
 /// Anything that can propose negative entities for contrastive training.
@@ -214,7 +214,9 @@ pub fn nearest_rows(table: &EmbeddingTable, query: usize, k: usize, universe: us
     let mut scored: Vec<(usize, f32)> = (0..universe)
         .map(|i| (i, vector::cosine(q, table.row(i))))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // NaN-safe strict total order (score desc, row asc): NaN similarities
+    // rank last instead of scrambling the neighbour list.
+    scored.sort_unstable_by(|a, b| order::desc_f32(a.1, b.1).then(a.0.cmp(&b.0)));
     scored.into_iter().take(k).map(|(i, _)| i).collect()
 }
 

@@ -13,7 +13,7 @@
 //! against this matrix bit for bit.
 
 use crate::embedding::EmbeddingTable;
-use crate::vector;
+use crate::{order, vector};
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
 use std::collections::HashMap;
 
@@ -87,10 +87,15 @@ impl SimilarityMatrix {
         self.rankings = (0..self.source_ids.len())
             .map(|i| {
                 let mut cols: Vec<u32> = (0..n_t as u32).collect();
-                cols.sort_by(|&a, &b| {
+                // `(score desc, column asc)` — the canonical candidate order.
+                // The explicit column tie-break makes this a strict total
+                // order (NaN scores rank last), so the unstable sort is
+                // deterministic and reproduces what the old stable sort did
+                // on NaN-free data.
+                cols.sort_unstable_by(|&a, &b| {
                     let sa = self.values[i * n_t + a as usize];
                     let sb = self.values[i * n_t + b as usize];
-                    sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+                    order::desc_f32(sa, sb).then(a.cmp(&b))
                 });
                 cols
             })
@@ -231,13 +236,12 @@ where
 /// Mean of the `k` largest values of `values`, summed in descending order —
 /// bit-identical to sorting the whole slice descending and averaging the
 /// first `k` (ties are equal values, so partial selection cannot change the
-/// summed multiset). `values` is scratch and is left truncated.
+/// summed multiset; NaN values rank last under [`order::desc_f32`]).
+/// `values` is scratch and is left truncated.
 fn top_k_mean_desc(values: &mut Vec<f32>, k: usize) -> f32 {
     let len = values.len();
     debug_assert!(len > 0 && k > 0);
-    select_top_k_by(values, k, |a, b| {
-        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    select_top_k_by(values, k, |a, b| order::desc_f32(*a, *b));
     values.iter().sum::<f32>() / k.min(len).max(1) as f32
 }
 
@@ -275,9 +279,7 @@ pub fn top_k_targets(
         })
         .collect();
     select_top_k_by(&mut scored, k, |a, b| {
-        b.2.partial_cmp(&a.2)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
+        order::desc_f32(a.2, b.2).then(a.0.cmp(&b.0))
     });
     scored.into_iter().map(|(_, t, s)| (t, s)).collect()
 }
@@ -393,14 +395,14 @@ mod tests {
         let row_avg: Vec<f32> = (0..n_s)
             .map(|i| {
                 let mut row: Vec<f32> = m.values[i * n_t..(i + 1) * n_t].to_vec();
-                row.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                row.sort_by(|a, b| order::desc_f32(*a, *b));
                 row.iter().take(k).sum::<f32>() / k.min(row.len()).max(1) as f32
             })
             .collect();
         let col_avg: Vec<f32> = (0..n_t)
             .map(|j| {
                 let mut col: Vec<f32> = (0..n_s).map(|i| m.values[i * n_t + j]).collect();
-                col.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                col.sort_by(|a, b| order::desc_f32(*a, *b));
                 col.iter().take(k).sum::<f32>() / k.min(col.len()).max(1) as f32
             })
             .collect();
@@ -438,6 +440,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn nan_scores_rank_last_and_never_win_greedy() {
+        // An infinite embedding row survives `gather_normalized` as NaN
+        // (inf * 0 inverse norm), so its whole similarity row/column is NaN —
+        // the regression case for the old `unwrap_or(Equal)` comparators,
+        // under which a NaN column could scramble the ranking.
+        let mut s = EmbeddingTable::zeros(2, 2);
+        s.row_mut(0).copy_from_slice(&[1.0, 0.0]);
+        s.row_mut(1).copy_from_slice(&[0.0, 1.0]);
+        let mut t = EmbeddingTable::zeros(3, 2);
+        t.row_mut(0).copy_from_slice(&[f32::INFINITY, 1.0]); // NaN after normalisation
+        t.row_mut(1).copy_from_slice(&[1.0, 0.1]);
+        t.row_mut(2).copy_from_slice(&[0.1, 1.0]);
+        let sids: Vec<EntityId> = (0..2).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..3).map(EntityId).collect();
+        let m = SimilarityMatrix::compute(&s, &sids, &t, &tids);
+        assert!(m.value(0, 0).is_nan(), "test premise: NaN similarity");
+        // The NaN column ranks strictly last for every source.
+        for i in 0..2 {
+            let top = m.top_k(EntityId(i as u32), 3);
+            assert_eq!(top.len(), 3);
+            assert_eq!(top[2].0, EntityId(0), "NaN target must rank last");
+            assert!(top[2].1.is_nan());
+            assert!(!top[0].1.is_nan() && !top[1].1.is_nan());
+        }
+        let alignment = m.greedy_alignment();
+        assert_eq!(alignment.target_of(EntityId(0)), Some(EntityId(1)));
+        assert_eq!(alignment.target_of(EntityId(1)), Some(EntityId(2)));
+        // CSLS neighbourhood averages and re-ranking stay well-defined too.
+        let mut m2 = m.clone();
+        m2.apply_csls(2);
+        let realigned = m2.greedy_alignment();
+        assert!(realigned.target_of(EntityId(0)).is_some());
+        // The wrapper with raw (unnormalised) cosine hits NaN directly.
+        let top = top_k_targets(&s, EntityId(0), &t, &tids, 3);
+        assert_eq!(top[2].0, EntityId(0), "NaN target must rank last");
     }
 
     #[test]

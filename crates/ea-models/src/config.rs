@@ -1,5 +1,7 @@
 //! Shared training hyper-parameters.
 
+use ea_embed::CandidateSearch;
+
 /// Hyper-parameters shared by all EA models in this crate.
 ///
 /// The defaults are tuned for the `Small`/`Bench` synthetic dataset scales so
@@ -21,6 +23,11 @@ pub struct TrainConfig {
     pub alignment_weight: f32,
     /// RNG seed. Training is fully deterministic given this seed.
     pub seed: u64,
+    /// Candidate-generation strategy used by training-time nearest-neighbour
+    /// sweeps (currently Dual-AMN's mutual-anchor mining): the exact blocked
+    /// scan, or the IVF approximate pre-filter for corpora where the exact
+    /// O(n_s·n_t) sweep is the bottleneck.
+    pub candidate_search: CandidateSearch,
 }
 
 impl Default for TrainConfig {
@@ -33,6 +40,7 @@ impl Default for TrainConfig {
             negative_samples: 4,
             alignment_weight: 2.0,
             seed: 17,
+            candidate_search: CandidateSearch::Exact,
         }
     }
 }

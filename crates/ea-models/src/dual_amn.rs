@@ -148,7 +148,13 @@ impl EaModel for DualAmn {
         // are treated as additional shared anchors and the representation is
         // rebuilt, which plays the role of the original model's proxy-attention
         // cross-graph interaction.
-        let pseudo = mutual_anchor_candidates(pair, &source_out, &target_out, Self::PSEUDO_SIM);
+        let pseudo = mutual_anchor_candidates(
+            pair,
+            &source_out,
+            &target_out,
+            Self::PSEUDO_SIM,
+            &config.candidate_search,
+        );
         if !pseudo.is_empty() {
             for p in pseudo.iter() {
                 let mut anchor = vec![0.0f32; config.dim];
@@ -227,6 +233,7 @@ fn mutual_anchor_candidates(
     source_out: &EmbeddingTable,
     target_out: &EmbeddingTable,
     threshold: f32,
+    search: &ea_embed::CandidateSearch,
 ) -> Vec<ea_graph::AlignmentPair> {
     use ea_graph::EntityId;
     let sources: Vec<EntityId> = pair
@@ -243,12 +250,14 @@ fn mutual_anchor_candidates(
         return Vec::new();
     }
     // Blocked top-1 candidate engine: best target per source from the
-    // forward lists, best source per target from the exact reverse lists —
-    // no dense n_s × n_t matrix, no quadratic rescan. Ties resolve to the
-    // earliest row/column, like the dense scans did.
-    let index = ea_embed::CandidateIndex::compute_bidirectional(
-        source_out, &sources, target_out, &targets, 1,
-    );
+    // forward lists, best source per target from the reverse lists — no
+    // dense n_s × n_t matrix, no quadratic rescan. Ties resolve to the
+    // earliest row/column, like the dense scans did. The configured
+    // `CandidateSearch` decides whether the lists come from the exact scan
+    // or the IVF pre-filter (approximate mining trades a few anchors for a
+    // sub-quadratic sweep; at `nprobe = nlist` it is bit-identical).
+    use ea_embed::CandidateSource as _;
+    let index = search.bidirectional_index(source_out, &sources, target_out, &targets, 1);
     let mut pseudo = Vec::new();
     for (i, &s) in sources.iter().enumerate() {
         let (t, sim) = index

@@ -1,6 +1,6 @@
 //! The artifact produced by training: embeddings plus inference helpers.
 
-use ea_embed::{CandidateIndex, EmbeddingTable, SimilarityMatrix};
+use ea_embed::{CandidateIndex, CandidateSource, EmbeddingTable, SimilarityMatrix};
 use ea_graph::{AlignmentSet, EntityId, KgPair, KgSide, RelationId};
 
 /// The output of training an EA model on a [`KgPair`]: entity embeddings for
@@ -124,21 +124,48 @@ impl TrainedAlignment {
     /// Blocked top-`k` candidate lists between the pair's test source
     /// entities and all target entities — the bounded-memory production form
     /// of the matrix `M` (same greedy alignment and top-k candidates as
-    /// [`TrainedAlignment::similarity_matrix`], O(n·k) storage).
+    /// [`TrainedAlignment::similarity_matrix`], O(n·k) storage). Exact scan;
+    /// use [`TrainedAlignment::candidate_index_with`] to switch strategies.
     pub fn candidate_index(&self, pair: &KgPair, k: usize) -> CandidateIndex {
-        let sources = pair.test_source_entities();
-        let targets: Vec<EntityId> = pair.target.entity_ids().collect();
-        self.candidate_index_between(&sources, &targets, k)
+        self.candidate_index_with(pair, k, &ea_embed::CandidateSearch::Exact)
     }
 
-    /// Blocked top-`k` candidate lists between arbitrary entity lists.
+    /// Top-`k` candidate lists between the pair's test source entities and
+    /// all target entities, produced by the given candidate-generation
+    /// strategy — the exact blocked scan or the IVF approximate pre-filter
+    /// ([`ea_embed::CandidateSearch`]).
+    pub fn candidate_index_with(
+        &self,
+        pair: &KgPair,
+        k: usize,
+        search: &dyn CandidateSource,
+    ) -> CandidateIndex {
+        let sources = pair.test_source_entities();
+        let targets: Vec<EntityId> = pair.target.entity_ids().collect();
+        self.candidate_index_between_with(&sources, &targets, k, search)
+    }
+
+    /// Blocked top-`k` candidate lists between arbitrary entity lists
+    /// (exact scan).
     pub fn candidate_index_between(
         &self,
         sources: &[EntityId],
         targets: &[EntityId],
         k: usize,
     ) -> CandidateIndex {
-        CandidateIndex::compute(
+        self.candidate_index_between_with(sources, targets, k, &ea_embed::CandidateSearch::Exact)
+    }
+
+    /// Top-`k` candidate lists between arbitrary entity lists under the given
+    /// candidate-generation strategy.
+    pub fn candidate_index_between_with(
+        &self,
+        sources: &[EntityId],
+        targets: &[EntityId],
+        k: usize,
+        search: &dyn CandidateSource,
+    ) -> CandidateIndex {
+        search.forward_index(
             &self.source_entities,
             sources,
             &self.target_entities,
@@ -150,9 +177,20 @@ impl TrainedAlignment {
     /// Greedy alignment prediction for the pair's test source entities
     /// (the paper's `Ares`). Runs on the blocked candidate engine with
     /// `k = 1`, so prediction memory is O(n) instead of the dense matrix's
-    /// O(n²).
+    /// O(n²). Exact scan; use [`TrainedAlignment::predict_with`] to switch
+    /// strategies.
     pub fn predict(&self, pair: &KgPair) -> AlignmentSet {
         self.candidate_index(pair, 1).greedy_alignment()
+    }
+
+    /// Greedy alignment prediction through the given candidate-generation
+    /// strategy. With [`ea_embed::CandidateSearch::Ivf`] at `nprobe < nlist`
+    /// the prediction is approximate (each source aligns to the best target
+    /// among the probed lists); at `nprobe = nlist` it is bit-identical to
+    /// [`TrainedAlignment::predict`].
+    pub fn predict_with(&self, pair: &KgPair, search: &dyn CandidateSource) -> AlignmentSet {
+        self.candidate_index_with(pair, 1, search)
+            .greedy_alignment()
     }
 
     /// Alignment accuracy of the greedy prediction against the reference
