@@ -1,11 +1,16 @@
 //! Criterion benchmarks of the alignment-inference hot paths: the dense
 //! `SimilarityMatrix` reference vs the blocked top-k `CandidateIndex` engine
 //! (build + greedy alignment, CSLS re-scoring, and the cr2-style id-lookup
-//! loop that used to be quadratic), plus the IVF ANN pre-filter vs the exact
-//! scan at n >= 2000 targets.
+//! loop that used to be quadratic), the IVF ANN pre-filter vs the exact scan
+//! at n >= 2000 targets, the register-blocked kernel vs the retired
+//! one-accumulator scalar dot, and the SQ8 quantized scan vs the exact f32
+//! sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ea_embed::{CandidateIndex, EmbeddingTable, IvfIndex, IvfParams, SimilarityMatrix};
+use ea_embed::{
+    kernel, CandidateIndex, CandidateSearch, CandidateSource, EmbeddingTable, IvfIndex, IvfParams,
+    QuantizedTable, SimilarityMatrix, Sq8Params,
+};
 use ea_graph::EntityId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -154,11 +159,112 @@ fn bench_ann_prefilter(c: &mut Criterion) {
     group.finish();
 }
 
+/// The retired per-pair dot: one sequential accumulator, the loop-carried
+/// dependency the register-blocked kernel removes. Kept here as the baseline
+/// the kernel's speedup is measured against.
+fn scalar_dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Normalised tables at the bench scale the kernel/SQ8 acceptance numbers
+/// are quoted at: 1400 queries x 2200 corpus rows, d = 100.
+fn kernel_scale_tables() -> (EmbeddingTable, EmbeddingTable) {
+    const D: usize = 100;
+    let mut rng = StdRng::seed_from_u64(23);
+    let s = EmbeddingTable::xavier(1400, D, &mut rng);
+    let t = EmbeddingTable::xavier(2200, D, &mut rng);
+    let s_rows: Vec<usize> = (0..s.rows()).collect();
+    let t_rows: Vec<usize> = (0..t.rows()).collect();
+    (s.gather_normalized(&s_rows), t.gather_normalized(&t_rows))
+}
+
+/// Register-blocked kernel vs the retired scalar dot: the full exact scoring
+/// sweep (every query row against the whole corpus) at 1400x2200, d=100.
+fn bench_kernel(c: &mut Criterion) {
+    let (s, t) = kernel_scale_tables();
+    let (n_s, n_t, dim) = (s.rows(), t.rows(), t.dim());
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(10);
+    group.bench_function("scalar_scan_1400x2200_d100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..n_s {
+                let q = s.row(i);
+                for j in 0..n_t {
+                    acc += scalar_dot(q, t.row(j));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("kernel_scan_1400x2200_d100", |b| {
+        let mut out = vec![0.0f32; n_t];
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..n_s {
+                kernel::scan_block(s.row(i), t.data(), dim, &mut out);
+                acc += black_box(&out)[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// SQ8 quantized scan vs the exact f32 sweep: the raw integer ADC byte scan
+/// (4x less memory traffic per candidate), the end-to-end candidate engines
+/// at equal k (two corpus sizes — the byte panel's edge grows as the f32
+/// corpus outgrows the cache), and the one-off quantization cost.
+fn bench_sq8(c: &mut Criterion) {
+    const K: usize = 10;
+    const D: usize = 100;
+    let mut group = c.benchmark_group("sq8");
+    group.sample_size(10);
+    for &(n_s, n_t) in &[(1400usize, 2200usize), (400, 8000)] {
+        let mut rng = StdRng::seed_from_u64(23);
+        let s = EmbeddingTable::xavier(n_s, D, &mut rng);
+        let t = EmbeddingTable::xavier(n_t, D, &mut rng);
+        let s_rows: Vec<usize> = (0..n_s).collect();
+        let t_rows: Vec<usize> = (0..n_t).collect();
+        let s = s.gather_normalized(&s_rows);
+        let t = t.gather_normalized(&t_rows);
+        let quantized = QuantizedTable::build(&t);
+        let sids: Vec<EntityId> = (0..n_s as u32).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..n_t as u32).map(EntityId).collect();
+        group.bench_function(&format!("sq8_adc_scan_{n_s}x{n_t}_d100"), |b| {
+            let mut lut = Vec::new();
+            let mut out = vec![0.0f32; n_t];
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for i in 0..n_s {
+                    let (base, step) = quantized.prepare_query(s.row(i), &mut lut);
+                    quantized.scan(&lut, base, step, &mut out);
+                    acc += black_box(&out)[0];
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(&format!("exact_engine_{n_s}x{n_t}_d100_k10"), |b| {
+            b.iter(|| black_box(CandidateSearch::Exact.forward_index(&s, &sids, &t, &tids, K)))
+        });
+        group.bench_function(&format!("sq8_engine_{n_s}x{n_t}_d100_k10"), |b| {
+            let search = CandidateSearch::Sq8(Sq8Params::default());
+            b.iter(|| black_box(search.forward_index(&s, &sids, &t, &tids, K)))
+        });
+        group.bench_function(&format!("sq8_quantize_{n_t}_d100"), |b| {
+            b.iter(|| black_box(QuantizedTable::build(&t)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_inference,
     bench_csls,
     bench_cr2_lookup_loop,
-    bench_ann_prefilter
+    bench_ann_prefilter,
+    bench_kernel,
+    bench_sq8
 );
 criterion_main!(benches);

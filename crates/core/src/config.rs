@@ -30,11 +30,14 @@ pub struct ExeaConfig {
     /// (the `k` of Algorithms 1 and 2).
     pub top_k: usize,
     /// How candidate lists (and the initial greedy prediction) are produced:
-    /// the exact blocked scan, or the IVF approximate pre-filter
-    /// ([`CandidateSearch::Ivf`]) for corpora where the exact O(n_s·n_t)
-    /// sweep dominates. At `nprobe = nlist` the IVF path is bit-identical to
-    /// the exact one; below that it trades recall for query time (see the
-    /// README's recall/speed table).
+    /// the exact blocked scan, the IVF approximate pre-filter
+    /// ([`CandidateSearch::Ivf`], optionally with SQ8 list storage) or the
+    /// SQ8 quantized scan ([`CandidateSearch::Sq8`]) for corpora where the
+    /// exact O(n_s·n_t) sweep dominates. At `nprobe = nlist` /
+    /// `rerank_factor = usize::MAX` the approximate paths are bit-identical
+    /// to the exact one; below that they trade recall for query time, but
+    /// every score they do return is still the bit-exact f32 dot (see the
+    /// README's recall/speed tables).
     pub candidate_search: CandidateSearch,
 }
 
@@ -47,7 +50,9 @@ impl Default for ExeaConfig {
             gamma: 0.0,
             weak_edge_weight: 0.05,
             top_k: 5,
-            candidate_search: CandidateSearch::Exact,
+            // Exact unless the EXEA_CANDIDATE_SEARCH override (CI's hook for
+            // running the whole pipeline on an approximate engine) is set.
+            candidate_search: CandidateSearch::default_from_env(),
         }
     }
 }

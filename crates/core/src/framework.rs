@@ -65,8 +65,9 @@ impl<'a> ExEa<'a> {
         // prediction `Ares` is the rank-0 column of the same engine the
         // repair loops walk (bit-identical to a dedicated k=1 exact scan;
         // for partial-probing IVF it can only see *more* lists than a k=1
-        // search would, never fewer), and the IVF quantizer — when
-        // configured — is built exactly once per framework.
+        // search would, never fewer, and for SQ8 the re-rank depth only
+        // grows with k), and the IVF/SQ8 quantizers — when configured — are
+        // built exactly once per framework.
         let candidates = trained.candidate_index_with(pair, config.top_k, &config.candidate_search);
         let predictions = candidates.greedy_alignment();
         Self {
@@ -90,9 +91,11 @@ impl<'a> ExEa<'a> {
     /// The top-k candidate engine over the pair's test source entities and
     /// all target entities (`k = config.top_k`) — the bounded O(n·k) form of
     /// the paper's ranked candidate matrix `M`, produced by the configured
-    /// [`ea_embed::CandidateSearch`] strategy (exact blocked scan or IVF
-    /// pre-filter). Built once at construction and shared by prediction,
-    /// repair (cr2/cr3) and candidate verification.
+    /// [`ea_embed::CandidateSearch`] strategy (exact blocked scan, IVF
+    /// pre-filter — optionally with SQ8 list storage — or SQ8 quantized
+    /// scan; approximate strategies may miss candidates but never re-score
+    /// the ones they return). Built once at construction and shared by
+    /// prediction, repair (cr2/cr3) and candidate verification.
     pub fn candidate_index(&self) -> &CandidateIndex {
         &self.candidates
     }

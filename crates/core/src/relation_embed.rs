@@ -60,8 +60,10 @@ impl RelationEmbeddings {
 pub fn derive_from_entities(entities: &EmbeddingTable, kg: &KnowledgeGraph) -> EmbeddingTable {
     let dim = entities.dim();
     let mut table = EmbeddingTable::zeros(kg.num_relations().max(1), dim);
+    // One accumulator reused across relations (no per-relation allocation).
+    let mut acc = vec![0.0f32; dim];
     for r in kg.relation_ids() {
-        let mut acc = vec![0.0f32; dim];
+        acc.fill(0.0);
         let mut count = 0usize;
         for t in kg.triples_with_relation(r) {
             let s = entities.row(t.head.index());

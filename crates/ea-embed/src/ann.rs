@@ -12,9 +12,13 @@
 //!    list of its nearest centroid (CSR storage, rows ascending per list).
 //! 2. **Search** ([`IvfIndex::search`]): a query ranks the centroids by dot
 //!    product, probes the `nprobe` nearest lists, and runs the *existing*
-//!    exact top-k machinery — the same [`vector::cosine_prenormalized`]
-//!    kernel, the same bounded heap selection, the same order-preserving
-//!    rayon block merges as the exact scan — over only the gathered rows.
+//!    exact top-k machinery — the same register-blocked [`crate::kernel`]
+//!    (clamped to `[-1, 1]`), the same bounded heap selection, the same
+//!    order-preserving rayon block merges as the exact scan — over only the
+//!    gathered rows. With [`IvfListStorage::Sq8`] (IVF-SQ) the gathered rows
+//!    are first scanned through their SQ8 codes and only the approximate
+//!    best `rerank_factor · k` reach the exact kernel; returned scores stay
+//!    bit-exact either way.
 //!
 //! **Determinism contract.** Everything is a pure function of (embeddings,
 //! params): k-means initialisation is seeded, assignment blocks are merged in
@@ -40,6 +44,10 @@
 
 use crate::candidates::{CandidateIndex, Ranked, TopK};
 use crate::embedding::EmbeddingTable;
+use crate::kernel;
+use crate::quantized::{
+    sq8_candidate_index, sq8_select_and_rerank, QuantizedTable, Sq8Params, Sq8Scratch,
+};
 use crate::vector;
 use ea_graph::EntityId;
 use rand::seq::SliceRandom;
@@ -49,6 +57,20 @@ use rayon::prelude::*;
 
 /// Rows per parallel work block in k-means assignment and IVF search.
 const ANN_ROW_TILE: usize = 128;
+
+/// How an [`IvfIndex`] stores (and scans) its inverted lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum IvfListStorage {
+    /// Scan the probed lists with the exact f32 kernel directly.
+    #[default]
+    Flat,
+    /// IVF-SQ: scan the probed lists through the SQ8 quantized codes
+    /// ([`crate::QuantizedTable`], 4× fewer bytes per candidate), then
+    /// re-score the best `rerank_factor · k` gathered rows with the exact
+    /// kernel. Returned scores stay bit-exact f32 dots (subset-only
+    /// approximation, like probing itself).
+    Sq8(Sq8Params),
+}
 
 /// Tuning knobs of the IVF pre-filter. `nlist`/`nprobe` set to 0 mean
 /// "choose automatically" (`⌈√n⌉` lists, `⌈nlist/4⌉` probes).
@@ -66,6 +88,9 @@ pub struct IvfParams {
     /// Maximum k-means refinement iterations (converges earlier when
     /// assignments stabilise).
     pub kmeans_iters: usize,
+    /// Inverted-list storage: exact f32 rows ([`IvfListStorage::Flat`]) or
+    /// SQ8 codes with exact re-ranking ([`IvfListStorage::Sq8`], IVF-SQ).
+    pub storage: IvfListStorage,
 }
 
 impl Default for IvfParams {
@@ -75,6 +100,7 @@ impl Default for IvfParams {
             nprobe: 0,
             seed: 0x1EF_5EED,
             kmeans_iters: 8,
+            storage: IvfListStorage::Flat,
         }
     }
 }
@@ -126,6 +152,41 @@ pub struct IvfIndex {
     list_offsets: Vec<u32>,
     /// Corpus row indexes grouped by list, ascending within each list.
     list_rows: Vec<u32>,
+    /// IVF-SQ list storage: the SQ8 codes of the whole corpus (indexed by
+    /// corpus row, so every inverted list shares one code panel) plus the
+    /// re-rank parameters. `None` for flat storage.
+    quantized: Option<(QuantizedTable, Sq8Params)>,
+}
+
+/// Per-block scratch of [`IvfIndex::search`]: every buffer a query needs —
+/// centroid scores, the probe order, gathered list rows, quantized-scan
+/// state and exact re-rank buffers — allocated once per rayon work block and
+/// reused across its queries (the `BfsScratch` pattern; the old code rebuilt
+/// the centroid-score storage per query).
+struct IvfScratch {
+    /// Raw centroid dot products of the current query.
+    centroid_scores: Vec<f32>,
+    /// Centroids ranked best-first under the canonical candidate order.
+    probe_order: Vec<Ranked>,
+    /// Exact scores of one inverted list (flat storage).
+    list_scores: Vec<f32>,
+    /// Corpus rows gathered from the probed lists (SQ8 storage).
+    gathered: Vec<u32>,
+    /// Quantized-scan buffers (SQ8 storage) — the same scratch the
+    /// whole-corpus SQ8 engine uses.
+    sq8: Sq8Scratch,
+}
+
+impl IvfScratch {
+    fn new() -> Self {
+        Self {
+            centroid_scores: Vec::new(),
+            probe_order: Vec::new(),
+            list_scores: Vec::new(),
+            gathered: Vec::new(),
+            sq8: Sq8Scratch::new(),
+        }
+    }
 }
 
 impl IvfIndex {
@@ -140,6 +201,7 @@ impl IvfIndex {
                 centroids: EmbeddingTable::zeros(0, corpus.dim()),
                 list_offsets: vec![0],
                 list_rows: Vec::new(),
+                quantized: None,
             };
         }
 
@@ -210,10 +272,18 @@ impl IvfIndex {
             cursor[c as usize] += 1;
         }
 
+        // IVF-SQ: one code panel over the whole corpus, shared by every
+        // inverted list (lists store row indexes either way).
+        let quantized = match &params.storage {
+            IvfListStorage::Flat => None,
+            IvfListStorage::Sq8(sq8) => Some((QuantizedTable::build(corpus), sq8.clone())),
+        };
+
         Self {
             centroids,
             list_offsets,
             list_rows,
+            quantized,
         }
     }
 
@@ -282,22 +352,17 @@ impl IvfIndex {
         }
         let nprobe = nprobe.min(self.nlist()).max(1);
         // Same fan-out shape as the exact scan: fixed query blocks over the
-        // rayon pool, block results concatenated in input order.
+        // rayon pool, block results concatenated in input order. One scratch
+        // set per block, reused across its queries.
         let block_starts: Vec<usize> = (0..n_q).step_by(ANN_ROW_TILE).collect();
         let blocks: Vec<Vec<Ranked>> = block_starts
             .par_iter()
             .map(|&start| {
                 let end = (start + ANN_ROW_TILE).min(n_q);
                 let mut out = Vec::with_capacity((end - start) * cap);
-                let mut probe_order: Vec<Ranked> = Vec::with_capacity(self.nlist());
+                let mut scratch = IvfScratch::new();
                 for q in start..end {
-                    out.extend(self.search_row(
-                        queries.row(q),
-                        corpus,
-                        cap,
-                        nprobe,
-                        &mut probe_order,
-                    ));
+                    self.search_row(queries.row(q), corpus, cap, nprobe, &mut scratch, &mut out);
                 }
                 out
             })
@@ -305,63 +370,116 @@ impl IvfIndex {
         blocks.concat()
     }
 
-    /// Scores one query: ranks the centroids, scans lists in rank order until
+    /// Scores one query: ranks the centroids (register-blocked kernel scan
+    /// over the contiguous centroid table), scans lists in rank order until
     /// `nprobe` lists are probed *and* `cap` candidates were gathered, and
-    /// drains the bounded heap best-first.
+    /// appends the bounded selection best-first to `out`. Flat storage
+    /// scores the gathered rows exactly; SQ8 storage scans their codes and
+    /// exactly re-scores the approximate top `rerank_factor · cap`.
     fn search_row(
         &self,
         query: &[f32],
         corpus: &EmbeddingTable,
         cap: usize,
         nprobe: usize,
-        probe_order: &mut Vec<Ranked>,
-    ) -> Vec<Ranked> {
-        probe_order.clear();
-        for c in 0..self.nlist() {
-            probe_order.push(Ranked {
-                score: vector::cosine_prenormalized(query, self.centroids.row(c)),
-                index: c as u32,
-            });
-        }
+        scratch: &mut IvfScratch,
+        out: &mut Vec<Ranked>,
+    ) {
+        let dim = corpus.dim();
+        scratch.centroid_scores.resize(self.nlist(), 0.0);
+        kernel::scan_block(
+            query,
+            self.centroids.data(),
+            dim,
+            &mut scratch.centroid_scores,
+        );
+        scratch.probe_order.clear();
+        scratch
+            .probe_order
+            .extend(
+                scratch
+                    .centroid_scores
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &score)| Ranked {
+                        score: score.clamp(-1.0, 1.0),
+                        index: c as u32,
+                    }),
+            );
         // nlist ~ √n, so fully ordering the probe sequence is cheap and the
         // minimum-fill extension can walk it without re-selection.
-        probe_order.sort_unstable_by(|a, b| a.rank_cmp(b));
+        scratch.probe_order.sort_unstable_by(|a, b| a.rank_cmp(b));
 
-        let mut select = TopK::new(cap);
-        let mut gathered = 0usize;
-        for (probed, centroid) in probe_order.iter().enumerate() {
-            if probed >= nprobe && gathered >= cap {
-                break;
+        match &self.quantized {
+            None => {
+                let mut select = TopK::new(cap);
+                let mut gathered = 0usize;
+                for (probed, centroid) in scratch.probe_order.iter().enumerate() {
+                    if probed >= nprobe && gathered >= cap {
+                        break;
+                    }
+                    let rows = self.list(centroid.index as usize);
+                    scratch.list_scores.resize(rows.len(), 0.0);
+                    kernel::scan_gather(query, corpus.data(), dim, rows, &mut scratch.list_scores);
+                    for (&row, &score) in rows.iter().zip(&scratch.list_scores) {
+                        select.push(score.clamp(-1.0, 1.0), row);
+                    }
+                    gathered += rows.len();
+                }
+                debug_assert!(select.kept() == cap, "minimum-fill probing must fill rows");
+                out.extend(select.into_sorted());
             }
-            for &row in self.list(centroid.index as usize) {
-                select.push(
-                    vector::cosine_prenormalized(query, corpus.row(row as usize)),
-                    row,
+            Some((quantized, sq8)) => {
+                // IVF-SQ: gather the probed rows (minimum-fill like the flat
+                // path — lists partition the corpus, so the gathered rows
+                // are distinct), then run the shared SQ8 selection + exact
+                // re-rank pipeline over them.
+                scratch.gathered.clear();
+                for (probed, centroid) in scratch.probe_order.iter().enumerate() {
+                    if probed >= nprobe && scratch.gathered.len() >= cap {
+                        break;
+                    }
+                    scratch
+                        .gathered
+                        .extend_from_slice(self.list(centroid.index as usize));
+                }
+                let rerank = sq8.resolved_rerank(cap, scratch.gathered.len());
+                sq8_select_and_rerank(
+                    query,
+                    corpus,
+                    quantized,
+                    Some(&scratch.gathered),
+                    cap,
+                    rerank,
+                    &mut scratch.sq8,
+                    out,
                 );
             }
-            gathered += self.list_len(centroid.index as usize);
         }
-        debug_assert!(select.kept() == cap, "minimum-fill probing must fill rows");
-        select.into_sorted()
     }
 }
 
 /// Deterministic nearest-centroid assignment: parallel over fixed row
-/// blocks (order-preserving concat), ties to the lowest centroid index.
+/// blocks (order-preserving concat), ties to the lowest centroid index. Each
+/// row's centroid scores come from one register-blocked kernel sweep over
+/// the contiguous centroid table (same clamped values as per-pair
+/// `cosine_prenormalized` calls).
 fn assign_to_centroids(corpus: &EmbeddingTable, centroids: &EmbeddingTable) -> Vec<u32> {
     let n = corpus.rows();
+    let dim = corpus.dim();
     let block_starts: Vec<usize> = (0..n).step_by(ANN_ROW_TILE).collect();
     let blocks: Vec<Vec<u32>> = block_starts
         .par_iter()
         .map(|&start| {
             let end = (start + ANN_ROW_TILE).min(n);
+            let mut scores = vec![0.0f32; centroids.rows()];
             (start..end)
                 .map(|row| {
-                    let v = corpus.row(row);
+                    kernel::scan_block(corpus.row(row), centroids.data(), dim, &mut scores);
                     let mut best = 0u32;
-                    let mut best_score = vector::cosine_prenormalized(v, centroids.row(0));
-                    for c in 1..centroids.rows() {
-                        let score = vector::cosine_prenormalized(v, centroids.row(c));
+                    let mut best_score = scores[0].clamp(-1.0, 1.0);
+                    for (c, &raw) in scores.iter().enumerate().skip(1) {
+                        let score = raw.clamp(-1.0, 1.0);
                         // Strictly-greater keeps the lowest index on ties and
                         // ignores NaN scores (comparison is false).
                         if score > best_score {
@@ -418,15 +536,70 @@ pub enum CandidateSearch {
     #[default]
     Exact,
     /// The IVF pre-filter: probe `nprobe` of `nlist` inverted lists, exact
-    /// kernel over the gathered rows only.
+    /// kernel over the gathered rows only. With
+    /// [`IvfParams::storage`] = [`IvfListStorage::Sq8`] the probed lists are
+    /// scanned through SQ8 codes (IVF-SQ) before the exact re-rank.
     Ivf(IvfParams),
+    /// The SQ8 quantized whole-corpus scan: ADC over int8 codes (4× fewer
+    /// bytes per candidate) selects `rerank_factor · k` candidates, the
+    /// exact kernel re-scores them — returned scores stay bit-exact f32
+    /// dots (subset-only approximation, like IVF).
+    Sq8(Sq8Params),
+}
+
+impl CandidateSearch {
+    /// The default strategy honouring the `EXEA_CANDIDATE_SEARCH`
+    /// environment override — the hook CI uses to run the whole pipeline
+    /// (prediction, repair, verification, anchor mining) on an approximate
+    /// engine end to end. Recognised values: `exact`, `ivf`, `sq8`,
+    /// `ivf-sq8` (each with default parameters); unset or empty means
+    /// [`CandidateSearch::Exact`].
+    ///
+    /// Config `Default` impls ([`ExeaConfig`](https://docs.rs/exea-core),
+    /// `TrainConfig`) call this instead of hard-coding `Exact`; explicitly
+    /// constructed strategies are never overridden.
+    ///
+    /// # Panics
+    /// Panics on an unrecognised non-empty value: the override exists so CI
+    /// can guarantee approximate-path coverage, and a typo silently falling
+    /// back to `Exact` would turn that guarantee into a no-op.
+    pub fn default_from_env() -> Self {
+        match std::env::var("EXEA_CANDIDATE_SEARCH") {
+            Err(_) => CandidateSearch::Exact,
+            Ok(value) => Self::parse_override(&value).unwrap_or_else(|| {
+                panic!(
+                    "unrecognised EXEA_CANDIDATE_SEARCH value {value:?} \
+                     (expected exact, ivf, sq8 or ivf-sq8)"
+                )
+            }),
+        }
+    }
+
+    /// Parses one `EXEA_CANDIDATE_SEARCH` value; `None` for unrecognised
+    /// non-empty input (the empty string means "unset": `Exact`).
+    fn parse_override(value: &str) -> Option<Self> {
+        Some(match value {
+            "" | "exact" => CandidateSearch::Exact,
+            "ivf" => CandidateSearch::Ivf(IvfParams::default()),
+            "sq8" => CandidateSearch::Sq8(Sq8Params::default()),
+            "ivf-sq8" => CandidateSearch::Ivf(IvfParams {
+                storage: IvfListStorage::Sq8(Sq8Params::default()),
+                ..IvfParams::default()
+            }),
+            _ => return None,
+        })
+    }
 }
 
 impl CandidateSource for CandidateSearch {
     fn name(&self) -> &'static str {
         match self {
             CandidateSearch::Exact => "exact",
-            CandidateSearch::Ivf(_) => "ivf",
+            CandidateSearch::Ivf(params) => match params.storage {
+                IvfListStorage::Flat => "ivf",
+                IvfListStorage::Sq8(_) => "ivf-sq8",
+            },
+            CandidateSearch::Sq8(_) => "sq8",
         }
     }
 
@@ -443,6 +616,15 @@ impl CandidateSource for CandidateSearch {
                 CandidateIndex::compute(source_table, source_ids, target_table, target_ids, k)
             }
             CandidateSearch::Ivf(params) => ivf_candidate_index(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+                false,
+                params,
+            ),
+            CandidateSearch::Sq8(params) => sq8_candidate_index(
                 source_table,
                 source_ids,
                 target_table,
@@ -471,6 +653,15 @@ impl CandidateSource for CandidateSearch {
                 k,
             ),
             CandidateSearch::Ivf(params) => ivf_candidate_index(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+                true,
+                params,
+            ),
+            CandidateSearch::Sq8(params) => sq8_candidate_index(
                 source_table,
                 source_ids,
                 target_table,
@@ -661,6 +852,33 @@ mod tests {
         assert!(index
             .search(&EmbeddingTable::zeros(0, 4), &corpus, 5, 1)
             .is_empty());
+    }
+
+    #[test]
+    fn env_override_values_parse_strictly() {
+        assert_eq!(
+            CandidateSearch::parse_override(""),
+            Some(CandidateSearch::Exact)
+        );
+        assert_eq!(
+            CandidateSearch::parse_override("exact"),
+            Some(CandidateSearch::Exact)
+        );
+        assert_eq!(
+            CandidateSearch::parse_override("ivf"),
+            Some(CandidateSearch::Ivf(IvfParams::default()))
+        );
+        assert_eq!(
+            CandidateSearch::parse_override("sq8"),
+            Some(CandidateSearch::Sq8(Sq8Params::default()))
+        );
+        let ivf_sq8 = CandidateSearch::parse_override("ivf-sq8").unwrap();
+        assert_eq!(ivf_sq8.name(), "ivf-sq8");
+        // Typos must not silently fall back to Exact — the CI override job
+        // relies on unknown values failing loudly.
+        for typo in ["sq-8", "ivf_sq8", "SQ8", "quantized"] {
+            assert_eq!(CandidateSearch::parse_override(typo), None, "{typo}");
+        }
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //!
 //! **Determinism contract.** Embedding rows are normalised once
 //! ([`EmbeddingTable::gather_normalized`]) and every similarity is the same
-//! [`vector::cosine_prenormalized`] dot product the dense reference computes,
-//! so scores are bit-identical. Candidates are ordered by the canonical
+//! register-blocked [`crate::kernel`] dot product (clamped to `[-1, 1]`) the
+//! dense reference computes, so scores are bit-identical. Candidates are ordered by the canonical
 //! `(score desc, column asc)` total order — exactly what the dense stable
 //! descending sort produces — and parallel blocks are merged in input order,
 //! so the engine returns the same top-k lists and the same greedy alignment
@@ -37,7 +37,7 @@
 //! that re-ranking cannot pull in targets that were outside the raw top-k.
 
 use crate::embedding::EmbeddingTable;
-use crate::{order, vector};
+use crate::{kernel, order};
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
 use rayon::prelude::*;
 use std::cmp::Ordering;
@@ -150,14 +150,21 @@ fn process_block(
     col_tile: usize,
 ) -> Vec<Ranked> {
     let n_c = corpus.rows();
+    let dim = corpus.dim();
     let mut select: Vec<TopK> = rows.clone().map(|_| TopK::new(cap)).collect();
+    let mut scores = vec![0.0f32; col_tile.min(n_c)];
     let mut tile_start = 0;
     while tile_start < n_c {
         let tile_end = (tile_start + col_tile).min(n_c);
+        let tile_len = tile_end - tile_start;
+        // One contiguous panel per tile; the register-blocked kernel streams
+        // it once per block row. Entries are bit-identical to per-pair
+        // `cosine_prenormalized` calls (same kernel, same clamp).
+        let panel = &corpus.data()[tile_start * dim..tile_end * dim];
         for (slot, i) in rows.clone().enumerate() {
-            let q_row = queries.row(i);
-            for j in tile_start..tile_end {
-                select[slot].push(vector::cosine_prenormalized(q_row, corpus.row(j)), j as u32);
+            kernel::scan_block(queries.row(i), panel, dim, &mut scores[..tile_len]);
+            for (off, &score) in scores[..tile_len].iter().enumerate() {
+                select[slot].push(score.clamp(-1.0, 1.0), (tile_start + off) as u32);
             }
         }
         tile_start = tile_end;

@@ -1,0 +1,284 @@
+//! Register-blocked similarity micro-kernel.
+//!
+//! Every exact similarity in the workspace — the dense
+//! [`crate::SimilarityMatrix`] reference, the blocked
+//! [`crate::CandidateIndex`] engine, the IVF pre-filter's centroid scoring,
+//! list scans and k-means assignment, and the hard-negative neighbour sweeps
+//! — bottoms out in dot products of one query row against many corpus rows.
+//! The old implementation walked that workload one pair at a time through a
+//! sequential `iter().zip().sum()` dot: one accumulator, a loop-carried
+//! dependency per element, and a fresh bounds-checked `row(j)` lookup per
+//! pair. This module is the GEMM-shaped replacement:
+//!
+//! * [`dot`] — the per-pair kernel: [`LANES`]-wide unrolled **independent
+//!   accumulators** (lane `l` sums elements `l, l+4, l+8, …`), combined as
+//!   `(acc0 + acc1) + (acc2 + acc3)`. The independent chains remove the
+//!   loop-carried dependency so the compiler emits vectorized FMAs.
+//! * [`dot_1xr`] — the register block: one query row against up to
+//!   [`BLOCK`] corpus rows at once. Each output row keeps its own four
+//!   accumulator lanes in exactly the same lane assignment as [`dot`], so
+//!   every entry is **bit-identical** to `dot(q, row)` — while each loaded
+//!   query chunk is reused across all R rows (R-fold fewer query loads, R
+//!   independent FMA streams).
+//! * [`scan_block`] / [`scan_gather`] — the scan drivers: score one query
+//!   against a contiguous row-major panel (cache-streamed corpus tiles,
+//!   centroid tables) or against gathered row indexes (IVF inverted lists,
+//!   SQ8 re-rank candidates), processing [`BLOCK`] rows per step and the
+//!   remainder through [`dot`].
+//!
+//! **Determinism contract.** For a given `(query, row)` pair every entry
+//! produced by any function in this module is bit-identical to [`dot`] on
+//! that pair: the lane assignment — not the call shape — fixes the summation
+//! order. The dense reference, the blocked engine, the IVF pre-filter and
+//! the SQ8 re-rank therefore keep scoring bit-identically to *each other*
+//! (the invariant the property suites pin) even though the summation order
+//! differs from the retired one-accumulator kernel.
+//! `crates/ea-embed/tests/prop_kernel.rs` pins [`scan_block`]/[`scan_gather`]
+//! against the per-pair reference loop for every remainder `rows % BLOCK`
+//! and odd dimension.
+//!
+//! The functions take raw `&[f32]` panels (`EmbeddingTable::data()`) rather
+//! than table types so the kernel stays a leaf module usable from scans,
+//! quantized re-ranking and tests alike.
+
+/// Number of independent accumulator lanes inside the per-pair dot.
+pub const LANES: usize = 4;
+
+/// Corpus rows scored per register block by [`dot_1xr`] and the scans.
+pub const BLOCK: usize = 4;
+
+/// Dot product with [`LANES`] unrolled independent accumulators.
+///
+/// Lane `l` accumulates elements `l, l + LANES, l + 2·LANES, …` (the
+/// remainder elements continue the same pattern), and the lanes are combined
+/// pairwise: `(acc0 + acc1) + (acc2 + acc3)`. This is the **uniform
+/// summation order** every similarity in the workspace uses; [`dot_1xr`] and
+/// the scans reproduce it bit for bit.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    for (l, (x, y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        acc[l] += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Sums one row's accumulator lanes in the canonical combine order.
+#[inline]
+fn combine(acc: [f32; LANES]) -> f32 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// The 1×4 register block: `q` against exactly four rows, each output
+/// bit-identical to [`dot`] of that pair. Sixteen accumulators live across
+/// the loop — four independent FMA streams per row — and every loaded query
+/// chunk is reused by all four rows.
+#[inline]
+fn dot_1x4(q: &[f32], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32]) -> [f32; BLOCK] {
+    let n = q.len();
+    debug_assert!(r0.len() == n && r1.len() == n && r2.len() == n && r3.len() == n);
+    let mut acc = [[0.0f32; LANES]; BLOCK];
+    let chunks = n / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        let qc = &q[base..base + LANES];
+        for (a, r) in acc.iter_mut().zip([r0, r1, r2, r3]) {
+            let rc = &r[base..base + LANES];
+            a[0] += qc[0] * rc[0];
+            a[1] += qc[1] * rc[1];
+            a[2] += qc[2] * rc[2];
+            a[3] += qc[3] * rc[3];
+        }
+    }
+    for i in chunks * LANES..n {
+        let l = i - chunks * LANES;
+        acc[0][l] += q[i] * r0[i];
+        acc[1][l] += q[i] * r1[i];
+        acc[2][l] += q[i] * r2[i];
+        acc[3][l] += q[i] * r3[i];
+    }
+    [
+        combine(acc[0]),
+        combine(acc[1]),
+        combine(acc[2]),
+        combine(acc[3]),
+    ]
+}
+
+/// Scores one query row against `rows` (any count, including a partial
+/// block), writing `dot(q, rows[i])` into `out[i]`. Full [`BLOCK`]-row
+/// groups go through the register block; the `rows.len() % BLOCK` remainder
+/// falls back to [`dot`] — bit-identical either way.
+///
+/// # Panics
+/// Panics in debug builds if `out` is shorter than `rows` or any row length
+/// differs from the query's.
+#[inline]
+pub fn dot_1xr(q: &[f32], rows: &[&[f32]], out: &mut [f32]) {
+    debug_assert!(out.len() >= rows.len());
+    let mut blocks = rows.chunks_exact(BLOCK);
+    let mut j = 0;
+    for block in &mut blocks {
+        let scores = dot_1x4(q, block[0], block[1], block[2], block[3]);
+        out[j..j + BLOCK].copy_from_slice(&scores);
+        j += BLOCK;
+    }
+    for row in blocks.remainder() {
+        out[j] = dot(q, row);
+        j += 1;
+    }
+}
+
+/// Scores one query row against a contiguous row-major panel of
+/// `out.len()` rows of dimension `dim`, writing `dot(q, panel_row_j)` into
+/// `out[j]`. This is the streaming form the cache-tiled scans use: the
+/// panel is read front to back exactly once, [`BLOCK`] rows per register
+/// block.
+///
+/// # Panics
+/// Panics in debug builds if `panel.len() != out.len() * dim` or
+/// `q.len() != dim`.
+#[inline]
+pub fn scan_block(q: &[f32], panel: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(q.len(), dim);
+    debug_assert_eq!(panel.len(), out.len() * dim);
+    let n = out.len();
+    let blocks = n / BLOCK;
+    for b in 0..blocks {
+        let base = b * BLOCK * dim;
+        let scores = dot_1x4(
+            q,
+            &panel[base..base + dim],
+            &panel[base + dim..base + 2 * dim],
+            &panel[base + 2 * dim..base + 3 * dim],
+            &panel[base + 3 * dim..base + 4 * dim],
+        );
+        out[b * BLOCK..(b + 1) * BLOCK].copy_from_slice(&scores);
+    }
+    for j in blocks * BLOCK..n {
+        out[j] = dot(q, &panel[j * dim..(j + 1) * dim]);
+    }
+}
+
+/// Scores one query row against gathered rows of a row-major table:
+/// `out[i] = dot(q, data[rows[i]])`. The gathered form the IVF inverted-list
+/// scans and the SQ8 exact re-rank use — row indexes need not be contiguous,
+/// sorted or unique.
+///
+/// # Panics
+/// Panics in debug builds if `out` is shorter than `rows`; panics if a row
+/// index is out of bounds for `data`.
+#[inline]
+pub fn scan_gather(q: &[f32], data: &[f32], dim: usize, rows: &[u32], out: &mut [f32]) {
+    debug_assert_eq!(q.len(), dim);
+    debug_assert!(out.len() >= rows.len());
+    let mut blocks = rows.chunks_exact(BLOCK);
+    let mut j = 0;
+    for block in &mut blocks {
+        let (i0, i1, i2, i3) = (
+            block[0] as usize * dim,
+            block[1] as usize * dim,
+            block[2] as usize * dim,
+            block[3] as usize * dim,
+        );
+        let scores = dot_1x4(
+            q,
+            &data[i0..i0 + dim],
+            &data[i1..i1 + dim],
+            &data[i2..i2 + dim],
+            &data[i3..i3 + dim],
+        );
+        out[j..j + BLOCK].copy_from_slice(&scores);
+        j += BLOCK;
+    }
+    for &row in blocks.remainder() {
+        let base = row as usize * dim;
+        out[j] = dot(q, &data[base..base + dim]);
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, offset: f32) -> Vec<f32> {
+        (0..n).map(|i| offset + 0.25 * i as f32).collect()
+    }
+
+    #[test]
+    fn dot_matches_sequential_sum_on_exact_values() {
+        // Integer-valued inputs: any summation order gives the same bits.
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let b = [7.0f32, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        let expected: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot(&a, &b), expected);
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[3.0], &[4.0]), 12.0);
+    }
+
+    #[test]
+    fn dot_1xr_lanes_are_bit_identical_to_dot() {
+        for n_rows in 0..=9 {
+            for dim in [0usize, 1, 3, 4, 5, 7, 8, 13] {
+                let q = ramp(dim, 0.3);
+                let rows_data: Vec<Vec<f32>> =
+                    (0..n_rows).map(|r| ramp(dim, 1.7 + r as f32)).collect();
+                let rows: Vec<&[f32]> = rows_data.iter().map(|r| r.as_slice()).collect();
+                let mut out = vec![0.0f32; n_rows];
+                dot_1xr(&q, &rows, &mut out);
+                for (r, row) in rows.iter().enumerate() {
+                    assert_eq!(
+                        out[r].to_bits(),
+                        dot(&q, row).to_bits(),
+                        "rows {n_rows} dim {dim} row {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_block_matches_per_row_dot() {
+        for n_rows in 0..=9 {
+            for dim in [1usize, 2, 5, 6, 100] {
+                let q = ramp(dim, -0.9);
+                let panel: Vec<f32> = (0..n_rows * dim).map(|i| 0.01 * i as f32 - 1.0).collect();
+                let mut out = vec![0.0f32; n_rows];
+                scan_block(&q, &panel, dim, &mut out);
+                for j in 0..n_rows {
+                    let row = &panel[j * dim..(j + 1) * dim];
+                    assert_eq!(out[j].to_bits(), dot(&q, row).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_gather_handles_arbitrary_index_patterns() {
+        let dim = 6;
+        let n = 10;
+        let data: Vec<f32> = (0..n * dim).map(|i| (i as f32).sin()).collect();
+        let q = ramp(dim, 0.1);
+        // Unsorted, duplicated, partial-block index list.
+        let rows = [7u32, 0, 7, 3, 9, 2, 2];
+        let mut out = vec![0.0f32; rows.len()];
+        scan_gather(&q, &data, dim, &rows, &mut out);
+        for (i, &row) in rows.iter().enumerate() {
+            let r = &data[row as usize * dim..(row as usize + 1) * dim];
+            assert_eq!(out[i].to_bits(), dot(&q, r).to_bits());
+        }
+    }
+}

@@ -20,12 +20,24 @@
 //!   order-preserving merges, and only bounded per-source candidate lists are
 //!   kept — bit-identical to the dense reference (pinned by the property
 //!   suite) at a fraction of the memory.
+//! * [`kernel`] — the register-blocked similarity micro-kernel: unrolled
+//!   independent-accumulator dot products and 1×R panel/gather scans. Every
+//!   exact similarity in the workspace (dense reference, blocked engine, IVF
+//!   centroid/list scoring, k-means assignment, hard-negative sweeps) runs
+//!   through this one summation order, which is what keeps the engines
+//!   bit-identical to each other.
 //! * [`ann`] — the IVF-style approximate pre-filter in front of the exact
 //!   blocked scan: a deterministic seeded k-means coarse quantizer partitions
 //!   the target rows into inverted lists, queries probe the nearest lists and
-//!   the exact top-k kernel runs only over the gathered candidates. The
+//!   the exact top-k kernel runs only over the gathered candidates
+//!   (optionally through SQ8 codes: [`IvfListStorage::Sq8`], IVF-SQ). The
 //!   [`CandidateSearch`] strategy enum ([`CandidateSource`] trait) lets every
 //!   consumer switch exact ↔ ANN via config.
+//! * [`quantized`] — the SQ8 path: per-dimension affine int8 compression of
+//!   the normalised corpus ([`QuantizedTable`]), an ADC code scan that reads
+//!   4× fewer bytes per candidate, and exact re-ranking of the approximate
+//!   top `rerank_factor · k` so returned scores stay bit-exact f32 dots
+//!   ([`CandidateSearch::Sq8`]).
 //! * [`order`] — NaN-safe total-order comparators every ranking sorts with.
 //!
 //! The crate is deliberately framework-free: no BLAS, no autograd. Gradients
@@ -39,15 +51,18 @@
 pub mod ann;
 pub mod candidates;
 pub mod embedding;
+pub mod kernel;
 pub mod optimizer;
 pub mod order;
+pub mod quantized;
 pub mod sampling;
 pub mod similarity;
 pub mod vector;
 
-pub use ann::{CandidateSearch, CandidateSource, IvfIndex, IvfParams};
+pub use ann::{CandidateSearch, CandidateSource, IvfIndex, IvfListStorage, IvfParams};
 pub use candidates::CandidateIndex;
 pub use embedding::EmbeddingTable;
 pub use optimizer::{Adagrad, Optimizer, Sgd};
+pub use quantized::{QuantizedTable, Sq8Params};
 pub use sampling::{HardNegativeCache, NegativeSampler, Negatives};
 pub use similarity::{greedy_alignment, select_top_k_by, top_k_targets, SimilarityMatrix};

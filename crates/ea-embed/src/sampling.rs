@@ -10,7 +10,7 @@
 //!   distinguish similar entities (paper §V-B5, §V-C4).
 
 use crate::embedding::EmbeddingTable;
-use crate::{order, vector};
+use crate::{kernel, order, vector};
 use rand::Rng;
 
 /// Anything that can propose negative entities for contrastive training.
@@ -208,11 +208,30 @@ fn uniform_excluding<R: Rng>(rng: &mut R, universe: usize, exclude: usize) -> us
 /// Indexes of the `k` rows of `table` (restricted to `0..universe`) most
 /// similar to row `query` by cosine similarity, in decreasing similarity
 /// order. The query row itself may be included.
+///
+/// The dot products come from one register-blocked [`kernel::scan_block`]
+/// sweep over the contiguous row prefix; each similarity equals
+/// [`vector::cosine`] of the same pair exactly (same per-pair dot, same norm
+/// derivation, same zero-norm contract).
 pub fn nearest_rows(table: &EmbeddingTable, query: usize, k: usize, universe: usize) -> Vec<usize> {
     let universe = universe.min(table.rows());
+    let dim = table.dim();
     let q = table.row(query);
-    let mut scored: Vec<(usize, f32)> = (0..universe)
-        .map(|i| (i, vector::cosine(q, table.row(i))))
+    let nq = vector::norm(q);
+    let mut dots = vec![0.0f32; universe];
+    kernel::scan_block(q, &table.data()[..universe * dim], dim, &mut dots);
+    let mut scored: Vec<(usize, f32)> = dots
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let nr = vector::norm(table.row(i));
+            let cos = if nq <= f32::EPSILON || nr <= f32::EPSILON {
+                0.0
+            } else {
+                (d / (nq * nr)).clamp(-1.0, 1.0)
+            };
+            (i, cos)
+        })
         .collect();
     // NaN-safe strict total order (score desc, row asc): NaN similarities
     // rank last instead of scrambling the neighbour list.

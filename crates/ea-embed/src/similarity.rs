@@ -13,7 +13,7 @@
 //! against this matrix bit for bit.
 
 use crate::embedding::EmbeddingTable;
-use crate::{order, vector};
+use crate::{kernel, order, vector};
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
 use std::collections::HashMap;
 
@@ -39,8 +39,9 @@ impl SimilarityMatrix {
     /// (rows of `source_table`) and `target_ids` (rows of `target_table`).
     ///
     /// Rows are L2-normalised once up front and every similarity is a plain
-    /// dot product ([`vector::cosine_prenormalized`]) — the same kernel the
-    /// blocked [`crate::CandidateIndex`] uses, so the two paths score
+    /// dot product of the register-blocked [`crate::kernel`] (clamped to
+    /// `[-1, 1]`, i.e. [`vector::cosine_prenormalized`]) — the same kernel
+    /// the blocked [`crate::CandidateIndex`] uses, so the two paths score
     /// bit-identically.
     pub fn compute(
         source_table: &EmbeddingTable,
@@ -54,11 +55,13 @@ impl SimilarityMatrix {
         let target_rows: Vec<usize> = target_ids.iter().map(|t| t.index()).collect();
         let source_norm = source_table.gather_normalized(&source_rows);
         let target_norm = target_table.gather_normalized(&target_rows);
+        let dim = target_norm.dim();
         let mut values = vec![0.0f32; n_s * n_t];
         for i in 0..n_s {
-            let s_vec = source_norm.row(i);
-            for j in 0..n_t {
-                values[i * n_t + j] = vector::cosine_prenormalized(s_vec, target_norm.row(j));
+            let row = &mut values[i * n_t..(i + 1) * n_t];
+            kernel::scan_block(source_norm.row(i), target_norm.data(), dim, row);
+            for v in row.iter_mut() {
+                *v = v.clamp(-1.0, 1.0);
             }
         }
         // First occurrence wins, matching the old linear-scan semantics.

@@ -1,19 +1,24 @@
 //! Dense-vector kernels.
 //!
-//! All embedding math in the workspace goes through these functions. They are
-//! written as straightforward loops over `f32` slices; the compiler
-//! auto-vectorises them well enough for the dataset scales used in the
-//! benchmark harness, and avoiding a BLAS dependency keeps the build
-//! self-contained.
+//! All embedding math in the workspace goes through these functions. The dot
+//! product — the one reduction on every hot path — delegates to the
+//! register-blocked [`crate::kernel`] so that per-pair calls and the blocked
+//! scans use the same unrolled summation order (see the kernel module's
+//! determinism contract); everything else is a straightforward loop over
+//! `f32` slices. Avoiding a BLAS dependency keeps the build self-contained.
 
-/// Dot product of two equal-length vectors.
+use crate::kernel;
+
+/// Dot product of two equal-length vectors — the per-pair entry point of the
+/// register-blocked [`crate::kernel`] ([`LANES`](crate::kernel::LANES)-wide
+/// unrolled independent accumulators). Bit-identical to the corresponding
+/// entry of [`crate::kernel::scan_block`]/[`crate::kernel::scan_gather`].
 ///
 /// # Panics
 /// Panics in debug builds if the lengths differ.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernel::dot(a, b)
 }
 
 /// Euclidean (L2) norm.
@@ -73,18 +78,44 @@ pub fn add_scaled(out: &mut [f32], x: &[f32], alpha: f32) {
     }
 }
 
-/// Element-wise sum of two vectors into a new vector.
+/// Element-wise sum of two vectors into a new vector. Training loops should
+/// prefer [`add_into`] with a reused scratch buffer.
 #[inline]
 pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| x + y).collect()
 }
 
-/// Element-wise difference `a - b` into a new vector.
+/// Element-wise difference `a - b` into a new vector. Training loops should
+/// prefer [`sub_into`] with a reused scratch buffer.
 #[inline]
 pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` written into an existing buffer — the
+/// allocation-free form of [`add`] for per-step gradient work inside
+/// training loops (hold one scratch `Vec` outside the loop and reuse it).
+#[inline]
+pub fn add_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x + y;
+    }
+}
+
+/// Element-wise difference `a - b` written into an existing buffer — the
+/// allocation-free form of [`sub`] for per-step gradient work inside
+/// training loops.
+#[inline]
+pub fn sub_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = x - y;
+    }
 }
 
 /// Scales a vector in place.
@@ -106,18 +137,28 @@ pub fn normalize(a: &mut [f32]) {
 }
 
 /// Arithmetic mean of a set of vectors. Returns a zero vector of length `dim`
-/// when the set is empty.
+/// when the set is empty. The single mean-of-rows reduction in the workspace
+/// ([`crate::EmbeddingTable::mean_of_rows`] delegates here); reductions that
+/// run inside loops should use [`mean_into`] with a reused buffer.
 pub fn mean<'a, I: IntoIterator<Item = &'a [f32]>>(vectors: I, dim: usize) -> Vec<f32> {
     let mut acc = vec![0.0f32; dim];
+    mean_into(vectors, &mut acc);
+    acc
+}
+
+/// [`mean`] written into an existing buffer (`out` is fully overwritten; its
+/// length is the dimension). Returns the number of vectors averaged.
+pub fn mean_into<'a, I: IntoIterator<Item = &'a [f32]>>(vectors: I, out: &mut [f32]) -> usize {
+    out.fill(0.0);
     let mut count = 0usize;
     for v in vectors {
-        add_scaled(&mut acc, v, 1.0);
+        add_scaled(out, v, 1.0);
         count += 1;
     }
     if count > 0 {
-        scale(&mut acc, 1.0 / count as f32);
+        scale(out, 1.0 / count as f32);
     }
-    acc
+    count
 }
 
 /// Concatenates two vectors (the `⊕` of the paper's path representation,
@@ -176,6 +217,28 @@ mod tests {
         assert_eq!(out, vec![2.0, 3.0]);
         assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
         assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn in_place_add_and_sub_match_allocating_forms() {
+        let a = [1.0f32, 2.5, -3.0];
+        let b = [0.5f32, -1.5, 4.0];
+        let mut out = vec![9.0f32; 3]; // stale scratch must be overwritten
+        add_into(&a, &b, &mut out);
+        assert_eq!(out, add(&a, &b));
+        sub_into(&a, &b, &mut out);
+        assert_eq!(out, sub(&a, &b));
+    }
+
+    #[test]
+    fn mean_into_reuses_scratch_and_counts() {
+        let a = vec![1.0f32, 2.0];
+        let b = vec![3.0f32, 6.0];
+        let mut out = vec![7.0f32; 2];
+        assert_eq!(mean_into([a.as_slice(), b.as_slice()], &mut out), 2);
+        assert_eq!(out, vec![2.0, 4.0]);
+        assert_eq!(mean_into(std::iter::empty(), &mut out), 0);
+        assert_eq!(out, vec![0.0, 0.0]);
     }
 
     #[test]

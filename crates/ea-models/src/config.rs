@@ -25,8 +25,9 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Candidate-generation strategy used by training-time nearest-neighbour
     /// sweeps (currently Dual-AMN's mutual-anchor mining): the exact blocked
-    /// scan, or the IVF approximate pre-filter for corpora where the exact
-    /// O(n_s·n_t) sweep is the bottleneck.
+    /// scan, the IVF approximate pre-filter (optionally IVF-SQ) or the SQ8
+    /// quantized scan for corpora where the exact O(n_s·n_t) sweep is the
+    /// bottleneck.
     pub candidate_search: CandidateSearch,
 }
 
@@ -40,7 +41,9 @@ impl Default for TrainConfig {
             negative_samples: 4,
             alignment_weight: 2.0,
             seed: 17,
-            candidate_search: CandidateSearch::Exact,
+            // Exact unless the EXEA_CANDIDATE_SEARCH override (CI's hook for
+            // running the whole pipeline on an approximate engine) is set.
+            candidate_search: CandidateSearch::default_from_env(),
         }
     }
 }

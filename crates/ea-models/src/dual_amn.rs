@@ -156,8 +156,8 @@ impl EaModel for DualAmn {
             &config.candidate_search,
         );
         if !pseudo.is_empty() {
+            let mut anchor = vec![0.0f32; config.dim];
             for p in pseudo.iter() {
-                let mut anchor = vec![0.0f32; config.dim];
                 for v in anchor.iter_mut() {
                     *v = rng.gen_range(-1.0f32..=1.0);
                 }
@@ -304,8 +304,12 @@ fn derive_gates(
             *v = 1.0;
         }
     }
+    // Mean-of-translations scratch shared across relations (no per-relation
+    // allocation); the reduction itself is the same `Σ (head − tail) / count`
+    // Eq. 1 derives relation embeddings with.
+    let mut acc = vec![0.0f32; dim];
     for r in kg.relation_ids() {
-        let mut acc = vec![0.0f32; dim];
+        acc.fill(0.0);
         let mut count = 0usize;
         for t in kg.triples_with_relation(r) {
             let head = entities.row(t.head.index());

@@ -132,8 +132,10 @@ impl TrainedAlignment {
 
     /// Top-`k` candidate lists between the pair's test source entities and
     /// all target entities, produced by the given candidate-generation
-    /// strategy — the exact blocked scan or the IVF approximate pre-filter
-    /// ([`ea_embed::CandidateSearch`]).
+    /// strategy ([`ea_embed::CandidateSearch`]) — the exact blocked scan,
+    /// the IVF approximate pre-filter (optionally IVF-SQ) or the SQ8
+    /// quantized scan. Approximate strategies may miss candidates but every
+    /// returned score is the bit-exact f32 dot of the exact kernel.
     pub fn candidate_index_with(
         &self,
         pair: &KgPair,
@@ -185,9 +187,10 @@ impl TrainedAlignment {
 
     /// Greedy alignment prediction through the given candidate-generation
     /// strategy. With [`ea_embed::CandidateSearch::Ivf`] at `nprobe < nlist`
+    /// (or [`ea_embed::CandidateSearch::Sq8`] at a finite `rerank_factor`)
     /// the prediction is approximate (each source aligns to the best target
-    /// among the probed lists); at `nprobe = nlist` it is bit-identical to
-    /// [`TrainedAlignment::predict`].
+    /// the strategy surfaced); at `nprobe = nlist` / exhaustive re-ranking
+    /// it is bit-identical to [`TrainedAlignment::predict`].
     pub fn predict_with(&self, pair: &KgPair, search: &dyn CandidateSource) -> AlignmentSet {
         self.candidate_index_with(pair, 1, search)
             .greedy_alignment()

@@ -92,6 +92,10 @@ pub fn transe_epoch<N: Negatives>(
     rng: &mut ChaCha8Rng,
 ) {
     let lr = config.learning_rate;
+    // Gradient scratch reused across every sample of the epoch (the old code
+    // collected two fresh `Vec<f32>`s per violated sample).
+    let mut pos_grad = vec![0.0f32; config.dim];
+    let mut neg_grad = vec![0.0f32; config.dim];
     for triple in kg.triples() {
         for _ in 0..config.negative_samples {
             let corrupt_tail = rng.gen_bool(0.5);
@@ -120,14 +124,18 @@ pub fn transe_epoch<N: Negatives>(
             // Gradient of pos_score w.r.t. h (and r) is 2(h + r - t); w.r.t. t
             // it is the negation. The negative triple contributes with the
             // opposite sign.
-            let pos_grad: Vec<f32> = (0..config.dim)
-                .map(|i| 2.0 * (entities.row(h)[i] + relations.row(r)[i] - entities.row(t)[i]))
-                .collect();
-            let neg_grad: Vec<f32> = (0..config.dim)
-                .map(|i| {
-                    2.0 * (entities.row(neg_h)[i] + relations.row(r)[i] - entities.row(neg_t)[i])
-                })
-                .collect();
+            fill_transe_grad(
+                entities.row(h),
+                relations.row(r),
+                entities.row(t),
+                &mut pos_grad,
+            );
+            fill_transe_grad(
+                entities.row(neg_h),
+                relations.row(r),
+                entities.row(neg_t),
+                &mut neg_grad,
+            );
 
             entities.add_to_row(h, &pos_grad, -lr);
             entities.add_to_row(t, &pos_grad, lr);
@@ -136,6 +144,14 @@ pub fn transe_epoch<N: Negatives>(
             entities.add_to_row(neg_t, &neg_grad, -lr);
             relations.add_to_row(r, &neg_grad, lr);
         }
+    }
+}
+
+/// `grad = 2 (h + r - t)`, the TransE margin gradient, into a reused buffer.
+#[inline]
+fn fill_transe_grad(h: &[f32], r: &[f32], t: &[f32], out: &mut [f32]) {
+    for (o, ((x, y), z)) in out.iter_mut().zip(h.iter().zip(r).zip(t)) {
+        *o = 2.0 * (x + y - z);
     }
 }
 
@@ -149,10 +165,12 @@ pub fn alignment_pull_epoch(
     config: &TrainConfig,
 ) {
     let step = config.learning_rate * config.alignment_weight;
+    let mut diff = vec![0.0f32; source_entities.dim()];
     for p in seed.iter() {
-        let diff = vector::sub(
+        vector::sub_into(
             source_entities.row(p.source.index()),
             target_entities.row(p.target.index()),
+            &mut diff,
         );
         source_entities.add_to_row(p.source.index(), &diff, -step);
         target_entities.add_to_row(p.target.index(), &diff, step);
@@ -172,15 +190,14 @@ pub fn merge_seed_embeddings(
     target_entities: &mut EmbeddingTable,
 ) {
     let dim = source_entities.dim();
+    let mut mean = vec![0.0f32; dim];
     for p in seed.iter() {
-        let mut mean = vec![0.0f32; dim];
-        {
-            let s = source_entities.row(p.source.index());
-            let t = target_entities.row(p.target.index());
-            for i in 0..dim {
-                mean[i] = 0.5 * (s[i] + t[i]);
-            }
-        }
+        vector::add_into(
+            source_entities.row(p.source.index()),
+            target_entities.row(p.target.index()),
+            &mut mean,
+        );
+        vector::scale(&mut mean, 0.5);
         source_entities
             .row_mut(p.source.index())
             .copy_from_slice(&mean);
@@ -203,6 +220,8 @@ pub fn alignment_margin_epoch<N: Negatives>(
     rng: &mut ChaCha8Rng,
 ) {
     let step = config.learning_rate * config.alignment_weight;
+    let mut pos_grad = vec![0.0f32; source_entities.dim()];
+    let mut neg_grad = vec![0.0f32; source_entities.dim()];
     for p in seed.iter() {
         let s = p.source.index();
         let t = p.target.index();
@@ -216,8 +235,16 @@ pub fn alignment_margin_epoch<N: Negatives>(
             if config.margin + pos_dist - neg_dist <= 0.0 {
                 continue;
             }
-            let pos_grad = vector::sub(source_entities.row(s), target_entities.row(t));
-            let neg_grad = vector::sub(source_entities.row(s), target_entities.row(neg));
+            vector::sub_into(
+                source_entities.row(s),
+                target_entities.row(t),
+                &mut pos_grad,
+            );
+            vector::sub_into(
+                source_entities.row(s),
+                target_entities.row(neg),
+                &mut neg_grad,
+            );
             // Decrease the positive distance.
             source_entities.add_to_row(s, &pos_grad, -step);
             target_entities.add_to_row(t, &pos_grad, step);
@@ -276,9 +303,10 @@ pub fn aggregate(
 ) -> EmbeddingTable {
     let dim = base.dim();
     let mut out = EmbeddingTable::zeros(base.rows(), dim);
+    let mut acc = vec![0.0f32; dim];
     for e in 0..base.rows() {
         let list = neighbors.of(e);
-        let mut acc = base.row(e).to_vec();
+        acc.copy_from_slice(base.row(e));
         if !list.is_empty() {
             let scale = 1.0 / list.len() as f32;
             for &(n, r) in list {
@@ -291,9 +319,7 @@ pub fn aggregate(
                         }
                     }
                     None => {
-                        for i in 0..dim {
-                            acc[i] += scale * n_row[i];
-                        }
+                        vector::add_scaled(&mut acc, n_row, scale);
                     }
                 }
             }
@@ -326,8 +352,8 @@ pub fn anchor_init(
     for i in 0..target.rows() {
         vector::scale(target.row_mut(i), noise_scale);
     }
+    let mut anchor = vec![0.0f32; dim];
     for p in pair.seed.iter() {
-        let mut anchor = vec![0.0f32; dim];
         for v in anchor.iter_mut() {
             *v = rng.gen_range(-1.0..=1.0);
         }
@@ -354,11 +380,14 @@ pub fn propagate(
 ) -> EmbeddingTable {
     let dim = base.dim();
     let mut current = base.clone();
+    let mut acc = vec![0.0f32; dim];
     for _ in 0..layers {
         let mut next = EmbeddingTable::zeros(current.rows(), dim);
         for e in 0..current.rows() {
             let list = neighbors.of(e);
-            let mut acc: Vec<f32> = current.row(e).iter().map(|v| v * self_weight).collect();
+            for (a, v) in acc.iter_mut().zip(current.row(e)) {
+                *a = v * self_weight;
+            }
             if !list.is_empty() {
                 let scale = 1.0 / list.len() as f32;
                 for &(n, r) in list {
@@ -371,9 +400,7 @@ pub fn propagate(
                             }
                         }
                         None => {
-                            for i in 0..dim {
-                                acc[i] += scale * n_row[i];
-                            }
+                            vector::add_scaled(&mut acc, n_row, scale);
                         }
                     }
                 }
