@@ -20,6 +20,7 @@
 //!   topk     dense similarity matrix vs blocked top-k candidate engine
 //!   ann      exact scan vs IVF pre-filter (recall/speed across nprobe)
 //!   sq8      exact scan vs SQ8 quantized scan + exact re-rank (recall/speed)
+//!   ondisk   in-memory vs mmap/pread-backed candidate store (resident bytes)
 //!   all      run everything above in sequence
 //! ```
 //!
@@ -84,7 +85,7 @@ fn run(experiment: Experiment, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|sq8|all> \
+        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|sq8|ondisk|all> \
          [--scale small|bench|paper] [--samples N]"
     );
 }

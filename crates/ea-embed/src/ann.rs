@@ -48,6 +48,7 @@ use crate::kernel;
 use crate::quantized::{
     sq8_candidate_index, sq8_select_and_rerank, QuantizedTable, Sq8Params, Sq8Scratch,
 };
+use crate::storage::{self, InMemory, ListStore, MappedOptions, StorageError, StoreBacking};
 use crate::vector;
 use ea_graph::EntityId;
 use rand::seq::SliceRandom;
@@ -91,6 +92,19 @@ pub struct IvfParams {
     /// Inverted-list storage: exact f32 rows ([`IvfListStorage::Flat`]) or
     /// SQ8 codes with exact re-ranking ([`IvfListStorage::Sq8`], IVF-SQ).
     pub storage: IvfListStorage,
+    /// Where the row panels (and SQ8 codes, under [`IvfListStorage::Sq8`])
+    /// live during a one-shot [`CandidateSearch::Ivf`] search: resident, or
+    /// spilled to an on-disk container and gathered back through the mapped
+    /// store. Results are bit-identical either way.
+    ///
+    /// Note the one-shot path still *builds* the normalised table and
+    /// quantizer in RAM before spilling — the mapped backing bounds the
+    /// search-phase gathers and exercises the out-of-core deployment path
+    /// end to end, it does not lower peak build memory. For corpora that
+    /// never fit in RAM, build and [`IvfIndex::save`] once, then serve
+    /// queries from [`crate::MappedIndex::open`] (only centroids, CSR
+    /// offsets and the SQ8 grid stay resident there).
+    pub backing: StoreBacking,
 }
 
 impl Default for IvfParams {
@@ -101,6 +115,7 @@ impl Default for IvfParams {
             seed: 0x1EF_5EED,
             kmeans_iters: 8,
             storage: IvfListStorage::Flat,
+            backing: StoreBacking::InMemory,
         }
     }
 }
@@ -147,15 +162,15 @@ impl IvfParams {
 pub struct IvfIndex {
     /// `nlist × dim` spherical k-means centroids (unit rows; an all-zero row
     /// can occur for degenerate clusters and scores 0 like any zero row).
-    centroids: EmbeddingTable,
+    pub(crate) centroids: EmbeddingTable,
     /// CSR offsets into `list_rows`, length `nlist + 1`.
-    list_offsets: Vec<u32>,
+    pub(crate) list_offsets: Vec<u32>,
     /// Corpus row indexes grouped by list, ascending within each list.
-    list_rows: Vec<u32>,
+    pub(crate) list_rows: Vec<u32>,
     /// IVF-SQ list storage: the SQ8 codes of the whole corpus (indexed by
     /// corpus row, so every inverted list shares one code panel) plus the
     /// re-rank parameters. `None` for flat storage.
-    quantized: Option<(QuantizedTable, Sq8Params)>,
+    pub(crate) quantized: Option<(QuantizedTable, Sq8Params)>,
 }
 
 /// Per-block scratch of [`IvfIndex::search`]: every buffer a query needs —
@@ -175,6 +190,9 @@ struct IvfScratch {
     /// Quantized-scan buffers (SQ8 storage) — the same scratch the
     /// whole-corpus SQ8 engine uses.
     sq8: Sq8Scratch,
+    /// Staging buffers of the row store (mapped backends decode gathered
+    /// rows through these; the in-memory backend leaves them empty).
+    store: storage::StoreScratch,
 }
 
 impl IvfScratch {
@@ -185,6 +203,7 @@ impl IvfScratch {
             list_scores: Vec::new(),
             gathered: Vec::new(),
             sq8: Sq8Scratch::new(),
+            store: storage::StoreScratch::new(),
         }
     }
 }
@@ -287,9 +306,90 @@ impl IvfIndex {
         }
     }
 
+    /// Assembles an index from deserialised parts — the loading path of the
+    /// on-disk container ([`crate::MappedIndex::open`]) — validating every
+    /// CSR invariant against the corpus size instead of trusting the input:
+    /// a corrupt or truncated container surfaces a typed [`StorageError`]
+    /// naming the offending section rather than a panic (the build path can
+    /// afford `debug_assert!`s; the load path cannot).
+    ///
+    /// Checks: `list_offsets` starts at 0, ascends monotonically and ends at
+    /// `list_rows.len()`; it carries exactly `centroids.rows() + 1` entries;
+    /// and `list_rows` files every corpus row `0..corpus_rows` exactly once.
+    pub fn from_parts(
+        centroids: EmbeddingTable,
+        list_offsets: Vec<u32>,
+        list_rows: Vec<u32>,
+        corpus_rows: usize,
+    ) -> Result<Self, StorageError> {
+        if list_rows.len() != corpus_rows {
+            return Err(StorageError::ShapeMismatch {
+                section: "list rows",
+                detail: format!("expected {corpus_rows} entries, found {}", list_rows.len()),
+            });
+        }
+        if list_offsets.len() != centroids.rows() + 1 {
+            return Err(StorageError::ShapeMismatch {
+                section: "list offsets",
+                detail: format!(
+                    "expected {} offsets for {} centroids, found {}",
+                    centroids.rows() + 1,
+                    centroids.rows(),
+                    list_offsets.len()
+                ),
+            });
+        }
+        if list_offsets[0] != 0
+            || list_offsets.windows(2).any(|w| w[0] > w[1])
+            || *list_offsets.last().unwrap() as usize != list_rows.len()
+        {
+            return Err(StorageError::Corrupt {
+                section: "list offsets",
+                detail: "offsets must ascend from 0 to the row count".into(),
+            });
+        }
+        let mut seen = vec![false; corpus_rows];
+        for &row in &list_rows {
+            match seen.get_mut(row as usize) {
+                Some(flag) if !*flag => *flag = true,
+                Some(_) => {
+                    return Err(StorageError::Corrupt {
+                        section: "list rows",
+                        detail: format!("corpus row {row} filed twice"),
+                    });
+                }
+                None => {
+                    return Err(StorageError::Corrupt {
+                        section: "list rows",
+                        detail: format!("corpus row {row} out of bounds ({corpus_rows} rows)"),
+                    });
+                }
+            }
+        }
+        Ok(Self {
+            centroids,
+            list_offsets,
+            list_rows,
+            quantized: None,
+        })
+    }
+
     /// Number of inverted lists.
     pub fn nlist(&self) -> usize {
         self.centroids.rows()
+    }
+
+    /// Heap bytes of the coarse state that must stay resident for searching:
+    /// centroids + CSR offsets/rows (+ SQ8 codes when the index owns them).
+    /// This is what remains in RAM when the panels move behind a mapped
+    /// store.
+    pub fn resident_bytes(&self) -> usize {
+        self.centroids.data().len() * 4
+            + (self.list_offsets.len() + self.list_rows.len()) * 4
+            + self
+                .quantized
+                .as_ref()
+                .map_or(0, |(qt, _)| qt.code_bytes() + qt.dim() * 8)
     }
 
     /// The centroid vector of list `c` (unit row, or all-zero for a
@@ -324,16 +424,51 @@ impl IvfIndex {
         k: usize,
         nprobe: usize,
     ) -> Vec<Vec<(u32, f32)>> {
-        let cap = k.min(corpus.rows());
+        let (store, sq8) = self.in_memory_store(corpus);
+        self.search_store(queries, &store, sq8, k, nprobe)
+    }
+
+    /// [`IvfIndex::search`] gathering rows through an explicit [`ListStore`]
+    /// backend instead of a resident corpus table: pass
+    /// [`crate::InMemory`] for the classic path or a
+    /// [`crate::MappedStore`] to search an on-disk container whose panels
+    /// never enter RAM. Results are **bit-identical across backends** (the
+    /// per-row kernel summation order is backend-independent; pinned by
+    /// `tests/prop_storage.rs`).
+    ///
+    /// When `sq8` is `Some` *and* the store carries a code panel, probed
+    /// lists are scanned through the SQ8 codes with exact re-ranking
+    /// (IVF-SQ); otherwise the gathered f32 rows are scored directly.
+    pub fn search_store(
+        &self,
+        queries: &EmbeddingTable,
+        store: &dyn ListStore,
+        sq8: Option<&Sq8Params>,
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let cap = k.min(store.rows());
         if cap == 0 {
             // Degenerate corpus or k = 0: still one (empty) list per query,
             // as documented.
             return vec![Vec::new(); queries.rows()];
         }
-        let flat = self.search_flat(queries, corpus, cap, nprobe);
+        let flat = self.search_flat_store(queries, store, sq8, cap, nprobe);
         flat.chunks(cap)
             .map(|chunk| chunk.iter().map(|r| (r.index, r.score)).collect())
             .collect()
+    }
+
+    /// The in-memory store over `corpus` (with this index's own SQ8 codes
+    /// when it carries them) plus the matching re-rank parameters.
+    fn in_memory_store<'a>(
+        &'a self,
+        corpus: &'a EmbeddingTable,
+    ) -> (InMemory<'a>, Option<&'a Sq8Params>) {
+        match &self.quantized {
+            None => (InMemory::from_table(corpus), None),
+            Some((quantized, params)) => (InMemory::with_codes(corpus, quantized), Some(params)),
+        }
     }
 
     /// [`IvfIndex::search`] returning the flattened best-first lists
@@ -346,11 +481,40 @@ impl IvfIndex {
         cap: usize,
         nprobe: usize,
     ) -> Vec<Ranked> {
+        let (store, sq8) = self.in_memory_store(corpus);
+        self.search_flat_store(queries, &store, sq8, cap, nprobe)
+    }
+
+    /// [`IvfIndex::search_store`] returning the flattened best-first lists.
+    pub(crate) fn search_flat_store(
+        &self,
+        queries: &EmbeddingTable,
+        store: &dyn ListStore,
+        sq8: Option<&Sq8Params>,
+        cap: usize,
+        nprobe: usize,
+    ) -> Vec<Ranked> {
+        // A store from a different corpus/container would make the inverted
+        // lists index past its panels: out-of-range gathers either panic
+        // (in-memory) or silently decode unrelated bytes (mapped) — catch
+        // the misuse at the entry instead.
+        assert_eq!(
+            store.rows(),
+            self.list_rows.len(),
+            "store row count does not match the corpus this index was built from"
+        );
+        assert!(
+            self.nlist() == 0 || self.centroids.dim() == store.dim(),
+            "store dimension {} does not match index dimension {}",
+            store.dim(),
+            self.centroids.dim()
+        );
         let n_q = queries.rows();
         if cap == 0 || n_q == 0 || self.nlist() == 0 {
             return Vec::new();
         }
         let nprobe = nprobe.min(self.nlist()).max(1);
+        let sq8 = if store.has_codes() { sq8 } else { None };
         // Same fan-out shape as the exact scan: fixed query blocks over the
         // rayon pool, block results concatenated in input order. One scratch
         // set per block, reused across its queries.
@@ -362,7 +526,15 @@ impl IvfIndex {
                 let mut out = Vec::with_capacity((end - start) * cap);
                 let mut scratch = IvfScratch::new();
                 for q in start..end {
-                    self.search_row(queries.row(q), corpus, cap, nprobe, &mut scratch, &mut out);
+                    self.search_row(
+                        queries.row(q),
+                        store,
+                        sq8,
+                        cap,
+                        nprobe,
+                        &mut scratch,
+                        &mut out,
+                    );
                 }
                 out
             })
@@ -373,19 +545,21 @@ impl IvfIndex {
     /// Scores one query: ranks the centroids (register-blocked kernel scan
     /// over the contiguous centroid table), scans lists in rank order until
     /// `nprobe` lists are probed *and* `cap` candidates were gathered, and
-    /// appends the bounded selection best-first to `out`. Flat storage
-    /// scores the gathered rows exactly; SQ8 storage scans their codes and
-    /// exactly re-scores the approximate top `rerank_factor · cap`.
+    /// appends the bounded selection best-first to `out`. Without `sq8` the
+    /// gathered rows are scored exactly; with it their codes are scanned and
+    /// the approximate top `rerank_factor · cap` exactly re-scored.
+    #[allow(clippy::too_many_arguments)]
     fn search_row(
         &self,
         query: &[f32],
-        corpus: &EmbeddingTable,
+        store: &dyn ListStore,
+        sq8: Option<&Sq8Params>,
         cap: usize,
         nprobe: usize,
         scratch: &mut IvfScratch,
         out: &mut Vec<Ranked>,
     ) {
-        let dim = corpus.dim();
+        let dim = store.dim();
         scratch.centroid_scores.resize(self.nlist(), 0.0);
         kernel::scan_block(
             query,
@@ -410,7 +584,7 @@ impl IvfIndex {
         // minimum-fill extension can walk it without re-selection.
         scratch.probe_order.sort_unstable_by(|a, b| a.rank_cmp(b));
 
-        match &self.quantized {
+        match sq8 {
             None => {
                 let mut select = TopK::new(cap);
                 let mut gathered = 0usize;
@@ -420,7 +594,7 @@ impl IvfIndex {
                     }
                     let rows = self.list(centroid.index as usize);
                     scratch.list_scores.resize(rows.len(), 0.0);
-                    kernel::scan_gather(query, corpus.data(), dim, rows, &mut scratch.list_scores);
+                    store.scan_f32_rows(query, rows, &mut scratch.store, &mut scratch.list_scores);
                     for (&row, &score) in rows.iter().zip(&scratch.list_scores) {
                         select.push(score.clamp(-1.0, 1.0), row);
                     }
@@ -429,7 +603,7 @@ impl IvfIndex {
                 debug_assert!(select.kept() == cap, "minimum-fill probing must fill rows");
                 out.extend(select.into_sorted());
             }
-            Some((quantized, sq8)) => {
+            Some(sq8) => {
                 // IVF-SQ: gather the probed rows (minimum-fill like the flat
                 // path — lists partition the corpus, so the gathered rows
                 // are distinct), then run the shared SQ8 selection + exact
@@ -446,8 +620,7 @@ impl IvfIndex {
                 let rerank = sq8.resolved_rerank(cap, scratch.gathered.len());
                 sq8_select_and_rerank(
                     query,
-                    corpus,
-                    quantized,
+                    store,
                     Some(&scratch.gathered),
                     cap,
                     rerank,
@@ -530,6 +703,60 @@ pub trait CandidateSource {
 /// The built-in candidate-generation strategies, as a config-friendly value
 /// type: store it in a config struct and every consumer downstream of that
 /// config (prediction, repair, anchor mining, verification) switches with it.
+///
+/// # Examples
+///
+/// Picking an engine is a recall/compute/memory trade (measured tables in
+/// the root `README.md`). `Exact` when the O(n_s·n_t) sweep is affordable
+/// and recall 1.0 is required end to end:
+///
+/// ```
+/// use ea_embed::CandidateSearch;
+/// let search = CandidateSearch::Exact; // also the default
+/// assert_eq!(search, CandidateSearch::default());
+/// ```
+///
+/// `Ivf` once the similarity sweep dominates wall-clock — probe a quarter of
+/// the lists by default, or every list to validate a deployment bit-for-bit
+/// against the exact engine before dialling `nprobe` down:
+///
+/// ```
+/// use ea_embed::{CandidateSearch, IvfParams};
+/// let tuned = CandidateSearch::Ivf(IvfParams { nprobe: 8, ..IvfParams::default() });
+/// let validation = CandidateSearch::Ivf(IvfParams::exhaustive()); // recall 1.0
+/// # let _ = (tuned, validation);
+/// ```
+///
+/// `Sq8` when the scan is memory-bandwidth bound (reads 4× fewer corpus
+/// bytes per candidate; returned scores stay bit-exact f32 dots), and IVF-SQ
+/// — SQ8 codes *inside* the probed inverted lists — for the largest corpora:
+///
+/// ```
+/// use ea_embed::{CandidateSearch, IvfListStorage, IvfParams, Sq8Params};
+/// let bandwidth_bound = CandidateSearch::Sq8(Sq8Params::default());
+/// let largest = CandidateSearch::Ivf(IvfParams {
+///     storage: IvfListStorage::Sq8(Sq8Params::default()),
+///     ..IvfParams::default()
+/// });
+/// # let _ = (bandwidth_bound, largest);
+/// ```
+///
+/// To run the *search phase* out of core, keep the same engine but spill
+/// its panels to an on-disk container ([`StoreBacking::Mapped`]): gathers
+/// go through the mapped store and results remain bit-identical. (The
+/// one-shot build still materialises the table in RAM first; for corpora
+/// that never fit, build + [`IvfIndex::save`] once and serve queries from
+/// [`crate::MappedIndex::open`], where only centroids, CSR offsets and the
+/// SQ8 grid stay resident.)
+///
+/// ```
+/// use ea_embed::{CandidateSearch, IvfParams, MappedOptions, StoreBacking};
+/// let out_of_core = CandidateSearch::Ivf(IvfParams {
+///     backing: StoreBacking::Mapped(MappedOptions::default()),
+///     ..IvfParams::default()
+/// });
+/// assert_eq!(ea_embed::CandidateSource::name(&out_of_core), "ivf-mapped");
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum CandidateSearch {
     /// The exact blocked scan — every source row against every target row.
@@ -552,8 +779,10 @@ impl CandidateSearch {
     /// environment override — the hook CI uses to run the whole pipeline
     /// (prediction, repair, verification, anchor mining) on an approximate
     /// engine end to end. Recognised values: `exact`, `ivf`, `sq8`,
-    /// `ivf-sq8` (each with default parameters); unset or empty means
-    /// [`CandidateSearch::Exact`].
+    /// `ivf-sq8` (each with default parameters), plus `ivf-mapped`,
+    /// `sq8-mapped` and `ivf-sq8-mapped` (same engines with their panels
+    /// spilled to an on-disk container and searched through the mapped
+    /// store); unset or empty means [`CandidateSearch::Exact`].
     ///
     /// Config `Default` impls ([`ExeaConfig`](https://docs.rs/exea-core),
     /// `TrainConfig`) call this instead of hard-coding `Exact`; explicitly
@@ -569,21 +798,39 @@ impl CandidateSearch {
             Ok(value) => Self::parse_override(&value).unwrap_or_else(|| {
                 panic!(
                     "unrecognised EXEA_CANDIDATE_SEARCH value {value:?} \
-                     (expected exact, ivf, sq8 or ivf-sq8)"
+                     (expected exact, ivf, sq8, ivf-sq8 or one of \
+                     ivf-mapped, sq8-mapped, ivf-sq8-mapped)"
                 )
             }),
         }
     }
 
     /// Parses one `EXEA_CANDIDATE_SEARCH` value; `None` for unrecognised
-    /// non-empty input (the empty string means "unset": `Exact`).
+    /// non-empty input (the empty string means "unset": `Exact`). The
+    /// `-mapped` suffix selects the same engine with its panels spilled to
+    /// an on-disk container ([`StoreBacking::Mapped`]) — the hook CI uses to
+    /// run the whole pipeline through the out-of-core store.
     fn parse_override(value: &str) -> Option<Self> {
+        let mapped = StoreBacking::Mapped(MappedOptions::default());
         Some(match value {
             "" | "exact" => CandidateSearch::Exact,
             "ivf" => CandidateSearch::Ivf(IvfParams::default()),
             "sq8" => CandidateSearch::Sq8(Sq8Params::default()),
             "ivf-sq8" => CandidateSearch::Ivf(IvfParams {
                 storage: IvfListStorage::Sq8(Sq8Params::default()),
+                ..IvfParams::default()
+            }),
+            "ivf-mapped" => CandidateSearch::Ivf(IvfParams {
+                backing: mapped,
+                ..IvfParams::default()
+            }),
+            "sq8-mapped" => CandidateSearch::Sq8(Sq8Params {
+                backing: mapped,
+                ..Sq8Params::default()
+            }),
+            "ivf-sq8-mapped" => CandidateSearch::Ivf(IvfParams {
+                storage: IvfListStorage::Sq8(Sq8Params::default()),
+                backing: mapped,
                 ..IvfParams::default()
             }),
             _ => return None,
@@ -595,11 +842,19 @@ impl CandidateSource for CandidateSearch {
     fn name(&self) -> &'static str {
         match self {
             CandidateSearch::Exact => "exact",
-            CandidateSearch::Ivf(params) => match params.storage {
-                IvfListStorage::Flat => "ivf",
-                IvfListStorage::Sq8(_) => "ivf-sq8",
+            CandidateSearch::Ivf(params) => {
+                let mapped = matches!(params.backing, StoreBacking::Mapped(_));
+                match (&params.storage, mapped) {
+                    (IvfListStorage::Flat, false) => "ivf",
+                    (IvfListStorage::Flat, true) => "ivf-mapped",
+                    (IvfListStorage::Sq8(_), false) => "ivf-sq8",
+                    (IvfListStorage::Sq8(_), true) => "ivf-sq8-mapped",
+                }
+            }
+            CandidateSearch::Sq8(params) => match params.backing {
+                StoreBacking::InMemory => "sq8",
+                StoreBacking::Mapped(_) => "sq8-mapped",
             },
-            CandidateSearch::Sq8(_) => "sq8",
         }
     }
 
@@ -693,27 +948,51 @@ fn ivf_candidate_index(
     let source_norm = source_table.gather_normalized(&source_rows);
     let target_norm = target_table.gather_normalized(&target_rows);
 
-    let forward_ivf = IvfIndex::build(&target_norm, params);
-    let forward = forward_ivf.search_flat(
-        &source_norm,
-        &target_norm,
-        k.min(target_ids.len()),
-        params.resolved_nprobe(forward_ivf.nlist()),
-    );
+    let forward = ivf_search_backed(&source_norm, &target_norm, k.min(target_ids.len()), params);
 
     let backward = if reverse {
-        let backward_ivf = IvfIndex::build(&source_norm, params);
-        Some(backward_ivf.search_flat(
+        Some(ivf_search_backed(
             &target_norm,
             &source_norm,
             k.min(source_ids.len()),
-            params.resolved_nprobe(backward_ivf.nlist()),
+            params,
         ))
     } else {
         None
     };
 
     CandidateIndex::from_parts(source_ids, target_ids, k, forward, backward)
+}
+
+/// One directed IVF pass: build the quantizer over the (normalised) corpus
+/// side, then probe — through the in-memory panels, or through a spilled
+/// on-disk container when `params.backing` says so (bit-identical results
+/// either way; the spill file is removed afterwards).
+fn ivf_search_backed(
+    queries: &EmbeddingTable,
+    corpus_norm: &EmbeddingTable,
+    cap: usize,
+    params: &IvfParams,
+) -> Vec<Ranked> {
+    let index = IvfIndex::build(corpus_norm, params);
+    let nprobe = params.resolved_nprobe(index.nlist());
+    match &params.backing {
+        StoreBacking::InMemory => index.search_flat(queries, corpus_norm, cap, nprobe),
+        StoreBacking::Mapped(options) => {
+            let sq8 = match &params.storage {
+                IvfListStorage::Flat => None,
+                IvfListStorage::Sq8(sq8) => Some(sq8.clone()),
+            };
+            storage::with_spilled_index(
+                options,
+                |path| index.save_with_sync(corpus_norm, path, false),
+                |mapped| {
+                    let ivf = mapped.ivf().expect("spilled container carries IVF state");
+                    ivf.search_flat_store(queries, mapped.store(), sq8.as_ref(), cap, nprobe)
+                },
+            )
+        }
+    }
 }
 
 #[cfg(test)]

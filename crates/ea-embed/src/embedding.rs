@@ -26,6 +26,17 @@ impl EmbeddingTable {
         }
     }
 
+    /// Wraps an existing row-major buffer (`rows * dim` values) as a table —
+    /// the deserialisation path of the on-disk candidate store.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * dim`; the storage loader validates
+    /// section lengths (with typed errors) before calling this.
+    pub(crate) fn from_data(rows: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * dim, "row-major buffer length mismatch");
+        Self { rows, dim, data }
+    }
+
     /// Creates a table initialised with Xavier/Glorot uniform noise:
     /// each value is drawn from `U(-b, b)` with `b = sqrt(6 / (rows + dim))`.
     pub fn xavier<R: Rng>(rows: usize, dim: usize, rng: &mut R) -> Self {

@@ -39,14 +39,25 @@
 //!   top `rerank_factor · k` so returned scores stay bit-exact f32 dots
 //!   ([`CandidateSearch::Sq8`]).
 //! * [`order`] — NaN-safe total-order comparators every ranking sorts with.
+//! * [`storage`] — the out-of-core candidate store: a versioned, checksummed
+//!   on-disk container for IVF lists, SQ8 code panels and the normalised f32
+//!   rows, read back through an mmap'd (or buffered-pread) [`MappedStore`].
+//!   The [`ListStore`] trait lets [`IvfIndex::search`] and
+//!   [`QuantizedTable::search`] gather rows from RAM or disk with
+//!   bit-identical results, so the pre-filter keeps working when the target
+//!   embedding table itself no longer fits in memory.
 //!
 //! The crate is deliberately framework-free: no BLAS, no autograd. Gradients
 //! of the margin-based losses used by the models are simple enough to write
 //! by hand, and keeping the dependency surface small makes the reproduction
 //! easy to audit.
+//!
+//! See `ARCHITECTURE.md` at the repository root for how these modules fit
+//! into the wider crate graph, and the root `README.md` for measured
+//! recall/speed/memory tables of every candidate engine.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ann;
 pub mod candidates;
@@ -57,6 +68,7 @@ pub mod order;
 pub mod quantized;
 pub mod sampling;
 pub mod similarity;
+pub mod storage;
 pub mod vector;
 
 pub use ann::{CandidateSearch, CandidateSource, IvfIndex, IvfListStorage, IvfParams};
@@ -66,3 +78,7 @@ pub use optimizer::{Adagrad, Optimizer, Sgd};
 pub use quantized::{QuantizedTable, Sq8Params};
 pub use sampling::{HardNegativeCache, NegativeSampler, Negatives};
 pub use similarity::{greedy_alignment, select_top_k_by, top_k_targets, SimilarityMatrix};
+pub use storage::{
+    InMemory, ListStore, MappedIndex, MappedOptions, MappedStore, OpenOptions, StorageError,
+    StoreBacking, StoreScratch,
+};

@@ -42,6 +42,7 @@
 use crate::candidates::{CandidateIndex, Ranked, TopK};
 use crate::embedding::EmbeddingTable;
 use crate::kernel;
+use crate::storage::{self, InMemory, ListStore, StorageError, StoreBacking, StoreScratch};
 use ea_graph::EntityId;
 use rayon::prelude::*;
 
@@ -63,6 +64,19 @@ pub struct Sq8Params {
     /// `usize::MAX` ([`Sq8Params::exhaustive`]) re-ranks every scanned row,
     /// reproducing the exact scan bit for bit.
     pub rerank_factor: usize,
+    /// Where the code panel and the f32 re-rank rows live during a one-shot
+    /// [`crate::CandidateSearch::Sq8`] search: resident, or spilled to an
+    /// on-disk container and read back through the mapped store. Results
+    /// are bit-identical either way. Ignored when [`Sq8Params`] is used as
+    /// IVF list storage ([`crate::IvfListStorage::Sq8`]) — there the outer
+    /// [`crate::IvfParams::backing`] decides.
+    ///
+    /// Like [`crate::IvfParams::backing`], the one-shot path builds the
+    /// table and codes in RAM before spilling; it bounds the search-phase
+    /// gathers, not peak build memory. Corpora that never fit in RAM should
+    /// build + [`QuantizedTable::save`] once and serve queries from
+    /// [`crate::MappedIndex::open`].
+    pub backing: StoreBacking,
 }
 
 impl Sq8Params {
@@ -72,6 +86,7 @@ impl Sq8Params {
     pub fn exhaustive() -> Self {
         Self {
             rerank_factor: usize::MAX,
+            ..Self::default()
         }
     }
 
@@ -200,6 +215,58 @@ impl QuantizedTable {
         self.codes.len()
     }
 
+    /// The whole row-major code panel (`rows × dim` bytes).
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// The per-dimension `(offset, scale)` reconstruction grid.
+    pub fn grid(&self) -> (&[f32], &[f32]) {
+        (&self.offset, &self.scale)
+    }
+
+    /// Assembles a table from raw parts — the deserialisation path of the
+    /// on-disk container — validating every shape instead of trusting the
+    /// input: a corrupt or truncated file surfaces a typed
+    /// [`StorageError`] naming the offending section rather than a panic
+    /// (or, worse, silently wrong scores) later.
+    pub fn from_parts(
+        rows: usize,
+        dim: usize,
+        codes: Vec<u8>,
+        offset: Vec<f32>,
+        scale: Vec<f32>,
+    ) -> Result<Self, StorageError> {
+        if codes.len()
+            != rows.checked_mul(dim).ok_or_else(|| StorageError::Corrupt {
+                section: "sq8 codes",
+                detail: format!("{rows} x {dim} overflows"),
+            })?
+        {
+            return Err(StorageError::ShapeMismatch {
+                section: "sq8 codes",
+                detail: format!("expected {rows} x {dim} codes, found {}", codes.len()),
+            });
+        }
+        if offset.len() != dim || scale.len() != dim {
+            return Err(StorageError::ShapeMismatch {
+                section: "sq8 grid",
+                detail: format!(
+                    "expected {dim} offsets and {dim} scales, found {} and {}",
+                    offset.len(),
+                    scale.len()
+                ),
+            });
+        }
+        Ok(Self {
+            rows,
+            dim,
+            codes,
+            offset,
+            scale,
+        })
+    }
+
     /// Precomputes the integer ADC query state: quantizes the f32 lookup row
     /// `q_d · scale_d` onto a symmetric i16 grid chosen so that a full-row
     /// `i32` accumulation provably cannot overflow, fills `lut` with the i16
@@ -213,34 +280,7 @@ impl QuantizedTable {
     /// same rows the exact engine would (NaN exact scores rank last there
     /// too).
     pub fn prepare_query(&self, q: &[f32], lut: &mut Vec<i16>) -> (f32, f32) {
-        debug_assert_eq!(q.len(), self.dim);
-        let base = kernel::dot(q, &self.offset);
-        lut.clear();
-        // Largest finite |q_d * scale_d| sets the grid.
-        let mut magnitude = 0.0f32;
-        for (&x, &s) in q.iter().zip(&self.scale) {
-            let v = (x * s).abs();
-            if v.is_finite() && v > magnitude {
-                magnitude = v;
-            }
-        }
-        // Overflow-safe integer bound: dim rows of |lq| ≤ bound times codes
-        // ≤ 255 stay within i32 whatever the data.
-        let bound = (i32::MAX / (255 * self.dim.max(1) as i32) - 1).min(i16::MAX as i32 - 1);
-        if magnitude <= 0.0 || bound <= 0 {
-            lut.resize(self.dim, 0);
-            return (base, 0.0);
-        }
-        let grid = bound as f32 / magnitude;
-        lut.extend(q.iter().zip(&self.scale).map(|(&x, &s)| {
-            let v = x * s;
-            if v.is_finite() {
-                (v * grid).round() as i16
-            } else {
-                0
-            }
-        }));
-        (base, 1.0 / grid)
+        prepare_query_grid(&self.offset, &self.scale, q, lut)
     }
 
     /// Integer ADC scan of a prepared query against **all** rows:
@@ -249,61 +289,14 @@ impl QuantizedTable {
     /// only, never returned to consumers.
     pub fn scan(&self, lut: &[i16], base: f32, step: f32, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.rows);
-        let dim = self.dim;
-        let n = self.rows;
-        let blocks = n / kernel::BLOCK;
-        for b in 0..blocks {
-            let i = b * kernel::BLOCK * dim;
-            let sums = adc_int_1x4(
-                lut,
-                &self.codes[i..i + dim],
-                &self.codes[i + dim..i + 2 * dim],
-                &self.codes[i + 2 * dim..i + 3 * dim],
-                &self.codes[i + 3 * dim..i + 4 * dim],
-            );
-            for (o, s) in out[b * kernel::BLOCK..(b + 1) * kernel::BLOCK]
-                .iter_mut()
-                .zip(sums)
-            {
-                *o = base + step * s as f32;
-            }
-        }
-        for (j, o) in out.iter_mut().enumerate().skip(blocks * kernel::BLOCK) {
-            *o = base + step * adc_int(lut, self.code_row(j)) as f32;
-        }
+        adc_scan_panel(&self.codes, self.dim, lut, base, step, out);
     }
 
     /// Integer ADC scan of a prepared query against gathered rows (the
     /// IVF-SQ inverted-list form):
     /// `out[i] = base + step · (Σ_d lut_d · code(rows[i], d))`.
     pub fn scan_rows(&self, lut: &[i16], base: f32, step: f32, rows: &[u32], out: &mut [f32]) {
-        debug_assert!(out.len() >= rows.len());
-        let dim = self.dim;
-        let mut blocks = rows.chunks_exact(kernel::BLOCK);
-        let mut j = 0;
-        for block in &mut blocks {
-            let (i0, i1, i2, i3) = (
-                block[0] as usize * dim,
-                block[1] as usize * dim,
-                block[2] as usize * dim,
-                block[3] as usize * dim,
-            );
-            let sums = adc_int_1x4(
-                lut,
-                &self.codes[i0..i0 + dim],
-                &self.codes[i1..i1 + dim],
-                &self.codes[i2..i2 + dim],
-                &self.codes[i3..i3 + dim],
-            );
-            for (o, s) in out[j..j + kernel::BLOCK].iter_mut().zip(sums) {
-                *o = base + step * s as f32;
-            }
-            j += kernel::BLOCK;
-        }
-        for &row in blocks.remainder() {
-            out[j] = base + step * adc_int(lut, self.code_row(row as usize)) as f32;
-            j += 1;
-        }
+        adc_scan_gather(&self.codes, self.dim, lut, base, step, rows, out);
     }
 
     /// Approximate top-`k` search over a prebuilt quantized table — the
@@ -328,10 +321,129 @@ impl QuantizedTable {
             return vec![Vec::new(); queries.rows()];
         }
         let rerank = params.resolved_rerank(cap, corpus.rows());
-        let flat = sq8_topk_flat(queries, corpus, self, cap, rerank);
+        let store = InMemory::with_codes(corpus, self);
+        let flat = sq8_topk_flat(queries, &store, cap, rerank);
         flat.chunks(cap)
             .map(|chunk| chunk.iter().map(|r| (r.index, r.score)).collect())
             .collect()
+    }
+}
+
+/// Precomputes the integer ADC query state against a per-dimension
+/// `(offset, scale)` reconstruction grid — the grid form
+/// [`QuantizedTable::prepare_query`] and the mapped store share. See that
+/// method for the contract.
+pub(crate) fn prepare_query_grid(
+    offset: &[f32],
+    scale: &[f32],
+    q: &[f32],
+    lut: &mut Vec<i16>,
+) -> (f32, f32) {
+    let dim = offset.len();
+    debug_assert_eq!(q.len(), dim);
+    let base = kernel::dot(q, offset);
+    lut.clear();
+    // Largest finite |q_d * scale_d| sets the grid.
+    let mut magnitude = 0.0f32;
+    for (&x, &s) in q.iter().zip(scale) {
+        let v = (x * s).abs();
+        if v.is_finite() && v > magnitude {
+            magnitude = v;
+        }
+    }
+    // Overflow-safe integer bound: dim rows of |lq| ≤ bound times codes
+    // ≤ 255 stay within i32 whatever the data.
+    let bound = (i32::MAX / (255 * dim.max(1) as i32) - 1).min(i16::MAX as i32 - 1);
+    if magnitude <= 0.0 || bound <= 0 {
+        lut.resize(dim, 0);
+        return (base, 0.0);
+    }
+    let grid = bound as f32 / magnitude;
+    lut.extend(q.iter().zip(scale).map(|(&x, &s)| {
+        let v = x * s;
+        if v.is_finite() {
+            (v * grid).round() as i16
+        } else {
+            0
+        }
+    }));
+    (base, 1.0 / grid)
+}
+
+/// Integer ADC scan of a contiguous row-major code panel:
+/// `out[j] = base + step · (Σ_d lut_d · code_jd)`, register-blocked like
+/// [`kernel::scan_block`]. Integer accumulation is associative, so any
+/// panel chunking (the mapped store streams bounded chunks) is
+/// bit-identical.
+pub(crate) fn adc_scan_panel(
+    codes: &[u8],
+    dim: usize,
+    lut: &[i16],
+    base: f32,
+    step: f32,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(codes.len(), out.len() * dim);
+    let n = out.len();
+    let blocks = n / kernel::BLOCK;
+    for b in 0..blocks {
+        let i = b * kernel::BLOCK * dim;
+        let sums = adc_int_1x4(
+            lut,
+            &codes[i..i + dim],
+            &codes[i + dim..i + 2 * dim],
+            &codes[i + 2 * dim..i + 3 * dim],
+            &codes[i + 3 * dim..i + 4 * dim],
+        );
+        for (o, s) in out[b * kernel::BLOCK..(b + 1) * kernel::BLOCK]
+            .iter_mut()
+            .zip(sums)
+        {
+            *o = base + step * s as f32;
+        }
+    }
+    for (j, o) in out.iter_mut().enumerate().skip(blocks * kernel::BLOCK) {
+        *o = base + step * adc_int(lut, &codes[j * dim..(j + 1) * dim]) as f32;
+    }
+}
+
+/// Integer ADC scan of gathered rows of a row-major code panel (the IVF-SQ
+/// inverted-list form): `out[i] = base + step · (Σ_d lut_d · code(rows[i], d))`.
+pub(crate) fn adc_scan_gather(
+    codes: &[u8],
+    dim: usize,
+    lut: &[i16],
+    base: f32,
+    step: f32,
+    rows: &[u32],
+    out: &mut [f32],
+) {
+    debug_assert!(out.len() >= rows.len());
+    let mut blocks = rows.chunks_exact(kernel::BLOCK);
+    let mut j = 0;
+    for block in &mut blocks {
+        let (i0, i1, i2, i3) = (
+            block[0] as usize * dim,
+            block[1] as usize * dim,
+            block[2] as usize * dim,
+            block[3] as usize * dim,
+        );
+        let sums = adc_int_1x4(
+            lut,
+            &codes[i0..i0 + dim],
+            &codes[i1..i1 + dim],
+            &codes[i2..i2 + dim],
+            &codes[i3..i3 + dim],
+        );
+        for (o, s) in out[j..j + kernel::BLOCK].iter_mut().zip(sums) {
+            *o = base + step * s as f32;
+        }
+        j += kernel::BLOCK;
+    }
+    for &row in blocks.remainder() {
+        let base_i = row as usize * dim;
+        out[j] = base + step * adc_int(lut, &codes[base_i..base_i + dim]) as f32;
+        j += 1;
     }
 }
 
@@ -339,7 +451,7 @@ impl QuantizedTable {
 /// addition is associative, so any evaluation order is bit-identical; the
 /// LUT grid guarantees no overflow for full rows.
 #[inline]
-fn adc_int(lut: &[i16], codes: &[u8]) -> i32 {
+pub(crate) fn adc_int(lut: &[i16], codes: &[u8]) -> i32 {
     debug_assert_eq!(lut.len(), codes.len());
     let mut acc = 0i32;
     for (&x, &c) in lut.iter().zip(codes) {
@@ -373,6 +485,7 @@ pub(crate) struct Sq8Scratch {
     approx: Vec<f32>,
     idx: Vec<u32>,
     exact: Vec<f32>,
+    store: StoreScratch,
 }
 
 impl Sq8Scratch {
@@ -382,49 +495,62 @@ impl Sq8Scratch {
             approx: Vec::new(),
             idx: Vec::new(),
             exact: Vec::new(),
+            store: StoreScratch::new(),
         }
     }
 }
 
 /// The quantized selection + exact re-rank for one query — the single
-/// implementation both the whole-corpus SQ8 scan and the IVF-SQ list scans
-/// run, so the re-rank contract (canonical total order, clamp, bit-exact
-/// returned scores) cannot diverge between them.
+/// implementation the whole-corpus SQ8 scan, the IVF-SQ list scans and the
+/// mapped on-disk store all run, so the re-rank contract (canonical total
+/// order, clamp, bit-exact returned scores) cannot diverge between them.
 ///
-/// ADC-scores the candidate rows (`rows = None` scans the whole corpus in
-/// panel order; `Some(rows)` scans a gathered row list), keeps the best
-/// `rerank` by approximate score (strict total order: approx desc, row asc —
-/// NaN approximations rank last), re-scores those rows with the exact kernel
-/// and appends the bounded exact selection best-first to `out`: exactly
-/// `cap` entries, every score a bit-exact clamped f32 dot.
-#[allow(clippy::too_many_arguments)]
+/// ADC-scores the candidate rows through the store's code panel
+/// (`rows = None` scans the whole corpus in panel order; `Some(rows)` scans
+/// a gathered row list), keeps the best `rerank` by approximate score
+/// (strict total order: approx desc, row asc — NaN approximations rank
+/// last), re-scores those rows with the exact kernel over the store's f32
+/// rows and appends the bounded exact selection best-first to `out`:
+/// exactly `cap` entries, every score a bit-exact clamped f32 dot.
 pub(crate) fn sq8_select_and_rerank(
     query: &[f32],
-    corpus: &EmbeddingTable,
-    quantized: &QuantizedTable,
+    store: &dyn ListStore,
     rows: Option<&[u32]>,
     cap: usize,
     rerank: usize,
     scratch: &mut Sq8Scratch,
     out: &mut Vec<Ranked>,
 ) {
-    let dim = corpus.dim();
-    let (base, step) = quantized.prepare_query(query, &mut scratch.lut);
+    let (offset, scale) = store.sq8_grid().expect("store has no SQ8 code panel");
+    let (base, step) = prepare_query_grid(offset, scale, query, &mut scratch.lut);
     // Bounded heap selection under the canonical (score desc, row asc)
     // total order — same selected set as a full sort, one comparison per
     // non-surviving row.
     let mut approx_select = TopK::new(rerank);
     match rows {
         None => {
-            scratch.approx.resize(corpus.rows(), 0.0);
-            quantized.scan(&scratch.lut, base, step, &mut scratch.approx);
+            scratch.approx.resize(store.rows(), 0.0);
+            store.scan_codes_all(
+                &scratch.lut,
+                base,
+                step,
+                &mut scratch.store,
+                &mut scratch.approx,
+            );
             for (j, &score) in scratch.approx.iter().enumerate() {
                 approx_select.push(score, j as u32);
             }
         }
         Some(rows) => {
             scratch.approx.resize(rows.len(), 0.0);
-            quantized.scan_rows(&scratch.lut, base, step, rows, &mut scratch.approx);
+            store.scan_code_rows(
+                &scratch.lut,
+                base,
+                step,
+                rows,
+                &mut scratch.store,
+                &mut scratch.approx,
+            );
             for (&row, &score) in rows.iter().zip(&scratch.approx) {
                 approx_select.push(score, row);
             }
@@ -435,7 +561,7 @@ pub(crate) fn sq8_select_and_rerank(
         .idx
         .extend(approx_select.into_sorted().iter().map(|r| r.index));
     scratch.exact.resize(scratch.idx.len(), 0.0);
-    kernel::scan_gather(query, corpus.data(), dim, &scratch.idx, &mut scratch.exact);
+    store.scan_f32_rows(query, &scratch.idx, &mut scratch.store, &mut scratch.exact);
     let mut select = TopK::new(cap);
     for (&col, &score) in scratch.idx.iter().zip(&scratch.exact) {
         select.push(score.clamp(-1.0, 1.0), col);
@@ -446,11 +572,11 @@ pub(crate) fn sq8_select_and_rerank(
 
 /// Fans query blocks over the rayon pool (order-preserving concat, the exact
 /// engine's fan-out shape) and returns the flattened best-first lists:
-/// exactly `cap` entries per query.
+/// exactly `cap` entries per query. Works over any [`ListStore`] backend —
+/// in-memory panels and mapped containers produce bit-identical lists.
 pub(crate) fn sq8_topk_flat(
     queries: &EmbeddingTable,
-    corpus: &EmbeddingTable,
-    quantized: &QuantizedTable,
+    store: &dyn ListStore,
     cap: usize,
     rerank: usize,
 ) -> Vec<Ranked> {
@@ -468,8 +594,7 @@ pub(crate) fn sq8_topk_flat(
             for q in start..end {
                 sq8_select_and_rerank(
                     queries.row(q),
-                    corpus,
-                    quantized,
+                    store,
                     None,
                     cap,
                     rerank,
@@ -481,6 +606,31 @@ pub(crate) fn sq8_topk_flat(
         })
         .collect();
     blocks.concat()
+}
+
+/// One directed SQ8 pass: quantize the (normalised) corpus side, then run
+/// the blocked ADC scan + exact re-rank — through the in-memory panels, or
+/// through a spilled on-disk container when `params.backing` says so
+/// (bit-identical results either way; the spill file is removed afterwards).
+fn sq8_topk_backed(
+    queries: &EmbeddingTable,
+    corpus_norm: &EmbeddingTable,
+    cap: usize,
+    params: &Sq8Params,
+) -> Vec<Ranked> {
+    let quantized = QuantizedTable::build(corpus_norm);
+    let rerank = params.resolved_rerank(cap, corpus_norm.rows());
+    match &params.backing {
+        StoreBacking::InMemory => {
+            let store = InMemory::with_codes(corpus_norm, &quantized);
+            sq8_topk_flat(queries, &store, cap, rerank)
+        }
+        StoreBacking::Mapped(options) => storage::with_spilled_index(
+            options,
+            |path| quantized.save_with_sync(corpus_norm, path, false),
+            |mapped| sq8_topk_flat(queries, mapped.store(), cap, rerank),
+        ),
+    }
 }
 
 /// One-shot SQ8 candidate generation (the [`crate::CandidateSearch::Sq8`]
@@ -504,24 +654,15 @@ pub(crate) fn sq8_candidate_index(
     let target_norm = target_table.gather_normalized(&target_rows);
 
     let forward_cap = k.min(target_ids.len());
-    let quantized_targets = QuantizedTable::build(&target_norm);
-    let forward = sq8_topk_flat(
-        &source_norm,
-        &target_norm,
-        &quantized_targets,
-        forward_cap,
-        params.resolved_rerank(forward_cap, target_ids.len()),
-    );
+    let forward = sq8_topk_backed(&source_norm, &target_norm, forward_cap, params);
 
     let backward = if reverse {
         let backward_cap = k.min(source_ids.len());
-        let quantized_sources = QuantizedTable::build(&source_norm);
-        Some(sq8_topk_flat(
+        Some(sq8_topk_backed(
             &target_norm,
             &source_norm,
-            &quantized_sources,
             backward_cap,
-            params.resolved_rerank(backward_cap, source_ids.len()),
+            params,
         ))
     } else {
         None
@@ -550,7 +691,10 @@ mod tests {
         assert_eq!(p.resolved_rerank(5, 12), 12, "clamped to corpus");
         assert_eq!(p.resolved_rerank(0, 10), 0);
         assert_eq!(Sq8Params::exhaustive().resolved_rerank(5, 1000), 1000);
-        let two = Sq8Params { rerank_factor: 2 };
+        let two = Sq8Params {
+            rerank_factor: 2,
+            ..Sq8Params::default()
+        };
         assert_eq!(two.resolved_rerank(5, 1000), 10);
         assert_eq!(two.resolved_rerank(5, 3), 3);
     }

@@ -234,7 +234,7 @@ impl KnowledgeGraph {
 
     /// Direct neighbours of `entity` as a zero-allocation borrowing iterator.
     ///
-    /// Yields `(neighbour, triple, direction)` as [`NeighborRef`] values in
+    /// Yields `(neighbour, triple, direction)` as [`crate::NeighborRef`] values in
     /// the same order as [`KnowledgeGraph::neighbors`]: outgoing triples
     /// first (forward), then non-reflexive incoming triples (backward). The
     /// iterator reads straight out of the CSR index — no per-call heap

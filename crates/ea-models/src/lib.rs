@@ -12,7 +12,7 @@
 //! | [`GcnAlign`]  | GCN (aggregation)    | uniform | no  |
 //! | [`DualAmn`]   | GCN (aggregation)    | hard    | yes (gates) |
 //!
-//! All models implement the [`EaModel`] trait: `train` a [`KgPair`] into a
+//! All models implement the [`EaModel`] trait: `train` a [`ea_graph::KgPair`] into a
 //! [`TrainedAlignment`] artifact holding embeddings for both graphs. Training
 //! is deterministic given the [`TrainConfig`] seed, which is what makes the
 //! paper's fidelity protocol (delete triples, retrain, re-measure) reproducible.

@@ -1,0 +1,188 @@
+//! Offline shim of the `memmap2` read-only mapping API surface this
+//! workspace uses.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! one type the on-disk candidate store needs: [`Mmap`], a read-only
+//! memory-mapped view of a whole file that derefs to `&[u8]`. On unix it is
+//! implemented directly on `mmap(2)`/`munmap(2)` (declared `extern "C"`
+//! against the libc the Rust standard library already links); on other
+//! platforms — or when the kernel refuses the mapping — [`Mmap::map`]
+//! returns an error and callers fall back to buffered positional reads
+//! (which `ea_embed::storage` does automatically).
+//!
+//! Swapping in the real `memmap2` crate requires renaming
+//! `memmap::Mmap::map(&file)` to `unsafe { memmap2::Mmap::map(&file) }`: the
+//! real crate marks `map` unsafe because another process truncating the file
+//! turns reads into SIGBUS. This shim accepts the same caveat but keeps the
+//! call safe, since every consumer in the workspace maps private spill files
+//! it wrote itself.
+//!
+//! All `unsafe` in the workspace lives here (the consuming crates are
+//! `#![forbid(unsafe_code)]`); the invariants are the classic mmap ones —
+//! the pointer returned by a successful `mmap` is valid for `len` bytes
+//! until `munmap`, and the mapping is `MAP_PRIVATE` read-only so the slice
+//! contents are immutable from this process's point of view.
+
+/// A read-only memory mapping of an entire file, dereferencing to `&[u8]`.
+///
+/// Dropping the value unmaps the region. Empty files map to an empty slice
+/// without touching `mmap(2)` (which rejects zero-length mappings).
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and owned uniquely by this value; the
+// underlying pages are plain memory valid from any thread until `munmap`
+// runs in `Drop` (which requires exclusive ownership).
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use core::ffi::c_void;
+    use std::os::raw::{c_int, c_long};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: c_long,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// Fails with the kernel's error when the mapping is refused (or with
+    /// `Unsupported` on non-unix platforms); callers are expected to fall
+    /// back to positional reads in that case.
+    #[cfg(unix)]
+    pub fn map(file: &std::fs::File) -> std::io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "file too large to map on this platform",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: core::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: plain read-only file mapping; arguments are well-formed
+        // (page-aligned offset 0, open fd, non-zero length). The result is
+        // checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                core::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Non-unix platforms cannot map; callers use their pread fallback.
+    #[cfg(not(unix))]
+    pub fn map(_file: &std::fs::File) -> std::io::Result<Mmap> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "memmap shim: no mmap on this platform",
+        ))
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl core::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: a successful mmap of `len` bytes stays valid until Drop;
+        // the mapping is read-only, so &[u8] aliasing is sound.
+        unsafe { core::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len != 0 {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // exactly once.
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("memmap-shim-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_whole_file_contents() {
+        let path = temp_path("contents");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        assert_eq!(&map[..], &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
