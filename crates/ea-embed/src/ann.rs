@@ -46,18 +46,40 @@ use crate::candidates::{CandidateIndex, Ranked, TopK};
 use crate::embedding::EmbeddingTable;
 use crate::kernel;
 use crate::quantized::{
-    sq8_candidate_index, sq8_select_and_rerank, QuantizedTable, Sq8Params, Sq8Scratch,
+    sq8_candidate_index, sq8_select_and_rerank, QuantizedTable, Sq8GridFit, Sq8Params, Sq8Scratch,
 };
-use crate::storage::{self, InMemory, ListStore, MappedOptions, StorageError, StoreBacking};
+use crate::storage::{
+    self, InMemory, ListStore, MappedOptions, RowSource, StorageError, StoreBacking,
+    StreamingStats, TableRows,
+};
 use crate::vector;
 use ea_graph::EntityId;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 /// Rows per parallel work block in k-means assignment and IVF search.
 const ANN_ROW_TILE: usize = 128;
+
+/// How the k-means seeds (initial centroids) of the IVF coarse quantizer are
+/// chosen. Both options are pure functions of ([`IvfParams::seed`], corpus):
+/// run-to-run and thread-count deterministic (`prop_streaming.rs` pins it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IvfSeeding {
+    /// A seeded ChaCha8 shuffle of the row indexes picks `nlist` distinct
+    /// seed rows — the cheapest option and the historical default.
+    #[default]
+    Shuffle,
+    /// Deterministic k-means++: seeds are drawn one at a time with
+    /// probability proportional to each row's cosine distance
+    /// `max(0, 1 − clamp(dot, −1, 1))` to its nearest already-chosen seed,
+    /// all randomness from the same seeded ChaCha8 stream. Costs `nlist − 1`
+    /// extra sweeps over the corpus at build time, but spreads the seeds —
+    /// which typically balances list sizes and improves recall at equal
+    /// `nprobe`.
+    KmeansPlusPlus,
+}
 
 /// How an [`IvfIndex`] stores (and scans) its inverted lists.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -86,6 +108,10 @@ pub struct IvfParams {
     /// Seed of the k-means initialisation (quantizer is fully deterministic
     /// given this seed).
     pub seed: u64,
+    /// How the initial centroids are picked: a seeded shuffle
+    /// ([`IvfSeeding::Shuffle`], the default) or deterministic k-means++
+    /// ([`IvfSeeding::KmeansPlusPlus`]).
+    pub seeding: IvfSeeding,
     /// Maximum k-means refinement iterations (converges earlier when
     /// assignments stabilise).
     pub kmeans_iters: usize,
@@ -113,6 +139,7 @@ impl Default for IvfParams {
             nlist: 0,
             nprobe: 0,
             seed: 0x1EF_5EED,
+            seeding: IvfSeeding::Shuffle,
             kmeans_iters: 8,
             storage: IvfListStorage::Flat,
             backing: StoreBacking::InMemory,
@@ -224,72 +251,12 @@ impl IvfIndex {
             };
         }
 
-        // Seeded initialisation: a ChaCha8 shuffle of the row indexes picks
-        // `nlist` distinct seed rows — deterministic for a given seed.
-        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
-        let mut perm: Vec<u32> = (0..n as u32).collect();
-        perm.shuffle(&mut rng);
-        let mut centroids = EmbeddingTable::zeros(nlist, corpus.dim());
-        for (c, &row) in perm[..nlist].iter().enumerate() {
-            centroids
-                .row_mut(c)
-                .copy_from_slice(corpus.row(row as usize));
-        }
-
-        // Lloyd iterations. Assignment fans fixed row blocks over rayon and
-        // concatenates in input order; the update accumulates sums strictly
-        // in ascending row order — both bit-deterministic for any thread
-        // count.
-        let mut assignments = assign_to_centroids(corpus, &centroids);
-        for _ in 0..params.kmeans_iters {
-            let mut sums = vec![0.0f32; nlist * corpus.dim()];
-            let mut counts = vec![0usize; nlist];
-            for (row, &c) in assignments.iter().enumerate() {
-                let base = c as usize * corpus.dim();
-                for (acc, &v) in sums[base..base + corpus.dim()]
-                    .iter_mut()
-                    .zip(corpus.row(row))
-                {
-                    *acc += v;
-                }
-                counts[c as usize] += 1;
-            }
-            for (c, &count) in counts.iter().enumerate() {
-                if count == 0 {
-                    continue; // empty cluster: keep the previous centroid
-                }
-                let base = c * corpus.dim();
-                let mean = &mut sums[base..base + corpus.dim()];
-                vector::normalize(mean); // spherical k-means re-projection
-                centroids.row_mut(c).copy_from_slice(mean);
-            }
-            let next = assign_to_centroids(corpus, &centroids);
-            let converged = next == assignments;
-            assignments = next;
-            if converged {
-                break;
-            }
-        }
-
-        // CSR inverted lists; scanning rows in ascending order per list keeps
-        // the stable-fill deterministic.
-        let mut counts = vec![0u32; nlist];
-        for &c in &assignments {
-            counts[c as usize] += 1;
-        }
-        let mut list_offsets = Vec::with_capacity(nlist + 1);
-        let mut acc = 0u32;
-        list_offsets.push(0);
-        for &c in &counts {
-            acc += c;
-            list_offsets.push(acc);
-        }
-        let mut cursor: Vec<u32> = list_offsets[..nlist].to_vec();
-        let mut list_rows = vec![0u32; n];
-        for (row, &c) in assignments.iter().enumerate() {
-            list_rows[cursor[c as usize] as usize] = row as u32;
-            cursor[c as usize] += 1;
-        }
+        // The resident build is the streaming trainer over a borrowed table:
+        // one whole-corpus chunk, borrowed zero-copy, so nothing is staged —
+        // and [`storage::save_ivf_streaming`] is byte-identical to
+        // `build(..).save(..)` by construction (both run this exact core).
+        let train = train_streaming(&TableRows::new(corpus), params, n, None);
+        let (list_offsets, list_rows) = csr_from_assignments(&train.assignments, nlist);
 
         // IVF-SQ: one code panel over the whole corpus, shared by every
         // inverted list (lists store row indexes either way).
@@ -299,11 +266,64 @@ impl IvfIndex {
         };
 
         Self {
-            centroids,
+            centroids: train.centroids,
             list_offsets,
             list_rows,
             quantized,
         }
+    }
+
+    /// [`IvfIndex::build`] pulling rows from a [`RowSource`] in bounded
+    /// chunks (`chunk_rows` rows per chunk; 0 = [`storage::DEFAULT_CHUNK_ROWS`])
+    /// instead of a materialised table: peak staging during training is
+    /// `O(chunk · dim)` (reported in the returned [`StreamingStats`]) however
+    /// many rows the source serves.
+    ///
+    /// The resulting quantizer is bit-identical to [`IvfIndex::build`] on the
+    /// materialised rows for any chunk size. `params.storage` and
+    /// `params.backing` are ignored here — the index carries no code panel
+    /// (that would be `O(rows · dim)` resident state again); to run IVF-SQ
+    /// out of core, stream the container to disk with
+    /// [`storage::save_ivf_streaming`] and search it via
+    /// [`crate::MappedIndex::open`].
+    pub fn build_streaming<S: RowSource + ?Sized>(
+        source: &S,
+        params: &IvfParams,
+        chunk_rows: usize,
+    ) -> (Self, StreamingStats) {
+        let n = source.rows();
+        let nlist = params.resolved_nlist(n);
+        if n == 0 || nlist == 0 {
+            let index = Self {
+                centroids: EmbeddingTable::zeros(0, source.dim()),
+                list_offsets: vec![0],
+                list_rows: Vec::new(),
+                quantized: None,
+            };
+            let stats = StreamingStats {
+                rows: n,
+                passes: 0,
+                peak_staging_bytes: 0,
+            };
+            return (index, stats);
+        }
+        let chunk_rows = storage::resolve_chunk_rows(chunk_rows, n);
+        let train = train_streaming(source, params, chunk_rows, None);
+        let (list_offsets, list_rows) = csr_from_assignments(&train.assignments, nlist);
+        let stats = StreamingStats {
+            rows: n,
+            passes: train.passes,
+            peak_staging_bytes: train.peak_staging_bytes,
+        };
+        (
+            Self {
+                centroids: train.centroids,
+                list_offsets,
+                list_rows,
+                quantized: None,
+            },
+            stats,
+        )
     }
 
     /// Assembles an index from deserialised parts — the loading path of the
@@ -586,19 +606,33 @@ impl IvfIndex {
 
         match sq8 {
             None => {
-                let mut select = TopK::new(cap);
-                let mut gathered = 0usize;
+                // Gather every probed list first (minimum-fill), then score
+                // the union in ONE store scan. Scores are per-row and the
+                // bounded selection runs a strict total order, so folding the
+                // per-list scans into one changes no result bit — but it lets
+                // the cold (pread) backend sort and coalesce the whole
+                // query's gather into a handful of reads instead of one
+                // sparse span per probed list.
+                scratch.gathered.clear();
                 for (probed, centroid) in scratch.probe_order.iter().enumerate() {
-                    if probed >= nprobe && gathered >= cap {
+                    if probed >= nprobe && scratch.gathered.len() >= cap {
                         break;
                     }
-                    let rows = self.list(centroid.index as usize);
-                    scratch.list_scores.resize(rows.len(), 0.0);
-                    store.scan_f32_rows(query, rows, &mut scratch.store, &mut scratch.list_scores);
-                    for (&row, &score) in rows.iter().zip(&scratch.list_scores) {
-                        select.push(score.clamp(-1.0, 1.0), row);
-                    }
-                    gathered += rows.len();
+                    scratch
+                        .gathered
+                        .extend_from_slice(self.list(centroid.index as usize));
+                }
+                store.prefetch_f32_rows(&scratch.gathered);
+                scratch.list_scores.resize(scratch.gathered.len(), 0.0);
+                store.scan_f32_rows(
+                    query,
+                    &scratch.gathered,
+                    &mut scratch.store,
+                    &mut scratch.list_scores,
+                );
+                let mut select = TopK::new(cap);
+                for (&row, &score) in scratch.gathered.iter().zip(&scratch.list_scores) {
+                    select.push(score.clamp(-1.0, 1.0), row);
                 }
                 debug_assert!(select.kept() == cap, "minimum-fill probing must fill rows");
                 out.extend(select.into_sorted());
@@ -617,6 +651,7 @@ impl IvfIndex {
                         .gathered
                         .extend_from_slice(self.list(centroid.index as usize));
                 }
+                store.prefetch_code_rows(&scratch.gathered);
                 let rerank = sq8.resolved_rerank(cap, scratch.gathered.len());
                 sq8_select_and_rerank(
                     query,
@@ -632,40 +667,360 @@ impl IvfIndex {
     }
 }
 
-/// Deterministic nearest-centroid assignment: parallel over fixed row
-/// blocks (order-preserving concat), ties to the lowest centroid index. Each
-/// row's centroid scores come from one register-blocked kernel sweep over
-/// the contiguous centroid table (same clamped values as per-pair
-/// `cosine_prenormalized` calls).
-fn assign_to_centroids(corpus: &EmbeddingTable, centroids: &EmbeddingTable) -> Vec<u32> {
-    let n = corpus.rows();
-    let dim = corpus.dim();
-    let block_starts: Vec<usize> = (0..n).step_by(ANN_ROW_TILE).collect();
-    let blocks: Vec<Vec<u32>> = block_starts
-        .par_iter()
-        .map(|&start| {
-            let end = (start + ANN_ROW_TILE).min(n);
-            let mut scores = vec![0.0f32; centroids.rows()];
-            (start..end)
-                .map(|row| {
-                    kernel::scan_block(corpus.row(row), centroids.data(), dim, &mut scores);
-                    let mut best = 0u32;
-                    let mut best_score = scores[0].clamp(-1.0, 1.0);
-                    for (c, &raw) in scores.iter().enumerate().skip(1) {
-                        let score = raw.clamp(-1.0, 1.0);
-                        // Strictly-greater keeps the lowest index on ties and
-                        // ignores NaN scores (comparison is false).
-                        if score > best_score {
-                            best = c as u32;
-                            best_score = score;
-                        }
-                    }
-                    best
-                })
-                .collect()
-        })
-        .collect();
-    blocks.concat()
+/// The nearest centroid of one row: a register-blocked kernel sweep over the
+/// contiguous centroid table (same clamped values as per-pair
+/// `cosine_prenormalized` calls), then a strictly-greater argmax — ties go
+/// to the lowest centroid index and NaN scores are ignored (comparison is
+/// false), exactly the order the probe selection uses.
+fn nearest_centroid(row: &[f32], centroids: &EmbeddingTable, scores: &mut [f32]) -> u32 {
+    kernel::scan_block(row, centroids.data(), centroids.dim(), scores);
+    let mut best = 0u32;
+    let mut best_score = scores[0].clamp(-1.0, 1.0);
+    for (c, &raw) in scores.iter().enumerate().skip(1) {
+        let score = raw.clamp(-1.0, 1.0);
+        if score > best_score {
+            best = c as u32;
+            best_score = score;
+        }
+    }
+    best
+}
+
+/// Copies row `row` of `source` into `out`, borrowing zero-copy when the
+/// source allows and staging through `buf` (tracked in `peak`) otherwise.
+fn copy_source_row<S: RowSource + ?Sized>(
+    source: &S,
+    row: usize,
+    out: &mut [f32],
+    buf: &mut Vec<f32>,
+    peak: &mut usize,
+) {
+    if let Some(view) = source.borrow_rows(row, 1) {
+        out.copy_from_slice(view);
+        return;
+    }
+    buf.resize(out.len(), 0.0);
+    *peak = (*peak).max(buf.len() * 4);
+    source.fill_rows(row, buf);
+    out.copy_from_slice(buf);
+}
+
+/// One fused streaming sweep of Lloyd's algorithm: pulls `chunk_rows`-row
+/// chunks from `source`, assigns each row to its nearest centroid (parallel
+/// over fixed [`ANN_ROW_TILE`] blocks, order-preserving) and accumulates the
+/// per-cluster sums/counts **sequentially in ascending global row order** —
+/// the same addition sequence a whole-corpus pass performs, so sums are
+/// bit-identical for every chunk size and thread count. When `grid` is set
+/// (the first sweep of an SQ8-bearing build) every row is also fed to the
+/// SQ8 grid fit, ascending.
+#[allow(clippy::too_many_arguments)]
+fn assign_sweep<S: RowSource + ?Sized>(
+    source: &S,
+    chunk_rows: usize,
+    centroids: &EmbeddingTable,
+    assignments: &mut [u32],
+    sums: &mut [f32],
+    counts: &mut [usize],
+    mut grid: Option<&mut Sq8GridFit>,
+    stage: &mut Vec<f32>,
+    peak: &mut usize,
+) {
+    let n = source.rows();
+    let dim = source.dim();
+    let nlist = centroids.rows();
+    sums.fill(0.0);
+    counts.fill(0);
+    let mut start = 0usize;
+    while start < n {
+        let count = chunk_rows.min(n - start);
+        let chunk: &[f32] = match source.borrow_rows(start, count) {
+            Some(view) => view,
+            None => {
+                stage.resize(count * dim, 0.0);
+                *peak = (*peak).max(stage.len() * 4);
+                source.fill_rows(start, stage);
+                stage
+            }
+        };
+        if let Some(fit) = grid.as_deref_mut() {
+            for r in 0..count {
+                fit.update_row(&chunk[r * dim..(r + 1) * dim]);
+            }
+        }
+        let tile_starts: Vec<usize> = (0..count).step_by(ANN_ROW_TILE).collect();
+        let tiles: Vec<Vec<u32>> = tile_starts
+            .par_iter()
+            .map(|&tile| {
+                let end = (tile + ANN_ROW_TILE).min(count);
+                let mut scores = vec![0.0f32; nlist];
+                (tile..end)
+                    .map(|row| {
+                        nearest_centroid(&chunk[row * dim..(row + 1) * dim], centroids, &mut scores)
+                    })
+                    .collect()
+            })
+            .collect();
+        let chunk_assign = &mut assignments[start..start + count];
+        for (&tile, tile_assign) in tile_starts.iter().zip(&tiles) {
+            chunk_assign[tile..tile + tile_assign.len()].copy_from_slice(tile_assign);
+        }
+        for (r, &c) in chunk_assign.iter().enumerate() {
+            let base = c as usize * dim;
+            for (acc, &v) in sums[base..base + dim]
+                .iter_mut()
+                .zip(&chunk[r * dim..(r + 1) * dim])
+            {
+                *acc += v;
+            }
+            counts[c as usize] += 1;
+        }
+        start += count;
+    }
+}
+
+/// Deterministic k-means++ seeding over a streamed source: after a uniform
+/// first pick, each further seed is drawn with probability proportional to
+/// the row's cosine distance `max(0, 1 − clamp(dot, −1, 1))` to its nearest
+/// already-chosen seed (one sweep per seed keeps the per-row minimum up to
+/// date against the newest seed only). The sampling walk accumulates the f64
+/// cumulative mass in ascending row order, so the choice is bit-reproducible
+/// for any chunk size and thread count. NaN rows get distance 0 (never
+/// sampled while any finite mass remains); if the total mass hits 0 the pick
+/// falls back to uniform.
+#[allow(clippy::too_many_arguments)]
+fn seed_kmeanspp<S: RowSource + ?Sized>(
+    source: &S,
+    chunk_rows: usize,
+    nlist: usize,
+    rng: &mut ChaCha8Rng,
+    centroids: &mut EmbeddingTable,
+    stage: &mut Vec<f32>,
+    peak: &mut usize,
+    passes: &mut usize,
+) {
+    let n = source.rows();
+    let dim = source.dim();
+    let mut row_buf = Vec::new();
+    // O(rows) like the assignment vector itself; not chunk-scaled staging.
+    let mut best = vec![f32::INFINITY; n];
+    let mut scores = Vec::new();
+    let mut pick = rng.gen_range(0..n);
+    copy_source_row(source, pick, centroids.row_mut(0), &mut row_buf, peak);
+    best[pick] = 0.0;
+    for c in 1..nlist {
+        let prev = centroids.row(c - 1).to_vec();
+        let mut start = 0usize;
+        while start < n {
+            let count = chunk_rows.min(n - start);
+            let chunk: &[f32] = match source.borrow_rows(start, count) {
+                Some(view) => view,
+                None => {
+                    stage.resize(count * dim, 0.0);
+                    source.fill_rows(start, stage);
+                    stage
+                }
+            };
+            scores.resize(count, 0.0);
+            *peak = (*peak).max(stage.len() * 4 + scores.len() * 4);
+            kernel::scan_block(&prev, chunk, dim, &mut scores);
+            for (r, &raw) in scores.iter().enumerate() {
+                let d = (1.0 - raw.clamp(-1.0, 1.0)).max(0.0);
+                let slot = &mut best[start + r];
+                if d < *slot {
+                    *slot = d;
+                }
+            }
+            start += count;
+        }
+        *passes += 1;
+        let total: f64 = best.iter().map(|&d| f64::from(d)).sum();
+        pick = if total > 0.0 {
+            let t = rng.gen::<f64>() * total;
+            let mut cum = 0.0f64;
+            let mut chosen = n - 1;
+            for (row, &d) in best.iter().enumerate() {
+                cum += f64::from(d);
+                if cum > t {
+                    chosen = row;
+                    break;
+                }
+            }
+            chosen
+        } else {
+            rng.gen_range(0..n)
+        };
+        best[pick] = 0.0;
+        copy_source_row(source, pick, centroids.row_mut(c), &mut row_buf, peak);
+    }
+}
+
+/// What [`train_streaming`] produced: the trained centroids, the final
+/// per-row assignments, and the sweep/staging accounting the callers fold
+/// into their [`StreamingStats`].
+pub(crate) struct StreamingTrain {
+    pub(crate) centroids: EmbeddingTable,
+    pub(crate) assignments: Vec<u32>,
+    pub(crate) passes: usize,
+    pub(crate) peak_staging_bytes: usize,
+}
+
+impl StreamingTrain {
+    /// The degenerate training an empty corpus gets: no centroids, no
+    /// assignments, no sweeps — the same shape [`IvfIndex::build`] constructs
+    /// for `n == 0`.
+    pub(crate) fn empty(dim: usize) -> Self {
+        Self {
+            centroids: EmbeddingTable::zeros(0, dim),
+            assignments: Vec::new(),
+            passes: 0,
+            peak_staging_bytes: 0,
+        }
+    }
+}
+
+/// Streaming spherical k-means: seeds per [`IvfParams::seeding`], then fused
+/// Lloyd iterations — each iteration is ONE sweep over the source that
+/// assigns rows and accumulates the next centroid sums simultaneously, so a
+/// converged training costs `iters + 1` sweeps total. Produces bit-identical
+/// centroids and assignments to the materialised build for every chunk size
+/// (the fusion only reorders *when* sums are computed, never the addition
+/// sequence itself; `prop_streaming.rs` pins the equivalence transitively
+/// through container byte-identity).
+///
+/// `grid` (when building an SQ8-bearing container) is fed every row exactly
+/// once, during the first sweep, in ascending row order.
+///
+/// Callers guarantee `n > 0` and `resolved_nlist(n) > 0`.
+pub(crate) fn train_streaming<S: RowSource + ?Sized>(
+    source: &S,
+    params: &IvfParams,
+    chunk_rows: usize,
+    grid: Option<&mut Sq8GridFit>,
+) -> StreamingTrain {
+    let n = source.rows();
+    let dim = source.dim();
+    let nlist = params.resolved_nlist(n);
+    assert!(
+        n > 0 && nlist > 0,
+        "train_streaming needs a non-empty corpus"
+    );
+    let chunk_rows = chunk_rows.clamp(1, n);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    let mut stage = Vec::new();
+    let mut peak = 0usize;
+    let mut passes = 0usize;
+    let mut centroids = EmbeddingTable::zeros(nlist, dim);
+    match params.seeding {
+        IvfSeeding::Shuffle => {
+            // A ChaCha8 shuffle of the row indexes picks `nlist` distinct
+            // seed rows — deterministic for a given seed, and identical to
+            // the historical materialised initialisation.
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            perm.shuffle(&mut rng);
+            let mut row_buf = Vec::new();
+            for (c, &row) in perm[..nlist].iter().enumerate() {
+                copy_source_row(
+                    source,
+                    row as usize,
+                    centroids.row_mut(c),
+                    &mut row_buf,
+                    &mut peak,
+                );
+            }
+        }
+        IvfSeeding::KmeansPlusPlus => seed_kmeanspp(
+            source,
+            chunk_rows,
+            nlist,
+            &mut rng,
+            &mut centroids,
+            &mut stage,
+            &mut peak,
+            &mut passes,
+        ),
+    }
+
+    // Fused Lloyd loop: sweep 0 assigns against the seeds and accumulates
+    // their cluster sums; every iteration first folds those sums into new
+    // centroids, then runs one fused assign+accumulate sweep against them.
+    // This reproduces the classic "sums from assignments, update, reassign"
+    // sequence exactly — with one source pass per iteration instead of two.
+    let mut assignments = vec![0u32; n];
+    let mut prev = vec![0u32; n];
+    let mut sums = vec![0.0f32; nlist * dim];
+    let mut counts = vec![0usize; nlist];
+    assign_sweep(
+        source,
+        chunk_rows,
+        &centroids,
+        &mut assignments,
+        &mut sums,
+        &mut counts,
+        grid,
+        &mut stage,
+        &mut peak,
+    );
+    passes += 1;
+    for _ in 0..params.kmeans_iters {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue; // empty cluster: keep the previous centroid
+            }
+            let base = c * dim;
+            let mean = &mut sums[base..base + dim];
+            vector::normalize(mean); // spherical k-means re-projection
+            centroids.row_mut(c).copy_from_slice(mean);
+        }
+        assign_sweep(
+            source,
+            chunk_rows,
+            &centroids,
+            &mut prev,
+            &mut sums,
+            &mut counts,
+            None,
+            &mut stage,
+            &mut peak,
+        );
+        passes += 1;
+        let converged = prev == assignments;
+        std::mem::swap(&mut assignments, &mut prev);
+        if converged {
+            break;
+        }
+    }
+
+    StreamingTrain {
+        centroids,
+        assignments,
+        passes,
+        peak_staging_bytes: peak,
+    }
+}
+
+/// CSR inverted lists from per-row centroid assignments; filling rows in
+/// ascending order per list keeps the stable-fill deterministic (lists
+/// ascend, which the coalesced gather path also relies on).
+pub(crate) fn csr_from_assignments(assignments: &[u32], nlist: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut counts = vec![0u32; nlist];
+    for &c in assignments {
+        counts[c as usize] += 1;
+    }
+    let mut list_offsets = Vec::with_capacity(nlist + 1);
+    let mut acc = 0u32;
+    list_offsets.push(0);
+    for &c in &counts {
+        acc += c;
+        list_offsets.push(acc);
+    }
+    let mut cursor: Vec<u32> = list_offsets[..nlist].to_vec();
+    let mut list_rows = vec![0u32; assignments.len()];
+    for (row, &c) in assignments.iter().enumerate() {
+        list_rows[cursor[c as usize] as usize] = row as u32;
+        cursor[c as usize] += 1;
+    }
+    (list_offsets, list_rows)
 }
 
 /// Candidate-generation strategy: how top-k candidate lists are produced.
@@ -968,16 +1323,23 @@ fn ivf_candidate_index(
 /// side, then probe — through the in-memory panels, or through a spilled
 /// on-disk container when `params.backing` says so (bit-identical results
 /// either way; the spill file is removed afterwards).
+///
+/// The spill path streams the container straight from the corpus table
+/// ([`storage::save_ivf_streaming_with_sync`]) instead of materialising the
+/// index plus a full SQ8 code panel in RAM first — the container bytes are
+/// identical either way, so search results are too.
 fn ivf_search_backed(
     queries: &EmbeddingTable,
     corpus_norm: &EmbeddingTable,
     cap: usize,
     params: &IvfParams,
 ) -> Vec<Ranked> {
-    let index = IvfIndex::build(corpus_norm, params);
-    let nprobe = params.resolved_nprobe(index.nlist());
+    let nprobe = params.resolved_nprobe(params.resolved_nlist(corpus_norm.rows()));
     match &params.backing {
-        StoreBacking::InMemory => index.search_flat(queries, corpus_norm, cap, nprobe),
+        StoreBacking::InMemory => {
+            let index = IvfIndex::build(corpus_norm, params);
+            index.search_flat(queries, corpus_norm, cap, nprobe)
+        }
         StoreBacking::Mapped(options) => {
             let sq8 = match &params.storage {
                 IvfListStorage::Flat => None,
@@ -985,7 +1347,16 @@ fn ivf_search_backed(
             };
             storage::with_spilled_index(
                 options,
-                |path| index.save_with_sync(corpus_norm, path, false),
+                |path| {
+                    storage::save_ivf_streaming_with_sync(
+                        &TableRows::new(corpus_norm),
+                        params,
+                        path,
+                        0,
+                        false,
+                    )
+                    .map(|_| ())
+                },
                 |mapped| {
                     let ivf = mapped.ivf().expect("spilled container carries IVF state");
                     ivf.search_flat_store(queries, mapped.store(), sq8.as_ref(), cap, nprobe)

@@ -122,16 +122,34 @@ impl EmbeddingTable {
     pub fn gather_normalized(&self, rows: &[usize]) -> EmbeddingTable {
         let mut out = EmbeddingTable::zeros(rows.len(), self.dim);
         for (dst, &src) in rows.iter().enumerate() {
-            let row = self.row(src);
-            let n = vector::norm(row);
-            if n > f32::EPSILON {
-                let inv = 1.0 / n;
-                for (o, &v) in out.row_mut(dst).iter_mut().zip(row) {
-                    *o = v * inv;
-                }
-            }
+            self.normalized_row_into(src, out.row_mut(dst));
         }
         out
+    }
+
+    /// Writes the L2-normalised copy of row `src` into `out` — the per-row
+    /// kernel behind [`Self::gather_normalized`], exposed so the streaming
+    /// container builder can normalise one bounded chunk at a time with
+    /// bit-identical results to the materialised gather.
+    ///
+    /// Rows with numerically zero norm (`<= f32::EPSILON`) come out
+    /// all-zero, matching the [`vector::cosine`] degenerate-embedding
+    /// contract.
+    ///
+    /// # Panics
+    /// Panics if `src >= rows` or `out.len() != dim`.
+    pub fn normalized_row_into(&self, src: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "output slice length mismatch");
+        let row = self.row(src);
+        let n = vector::norm(row);
+        if n > f32::EPSILON {
+            let inv = 1.0 / n;
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o = v * inv;
+            }
+        } else {
+            out.fill(0.0);
+        }
     }
 
     /// Cosine similarity between two rows of (possibly different) tables.

@@ -71,7 +71,7 @@ pub mod similarity;
 pub mod storage;
 pub mod vector;
 
-pub use ann::{CandidateSearch, CandidateSource, IvfIndex, IvfListStorage, IvfParams};
+pub use ann::{CandidateSearch, CandidateSource, IvfIndex, IvfListStorage, IvfParams, IvfSeeding};
 pub use candidates::CandidateIndex;
 pub use embedding::EmbeddingTable;
 pub use optimizer::{Adagrad, Optimizer, Sgd};
@@ -79,6 +79,7 @@ pub use quantized::{QuantizedTable, Sq8Params};
 pub use sampling::{HardNegativeCache, NegativeSampler, Negatives};
 pub use similarity::{greedy_alignment, select_top_k_by, top_k_targets, SimilarityMatrix};
 pub use storage::{
-    InMemory, ListStore, MappedIndex, MappedOptions, MappedStore, OpenOptions, StorageError,
-    StoreBacking, StoreScratch,
+    save_ivf_streaming, save_sq8_streaming, InMemory, ListStore, MappedIndex, MappedOptions,
+    MappedStore, NormalizedRows, OpenOptions, RowSource, StorageError, StoreBacking, StoreScratch,
+    StreamingStats, TableRows, DEFAULT_CHUNK_ROWS,
 };

@@ -42,7 +42,9 @@
 use crate::candidates::{CandidateIndex, Ranked, TopK};
 use crate::embedding::EmbeddingTable;
 use crate::kernel;
-use crate::storage::{self, InMemory, ListStore, StorageError, StoreBacking, StoreScratch};
+use crate::storage::{
+    self, InMemory, ListStore, StorageError, StoreBacking, StoreScratch, TableRows,
+};
 use ea_graph::EntityId;
 use rayon::prelude::*;
 
@@ -71,11 +73,12 @@ pub struct Sq8Params {
     /// IVF list storage ([`crate::IvfListStorage::Sq8`]) — there the outer
     /// [`crate::IvfParams::backing`] decides.
     ///
-    /// Like [`crate::IvfParams::backing`], the one-shot path builds the
-    /// table and codes in RAM before spilling; it bounds the search-phase
-    /// gathers, not peak build memory. Corpora that never fit in RAM should
-    /// build + [`QuantizedTable::save`] once and serve queries from
-    /// [`crate::MappedIndex::open`].
+    /// The spill is written by the streaming builder
+    /// ([`crate::save_sq8_streaming`]): grid fit, codes and f32 panel are
+    /// produced in bounded chunks, so peak build staging is O(chunk · dim)
+    /// rather than a second resident copy of the corpus. Corpora queried
+    /// repeatedly should build + [`QuantizedTable::save`] once and serve
+    /// queries from [`crate::MappedIndex::open`].
     pub backing: StoreBacking,
 }
 
@@ -134,45 +137,19 @@ impl QuantizedTable {
         let data = table.data();
         // Per-dimension min/max in one row-major pass (column-major striding
         // would touch a fresh cache line per element at large corpora).
-        let mut min = vec![f32::INFINITY; dim];
-        let mut max = vec![f32::NEG_INFINITY; dim];
+        let mut fit = Sq8GridFit::new(dim);
         for r in 0..rows {
-            let row = &data[r * dim..(r + 1) * dim];
-            for ((lo, hi), &v) in min.iter_mut().zip(max.iter_mut()).zip(row) {
-                if !v.is_finite() {
-                    continue;
-                }
-                if v < *lo {
-                    *lo = v;
-                }
-                if v > *hi {
-                    *hi = v;
-                }
-            }
+            fit.update_row(&data[r * dim..(r + 1) * dim]);
         }
-        let mut offset = vec![0.0f32; dim];
-        let mut scale = vec![0.0f32; dim];
-        for d in 0..dim {
-            if max[d] > min[d] {
-                offset[d] = min[d];
-                scale[d] = (max[d] - min[d]) / 255.0;
-            } else if min[d].is_finite() {
-                // Constant column: reconstruct exactly from the offset.
-                offset[d] = min[d];
-            }
-        }
+        let (offset, scale) = fit.finish();
         let mut codes = vec![0u8; rows * dim];
         for r in 0..rows {
-            let row = &data[r * dim..(r + 1) * dim];
-            let out = &mut codes[r * dim..(r + 1) * dim];
-            for d in 0..dim {
-                let v = row[d];
-                out[d] = if scale[d] > 0.0 && v.is_finite() {
-                    ((v - offset[d]) / scale[d]).round().clamp(0.0, 255.0) as u8
-                } else {
-                    0
-                };
-            }
+            sq8_encode_row(
+                &offset,
+                &scale,
+                &data[r * dim..(r + 1) * dim],
+                &mut codes[r * dim..(r + 1) * dim],
+            );
         }
         Self {
             rows,
@@ -326,6 +303,81 @@ impl QuantizedTable {
         flat.chunks(cap)
             .map(|chunk| chunk.iter().map(|r| (r.index, r.score)).collect())
             .collect()
+    }
+}
+
+/// Incremental per-dimension `(min, max)` accumulator behind the SQ8
+/// reconstruction grid — the streaming twin of the one-shot min/max pass in
+/// [`QuantizedTable::build`] (which now runs on it, so the two cannot
+/// diverge). Feed rows in any chunking: min/max are order-insensitive, so
+/// the finished grid is bit-identical to the materialised pass.
+pub(crate) struct Sq8GridFit {
+    min: Vec<f32>,
+    max: Vec<f32>,
+}
+
+impl Sq8GridFit {
+    /// Starts an empty fit over `dim`-wide rows.
+    pub(crate) fn new(dim: usize) -> Self {
+        Self {
+            min: vec![f32::INFINITY; dim],
+            max: vec![f32::NEG_INFINITY; dim],
+        }
+    }
+
+    /// Folds one row into the per-dimension ranges. Non-finite entries are
+    /// excluded (they code as 0 and never stretch the grid).
+    pub(crate) fn update_row(&mut self, row: &[f32]) {
+        debug_assert_eq!(row.len(), self.min.len());
+        for ((lo, hi), &v) in self.min.iter_mut().zip(self.max.iter_mut()).zip(row) {
+            if !v.is_finite() {
+                continue;
+            }
+            if v < *lo {
+                *lo = v;
+            }
+            if v > *hi {
+                *hi = v;
+            }
+        }
+    }
+
+    /// Derives the `(offset, scale)` reconstruction grid from the
+    /// accumulated ranges: offset = column minimum, scale = range / 255,
+    /// both 0 for empty or all-non-finite columns, scale 0 (exact
+    /// reconstruction from the offset) for constant columns.
+    pub(crate) fn finish(self) -> (Vec<f32>, Vec<f32>) {
+        let dim = self.min.len();
+        let mut offset = vec![0.0f32; dim];
+        let mut scale = vec![0.0f32; dim];
+        for d in 0..dim {
+            if self.max[d] > self.min[d] {
+                offset[d] = self.min[d];
+                scale[d] = (self.max[d] - self.min[d]) / 255.0;
+            } else if self.min[d].is_finite() {
+                // Constant column: reconstruct exactly from the offset.
+                offset[d] = self.min[d];
+            }
+        }
+        (offset, scale)
+    }
+}
+
+/// Quantizes one row onto a finished `(offset, scale)` grid:
+/// `code = round((v - offset) / scale)` clamped to `0..=255`, with
+/// non-finite entries and zero-scale columns coded as 0. The per-row kernel
+/// of [`QuantizedTable::build`], shared with the streaming container
+/// builder so both encode bit-identically.
+pub(crate) fn sq8_encode_row(offset: &[f32], scale: &[f32], row: &[f32], out: &mut [u8]) {
+    debug_assert_eq!(row.len(), offset.len());
+    debug_assert_eq!(out.len(), offset.len());
+    for d in 0..row.len() {
+        let v = row[d];
+        out[d] = if scale[d] > 0.0 && v.is_finite() {
+            ((v - offset[d]) / scale[d]).round().clamp(0.0, 255.0) as u8
+        } else {
+            0
+        };
     }
 }
 
@@ -561,6 +613,7 @@ pub(crate) fn sq8_select_and_rerank(
         .idx
         .extend(approx_select.into_sorted().iter().map(|r| r.index));
     scratch.exact.resize(scratch.idx.len(), 0.0);
+    store.prefetch_f32_rows(&scratch.idx);
     store.scan_f32_rows(query, &scratch.idx, &mut scratch.store, &mut scratch.exact);
     let mut select = TopK::new(cap);
     for (&col, &score) in scratch.idx.iter().zip(&scratch.exact) {
@@ -618,16 +671,22 @@ fn sq8_topk_backed(
     cap: usize,
     params: &Sq8Params,
 ) -> Vec<Ranked> {
-    let quantized = QuantizedTable::build(corpus_norm);
     let rerank = params.resolved_rerank(cap, corpus_norm.rows());
     match &params.backing {
         StoreBacking::InMemory => {
+            let quantized = QuantizedTable::build(corpus_norm);
             let store = InMemory::with_codes(corpus_norm, &quantized);
             sq8_topk_flat(queries, &store, cap, rerank)
         }
+        // The spill path streams the grid fit, codes and panel into the
+        // container in bounded chunks — never materialising a resident
+        // QuantizedTable — and byte-identical to the one-shot save.
         StoreBacking::Mapped(options) => storage::with_spilled_index(
             options,
-            |path| quantized.save_with_sync(corpus_norm, path, false),
+            |path| {
+                storage::save_sq8_streaming_with_sync(&TableRows::new(corpus_norm), path, 0, false)
+                    .map(|_| ())
+            },
             |mapped| sq8_topk_flat(queries, mapped.store(), cap, rerank),
         ),
     }

@@ -26,6 +26,22 @@
 //!   paths spill their panels to a container and search through the mapped
 //!   reader, end to end, selectable via `EXEA_CANDIDATE_SEARCH=ivf-mapped`,
 //!   `sq8-mapped` or `ivf-sq8-mapped`.
+//! * **Streaming builds** ([`save_ivf_streaming`] / [`save_sq8_streaming`]
+//!   over a [`RowSource`]) — the container is also *writable* out of core:
+//!   rows arrive in bounded chunks, get normalised, assigned to centroids
+//!   (multi-pass streaming k-means) and SQ8-encoded chunk by chunk, so peak
+//!   build staging is `O(chunk · dim)` instead of `O(rows · dim)` — and the
+//!   resulting file is **byte-identical** (checksums included) to the
+//!   one-shot [`IvfIndex::save`] / [`QuantizedTable::save`] of the same
+//!   input (`crates/ea-embed/tests/prop_streaming.rs` pins it).
+//!
+//! **Cold-path I/O.** The pread fallback does not gather probed rows one
+//! `pread(2)` at a time: requested rows are sorted, merged into bounded
+//! coalesced runs (one positional read per run, small gaps read through) and
+//! decoded from the staging buffer, and the probe loop announces upcoming
+//! lists via `posix_fadvise(WILLNEED)` readahead — which is what keeps the
+//! no-mmap backend within a small factor of the mapped view instead of ~10×
+//! behind it (measured in `exea-bench ondisk`).
 //!
 //! **Bit-identity contract.** Whatever the backend, exact scores come from
 //! the same register-blocked [`crate::kernel`] over the same normalised f32
@@ -39,7 +55,7 @@
 //! [`IvfParams::backing`]: crate::IvfParams::backing
 //! [`Sq8Params::backing`]: crate::Sq8Params::backing
 
-use crate::ann::IvfIndex;
+use crate::ann::{self, IvfIndex, IvfListStorage, IvfParams};
 use crate::embedding::EmbeddingTable;
 use crate::kernel;
 use crate::quantized::{self, QuantizedTable, Sq8Params};
@@ -66,6 +82,19 @@ const ENTRY_LEN: usize = 28;
 const STAGE_ROWS: usize = 256;
 /// Chunk size for streaming checksum verification and buffered reads.
 const IO_CHUNK: usize = 64 * 1024;
+/// Byte gap read through when coalescing two requested rows into one
+/// positional read — fetching and discarding a small gap costs less than a
+/// second syscall plus the seek between them.
+const COALESCE_GAP: u64 = 32 * 1024;
+/// Upper bound of one coalesced read; bounds the [`StoreScratch`] byte
+/// buffer however densely the requested rows cluster.
+const COALESCE_MAX: usize = 1024 * 1024;
+/// Byte gap bridged when merging requested rows into one
+/// `posix_fadvise(WILLNEED)` readahead advisory.
+const PREFETCH_GAP: u64 = 256 * 1024;
+/// Default rows per chunk of the streaming build path when the caller
+/// passes 0 ("choose automatically").
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -257,15 +286,23 @@ struct Section {
 /// — so a crash mid-write leaves a file the reader rejects as
 /// [`StorageError::Truncated`] rather than one it half-trusts.
 ///
+/// A writer that is dropped without a successful [`ContainerWriter::finish`]
+/// — an error return, a panic unwind, or simply being abandoned — **removes
+/// its file**: an unfinished container is unreadable by construction, and
+/// leaving an `O(rows · dim)` torso behind on every failed save was exactly
+/// the disk leak the spill guard fixes for temp containers.
+///
 /// Most callers never touch this directly: [`IvfIndex::save`] and
 /// [`QuantizedTable::save`] drive it.
 pub struct ContainerWriter {
     out: BufWriter<File>,
+    path: PathBuf,
     offset: u64,
     sections: Vec<Section>,
     open: Option<(SectionKind, u64, Fnv)>,
     buf: Vec<u8>,
     sync_on_finish: bool,
+    finished: bool,
 }
 
 impl ContainerWriter {
@@ -280,11 +317,13 @@ impl ContainerWriter {
         out.write_all(&rows.to_le_bytes())?;
         Ok(Self {
             out,
+            path: path.to_path_buf(),
             offset: HEADER_LEN,
             sections: Vec::new(),
             open: None,
             buf: Vec::new(),
             sync_on_finish: true,
+            finished: false,
         })
     }
 
@@ -383,7 +422,16 @@ impl ContainerWriter {
         if self.sync_on_finish {
             self.out.get_ref().sync_all()?;
         }
+        self.finished = true;
         Ok(())
+    }
+}
+
+impl Drop for ContainerWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -463,6 +511,40 @@ impl ByteSource {
             ByteSource::Mapped(m) => m.get(offset as usize..offset as usize + len),
             ByteSource::Pread { .. } => None,
         }
+    }
+
+    /// `posix_fadvise(WILLNEED)` readahead over the requested rows of a
+    /// section on the pread backend: ascending neighbours are merged into
+    /// runs (gaps up to [`PREFETCH_GAP`] bridged), one advisory per run, so
+    /// a whole inverted list usually costs a single call. Purely a hint —
+    /// a no-op on the mmap backend (the kernel's fault-ahead covers it) and
+    /// on platforms without fadvise; results never depend on it.
+    fn prefetch_rows(&self, section_offset: u64, row_bytes: u64, rows: &[u32]) {
+        let ByteSource::Pread { file, .. } = self else {
+            return;
+        };
+        if rows.is_empty() || row_bytes == 0 {
+            return;
+        }
+        let gap_rows = (PREFETCH_GAP / row_bytes).max(1);
+        let (mut run_start, mut run_end) = (rows[0], rows[0]);
+        for &row in &rows[1..] {
+            if row >= run_start && u64::from(row) <= u64::from(run_end) + gap_rows {
+                run_end = run_end.max(row);
+                continue;
+            }
+            memmap::advise_willneed(
+                file,
+                section_offset + u64::from(run_start) * row_bytes,
+                (u64::from(run_end) - u64::from(run_start) + 1) * row_bytes,
+            );
+            (run_start, run_end) = (row, row);
+        }
+        memmap::advise_willneed(
+            file,
+            section_offset + u64::from(run_start) * row_bytes,
+            (u64::from(run_end) - u64::from(run_start) + 1) * row_bytes,
+        );
     }
 
     /// Copies `out.len()` bytes starting at `offset` (either backend).
@@ -701,6 +783,12 @@ impl Container {
 pub struct StoreScratch {
     bytes: Vec<u8>,
     panel: Vec<f32>,
+    /// `(row, original slot)` pairs of a coalesced pread gather, sorted by
+    /// row so neighbouring requests merge into single reads.
+    pairs: Vec<(u32, u32)>,
+    /// Per-chunk kernel scores of a coalesced pread gather, scattered back
+    /// to the caller's slot order afterwards.
+    scores: Vec<f32>,
 }
 
 impl StoreScratch {
@@ -772,6 +860,20 @@ pub trait ListStore: Sync {
         scratch: &mut StoreScratch,
         out: &mut [f32],
     );
+
+    /// Hints that the given f32 rows are about to be gathered with
+    /// [`ListStore::scan_f32_rows`]: cold backends kick off readahead,
+    /// resident (and mmap'd) backends ignore it. Purely advisory — results
+    /// never depend on whether, or how much of, the hint was honoured.
+    fn prefetch_f32_rows(&self, rows: &[u32]) {
+        let _ = rows;
+    }
+
+    /// Like [`ListStore::prefetch_f32_rows`], for the SQ8 code rows read by
+    /// [`ListStore::scan_code_rows`]. A no-op when the store has no codes.
+    fn prefetch_code_rows(&self, rows: &[u32]) {
+        let _ = rows;
+    }
 
     /// Heap bytes this store keeps resident (mapped panels do not count —
     /// that is the point).
@@ -924,6 +1026,136 @@ impl MappedStore {
             }
         }
     }
+
+    /// The pread form of [`ListStore::scan_f32_rows`]: requested rows are
+    /// sorted, neighbouring rows merged into coalesced runs (one positional
+    /// read per run, gaps up to [`COALESCE_GAP`] read through, runs capped
+    /// at [`COALESCE_MAX`] bytes), decoded into the staging panel chunk by
+    /// chunk and scanned with the same register-blocked kernel — then the
+    /// scores are scattered back to the caller's slot order. Each row's dot
+    /// product is an independent accumulator chain, so neither the sort nor
+    /// the panel position changes a single bit of any score.
+    fn scan_f32_rows_pread(
+        &self,
+        query: &[f32],
+        rows: &[u32],
+        scratch: &mut StoreScratch,
+        out: &mut [f32],
+    ) {
+        let dim = self.dim;
+        let row_bytes = dim * 4;
+        let StoreScratch {
+            bytes,
+            panel,
+            pairs,
+            scores,
+        } = scratch;
+        sort_gather_pairs(rows, pairs);
+        for chunk in pairs.chunks(STAGE_ROWS) {
+            panel.resize(chunk.len() * dim, 0.0);
+            scores.resize(chunk.len(), 0.0);
+            let mut start = 0usize;
+            while start < chunk.len() {
+                let end = coalesced_run_end(chunk, start, row_bytes);
+                let first = chunk[start].0;
+                let span = (chunk[end - 1].0 - first) as usize * row_bytes + row_bytes;
+                bytes.resize(span, 0);
+                self.source
+                    .read_into(
+                        self.panel_offset + u64::from(first) * row_bytes as u64,
+                        bytes,
+                    )
+                    .unwrap_or_else(|e| panic!("container read failed mid-search: {e}"));
+                for (slot, &(row, _)) in chunk.iter().enumerate().take(end).skip(start) {
+                    let rel = (row - first) as usize * row_bytes;
+                    decode_f32s(
+                        &bytes[rel..rel + row_bytes],
+                        &mut panel[slot * dim..(slot + 1) * dim],
+                    );
+                }
+                start = end;
+            }
+            kernel::scan_block(
+                query,
+                &panel[..chunk.len() * dim],
+                dim,
+                &mut scores[..chunk.len()],
+            );
+            for (&(_, slot), &score) in chunk.iter().zip(scores.iter()) {
+                out[slot as usize] = score;
+            }
+        }
+    }
+
+    /// The pread form of [`ListStore::scan_code_rows`]: same sort + coalesce
+    /// as the f32 gather, with the integer ADC computed straight off the
+    /// staged run bytes (integer accumulation is order-independent per row).
+    fn scan_code_rows_pread(
+        &self,
+        lut: &[i16],
+        base: f32,
+        step: f32,
+        rows: &[u32],
+        scratch: &mut StoreScratch,
+        out: &mut [f32],
+    ) {
+        let dim = self.dim;
+        let codes_offset = self.codes_offset.expect("mapped store has no SQ8 codes");
+        let StoreScratch { bytes, pairs, .. } = scratch;
+        sort_gather_pairs(rows, pairs);
+        let mut start = 0usize;
+        while start < pairs.len() {
+            let end = coalesced_run_end(pairs, start, dim);
+            let first = pairs[start].0;
+            let span = (pairs[end - 1].0 - first) as usize * dim + dim;
+            bytes.resize(span, 0);
+            self.source
+                .read_into(codes_offset + u64::from(first) * dim as u64, bytes)
+                .unwrap_or_else(|e| panic!("container read failed mid-search: {e}"));
+            for &(row, slot) in &pairs[start..end] {
+                let rel = (row - first) as usize * dim;
+                out[slot as usize] =
+                    base + step * quantized::adc_int(lut, &bytes[rel..rel + dim]) as f32;
+            }
+            start = end;
+        }
+    }
+}
+
+/// Fills `pairs` with `(row, original slot)` and sorts by row — skipping
+/// the sort when the request is already ascending (inverted lists are).
+fn sort_gather_pairs(rows: &[u32], pairs: &mut Vec<(u32, u32)>) {
+    pairs.clear();
+    pairs.extend(
+        rows.iter()
+            .enumerate()
+            .map(|(slot, &row)| (row, slot as u32)),
+    );
+    if pairs.windows(2).any(|w| w[0].0 > w[1].0) {
+        pairs.sort_unstable();
+    }
+}
+
+/// The end (exclusive) of the coalesced run starting at `start` in
+/// row-sorted `pairs`: rows are merged while the byte gap to the previous
+/// row stays within [`COALESCE_GAP`] and the total span within
+/// [`COALESCE_MAX`]. The first row is always taken, so oversized rows still
+/// make progress.
+fn coalesced_run_end(pairs: &[(u32, u32)], start: usize, row_bytes: usize) -> usize {
+    let first = pairs[start].0;
+    let mut prev = first;
+    let mut end = start + 1;
+    while end < pairs.len() {
+        let next = pairs[end].0;
+        let gap = u64::from(next).saturating_sub(u64::from(prev) + 1) * row_bytes as u64;
+        let span = (next - first) as usize * row_bytes + row_bytes;
+        if gap > COALESCE_GAP || span > COALESCE_MAX {
+            break;
+        }
+        prev = next;
+        end += 1;
+    }
+    end
 }
 
 impl ListStore for MappedStore {
@@ -952,9 +1184,14 @@ impl ListStore for MappedStore {
         // panel and run the same register-blocked kernel scan the in-memory
         // path runs: per-row summation order is fixed by the kernel's lane
         // assignment, so scores are bit-identical to `kernel::scan_gather`
-        // over the resident panel.
+        // over the resident panel. The pread backend additionally sorts and
+        // coalesces the requests (see `scan_f32_rows_pread`) — per-row
+        // independence keeps that bit-identical too.
+        if matches!(self.source, ByteSource::Pread { .. }) {
+            return self.scan_f32_rows_pread(query, rows, scratch, out);
+        }
         let dim = self.dim;
-        let StoreScratch { bytes, panel } = scratch;
+        let StoreScratch { bytes, panel, .. } = scratch;
         for (chunk_idx, chunk) in rows.chunks(STAGE_ROWS).enumerate() {
             panel.resize(chunk.len() * dim, 0.0);
             for (slot, &row) in chunk.iter().enumerate() {
@@ -974,6 +1211,9 @@ impl ListStore for MappedStore {
         scratch: &mut StoreScratch,
         out: &mut [f32],
     ) {
+        if matches!(self.source, ByteSource::Pread { .. }) {
+            return self.scan_code_rows_pread(lut, base, step, rows, scratch, out);
+        }
         for (i, &row) in rows.iter().enumerate() {
             let codes = self.code_row(row, &mut scratch.bytes);
             out[i] = base + step * quantized::adc_int(lut, codes) as f32;
@@ -1008,6 +1248,17 @@ impl ListStore for MappedStore {
             };
             quantized::adc_scan_panel(chunk, dim, lut, base, step, &mut out[row..row + take]);
             row += take;
+        }
+    }
+
+    fn prefetch_f32_rows(&self, rows: &[u32]) {
+        self.source
+            .prefetch_rows(self.panel_offset, self.dim as u64 * 4, rows);
+    }
+
+    fn prefetch_code_rows(&self, rows: &[u32]) {
+        if let Some(offset) = self.codes_offset {
+            self.source.prefetch_rows(offset, self.dim as u64, rows);
         }
     }
 
@@ -1144,6 +1395,365 @@ fn write_sq8_sections(
     w.write_bytes(quantized.codes())?;
     w.end_section()?;
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Streaming builds
+// ---------------------------------------------------------------------------
+
+/// A source of row-major f32 rows for the streaming container builders and
+/// the streaming k-means trainer, pulled in bounded chunks.
+///
+/// The builders sweep the source **several times** (assignment sweeps, the
+/// code-panel sweep, the f32-panel sweep), so implementations must yield
+/// bit-identical values on every call — that is what makes the streamed
+/// container byte-identical to the one-shot save of the same rows.
+pub trait RowSource: Sync {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+
+    /// Dimension of each row.
+    fn dim(&self) -> usize;
+
+    /// Writes rows `start..start + out.len() / dim` into `out`, row-major.
+    fn fill_rows(&self, start: usize, out: &mut [f32]);
+
+    /// A zero-copy view of rows `start..start + count` when the source is
+    /// already resident and contiguous; `None` (the default) makes the
+    /// builders stage the chunk through [`RowSource::fill_rows`] instead.
+    /// Borrowed chunks keep `peak_staging_bytes` at zero.
+    fn borrow_rows(&self, start: usize, count: usize) -> Option<&[f32]> {
+        let _ = (start, count);
+        None
+    }
+}
+
+/// [`RowSource`] over an [`EmbeddingTable`] whose rows are used exactly as
+/// stored (the caller already normalised them). Chunks are borrowed
+/// zero-copy, so streaming builds over resident tables stage nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct TableRows<'a> {
+    table: &'a EmbeddingTable,
+}
+
+impl<'a> TableRows<'a> {
+    /// Wraps `table` (rows are served as stored — normalise first if the
+    /// container is to hold unit rows).
+    pub fn new(table: &'a EmbeddingTable) -> Self {
+        Self { table }
+    }
+}
+
+impl RowSource for TableRows<'_> {
+    fn rows(&self) -> usize {
+        self.table.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    fn fill_rows(&self, start: usize, out: &mut [f32]) {
+        let from = start * self.table.dim();
+        out.copy_from_slice(&self.table.data()[from..from + out.len()]);
+    }
+
+    fn borrow_rows(&self, start: usize, count: usize) -> Option<&[f32]> {
+        let dim = self.table.dim();
+        Some(&self.table.data()[start * dim..(start + count) * dim])
+    }
+}
+
+/// [`RowSource`] that gathers rows of a raw table by index and L2-normalises
+/// each on the fly — the streaming equivalent of
+/// [`EmbeddingTable::gather_normalized`], producing bit-identical rows
+/// without ever materialising the gathered table.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalizedRows<'a> {
+    table: &'a EmbeddingTable,
+    rows: &'a [usize],
+}
+
+impl<'a> NormalizedRows<'a> {
+    /// Serves `rows[i]` of `table`, L2-normalised, as row `i`.
+    ///
+    /// # Panics
+    /// Row indexes are bounds-checked lazily: an out-of-range entry panics
+    /// when the chunk containing it is pulled.
+    pub fn new(table: &'a EmbeddingTable, rows: &'a [usize]) -> Self {
+        Self { table, rows }
+    }
+}
+
+impl RowSource for NormalizedRows<'_> {
+    fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.table.dim()
+    }
+
+    fn fill_rows(&self, start: usize, out: &mut [f32]) {
+        let dim = self.table.dim();
+        if dim == 0 {
+            return;
+        }
+        for (i, chunk) in out.chunks_exact_mut(dim).enumerate() {
+            self.table.normalized_row_into(self.rows[start + i], chunk);
+        }
+    }
+}
+
+/// What a streaming container build did: rows written, full sweeps over the
+/// [`RowSource`], and the peak bytes of chunk-scaled staging buffers.
+///
+/// `peak_staging_bytes` deliberately counts only the buffers that scale
+/// with the configured chunk (the staged row panel and the per-chunk code
+/// buffer) — it is `0` when every chunk was borrowed zero-copy, and bounded
+/// by `O(chunk · dim)` otherwise, independent of corpus row count
+/// (`prop_streaming.rs` pins that). `O(rows)` bookkeeping the *finished*
+/// index also needs (assignments, CSR lists) and `O(nlist · dim)` centroid
+/// state are excluded: bounding the panel-sized staging is what the
+/// streaming path is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingStats {
+    /// Rows written to the container.
+    pub rows: usize,
+    /// Full sweeps over the source: k-means seeding/assignment sweeps plus
+    /// one per streamed section pass.
+    pub passes: usize,
+    /// Peak bytes of chunk-scaled staging buffers (see type docs).
+    pub peak_staging_bytes: usize,
+}
+
+/// Resolves a caller-facing chunk size: `0` means "choose automatically"
+/// ([`DEFAULT_CHUNK_ROWS`]), and the result is clamped to `1..=rows` so
+/// degenerate inputs cannot stall or over-allocate.
+pub(crate) fn resolve_chunk_rows(chunk_rows: usize, rows: usize) -> usize {
+    let chunk = if chunk_rows == 0 {
+        DEFAULT_CHUNK_ROWS
+    } else {
+        chunk_rows
+    };
+    chunk.clamp(1, rows.max(1))
+}
+
+/// Chunk staging of the streaming savers: serves a `count × dim` row-major
+/// view of source rows, borrowing zero-copy when the source allows and
+/// staging through an owned buffer (tracked by [`ChunkStage::panel_bytes`])
+/// otherwise.
+struct ChunkStage {
+    panel: Vec<f32>,
+}
+
+impl ChunkStage {
+    fn new() -> Self {
+        Self { panel: Vec::new() }
+    }
+
+    fn view<'a, S: RowSource + ?Sized>(
+        &'a mut self,
+        source: &'a S,
+        start: usize,
+        count: usize,
+    ) -> &'a [f32] {
+        if let Some(view) = source.borrow_rows(start, count) {
+            return view;
+        }
+        self.panel.resize(count * source.dim(), 0.0);
+        source.fill_rows(start, &mut self.panel);
+        &self.panel
+    }
+
+    /// Bytes currently held by the staging buffer (0 on the borrow path).
+    fn panel_bytes(&self) -> usize {
+        self.panel.len() * 4
+    }
+}
+
+/// Builds an IVF(-SQ8) candidate container at `path` directly from a
+/// [`RowSource`], never materialising the corpus: rows are pulled in
+/// `chunk_rows`-row chunks (0 = [`DEFAULT_CHUNK_ROWS`]) for every sweep —
+/// streaming k-means training, SQ8 grid fit + encode, and the f32 panel
+/// append — so peak staging is `O(chunk · dim)` instead of `O(rows · dim)`.
+///
+/// The resulting file is **byte-identical, checksums included**, to
+/// building [`IvfIndex::build`] on the materialised table and calling
+/// [`IvfIndex::save`] with the same `params`
+/// (`crates/ea-embed/tests/prop_streaming.rs` pins it).
+pub fn save_ivf_streaming<S: RowSource + ?Sized>(
+    source: &S,
+    params: &IvfParams,
+    path: &Path,
+    chunk_rows: usize,
+) -> Result<StreamingStats, StorageError> {
+    save_ivf_streaming_with_sync(source, params, path, chunk_rows, true)
+}
+
+/// [`save_ivf_streaming`] with the fsync made optional (the ephemeral spill
+/// path skips it; see [`IvfIndex::save_with_sync`]).
+pub(crate) fn save_ivf_streaming_with_sync<S: RowSource + ?Sized>(
+    source: &S,
+    params: &IvfParams,
+    path: &Path,
+    chunk_rows: usize,
+    sync: bool,
+) -> Result<StreamingStats, StorageError> {
+    let rows = source.rows();
+    let dim = source.dim();
+    let chunk_rows = resolve_chunk_rows(chunk_rows, rows);
+    // The one-shot build carries no quantized table for an empty corpus even
+    // under Sq8 storage, and its save writes no SQ8 sections then — mirror
+    // that exactly to stay byte-identical.
+    let sq8 = matches!(params.storage, IvfListStorage::Sq8(_)) && rows > 0;
+    let mut grid_fit = sq8.then(|| quantized::Sq8GridFit::new(dim));
+    // Empty corpora (or a resolved nlist of 0) get the same degenerate index
+    // the one-shot build constructs: no centroids, one zero offset, no rows.
+    let train = if rows == 0 || params.resolved_nlist(rows) == 0 {
+        ann::StreamingTrain::empty(dim)
+    } else {
+        ann::train_streaming(source, params, chunk_rows, grid_fit.as_mut())
+    };
+    let (list_offsets, list_rows) =
+        ann::csr_from_assignments(&train.assignments, train.centroids.rows());
+
+    let mut w = ContainerWriter::create(path, dim as u32, rows as u64)?;
+    w.set_sync_on_finish(sync);
+    w.begin_section(SectionKind::Centroids)?;
+    w.write_f32s(train.centroids.data())?;
+    w.end_section()?;
+    w.begin_section(SectionKind::ListOffsets)?;
+    w.write_u32s(&list_offsets)?;
+    w.end_section()?;
+    w.begin_section(SectionKind::ListRows)?;
+    w.write_u32s(&list_rows)?;
+    w.end_section()?;
+
+    let mut passes = train.passes;
+    let mut peak = train.peak_staging_bytes;
+    let mut stage = ChunkStage::new();
+    if let Some(fit) = grid_fit {
+        let (offset, scale) = fit.finish();
+        w.begin_section(SectionKind::Sq8Grid)?;
+        w.write_f32s(&offset)?;
+        w.write_f32s(&scale)?;
+        w.end_section()?;
+        w.begin_section(SectionKind::Sq8Codes)?;
+        let mut codes = Vec::new();
+        for start in (0..rows).step_by(chunk_rows) {
+            let count = chunk_rows.min(rows - start);
+            codes.resize(count * dim, 0u8);
+            let view = stage.view(source, start, count);
+            for r in 0..count {
+                quantized::sq8_encode_row(
+                    &offset,
+                    &scale,
+                    &view[r * dim..(r + 1) * dim],
+                    &mut codes[r * dim..(r + 1) * dim],
+                );
+            }
+            peak = peak.max(stage.panel_bytes() + codes.len());
+            w.write_bytes(&codes)?;
+        }
+        w.end_section()?;
+        passes += 1;
+    }
+
+    w.begin_section(SectionKind::F32Panel)?;
+    for start in (0..rows).step_by(chunk_rows) {
+        let count = chunk_rows.min(rows - start);
+        let view = stage.view(source, start, count);
+        w.write_f32s(view)?;
+        peak = peak.max(stage.panel_bytes());
+    }
+    w.end_section()?;
+    passes += 1;
+
+    w.finish()?;
+    Ok(StreamingStats {
+        rows,
+        passes,
+        peak_staging_bytes: peak,
+    })
+}
+
+/// Builds a flat SQ8 candidate container (grid + codes + f32 panel, no IVF
+/// sections) at `path` directly from a [`RowSource`], in three bounded
+/// sweeps: grid fit, encode, panel append. Byte-identical to
+/// [`QuantizedTable::build`] + [`QuantizedTable::save`] on the materialised
+/// table.
+pub fn save_sq8_streaming<S: RowSource + ?Sized>(
+    source: &S,
+    path: &Path,
+    chunk_rows: usize,
+) -> Result<StreamingStats, StorageError> {
+    save_sq8_streaming_with_sync(source, path, chunk_rows, true)
+}
+
+/// [`save_sq8_streaming`] with the fsync made optional (the ephemeral spill
+/// path skips it).
+pub(crate) fn save_sq8_streaming_with_sync<S: RowSource + ?Sized>(
+    source: &S,
+    path: &Path,
+    chunk_rows: usize,
+    sync: bool,
+) -> Result<StreamingStats, StorageError> {
+    let rows = source.rows();
+    let dim = source.dim();
+    let chunk_rows = resolve_chunk_rows(chunk_rows, rows);
+    let mut stage = ChunkStage::new();
+    let mut peak = 0usize;
+
+    let mut fit = quantized::Sq8GridFit::new(dim);
+    for start in (0..rows).step_by(chunk_rows) {
+        let count = chunk_rows.min(rows - start);
+        let view = stage.view(source, start, count);
+        for r in 0..count {
+            fit.update_row(&view[r * dim..(r + 1) * dim]);
+        }
+        peak = peak.max(stage.panel_bytes());
+    }
+    let (offset, scale) = fit.finish();
+
+    let mut w = ContainerWriter::create(path, dim as u32, rows as u64)?;
+    w.set_sync_on_finish(sync);
+    w.begin_section(SectionKind::Sq8Grid)?;
+    w.write_f32s(&offset)?;
+    w.write_f32s(&scale)?;
+    w.end_section()?;
+    w.begin_section(SectionKind::Sq8Codes)?;
+    let mut codes = Vec::new();
+    for start in (0..rows).step_by(chunk_rows) {
+        let count = chunk_rows.min(rows - start);
+        codes.resize(count * dim, 0u8);
+        let view = stage.view(source, start, count);
+        for r in 0..count {
+            quantized::sq8_encode_row(
+                &offset,
+                &scale,
+                &view[r * dim..(r + 1) * dim],
+                &mut codes[r * dim..(r + 1) * dim],
+            );
+        }
+        peak = peak.max(stage.panel_bytes() + codes.len());
+        w.write_bytes(&codes)?;
+    }
+    w.end_section()?;
+    w.begin_section(SectionKind::F32Panel)?;
+    for start in (0..rows).step_by(chunk_rows) {
+        let count = chunk_rows.min(rows - start);
+        let view = stage.view(source, start, count);
+        w.write_f32s(view)?;
+        peak = peak.max(stage.panel_bytes());
+    }
+    w.end_section()?;
+    w.finish()?;
+    Ok(StreamingStats {
+        rows,
+        passes: 3,
+        peak_staging_bytes: peak,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1387,10 +1997,42 @@ pub enum StoreBacking {
 }
 
 /// Options of [`StoreBacking::Mapped`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MappedOptions {
     /// Directory for the spill container (`std::env::temp_dir()` if `None`).
     pub dir: Option<PathBuf>,
+    /// Read the spill through mmap when the platform grants one (`true`,
+    /// the default); `false` forces the coalesced-pread backend. Overridden
+    /// either way by `EXEA_MAPPED_BACKEND=mmap|pread` when set, so CI and
+    /// benches can force the cold path without touching code. Results are
+    /// bit-identical across both backends.
+    pub prefer_mmap: bool,
+}
+
+impl Default for MappedOptions {
+    fn default() -> Self {
+        Self {
+            dir: None,
+            prefer_mmap: true,
+        }
+    }
+}
+
+/// The process-wide backend override: `EXEA_MAPPED_BACKEND=mmap` forces
+/// mapped reads, `=pread` the coalesced positional-read path; unset or empty
+/// defers to [`MappedOptions::prefer_mmap`].
+///
+/// # Panics
+/// Panics on any other value — like `EXEA_CANDIDATE_SEARCH`, a typo'd
+/// override must not silently benchmark the wrong backend.
+fn mapped_backend_override() -> Option<bool> {
+    match std::env::var("EXEA_MAPPED_BACKEND") {
+        Err(_) => None,
+        Ok(v) if v.is_empty() => None,
+        Ok(v) if v == "mmap" => Some(true),
+        Ok(v) if v == "pread" => Some(false),
+        Ok(v) => panic!("unknown EXEA_MAPPED_BACKEND value {v:?} (expected \"mmap\" or \"pread\")"),
+    }
 }
 
 /// Monotone spill-file counter: names stay unique within a process even
@@ -1438,7 +2080,7 @@ pub(crate) fn with_spilled_index<T>(
         let mapped = MappedIndex::open_with(
             path,
             &OpenOptions {
-                prefer_mmap: true,
+                prefer_mmap: mapped_backend_override().unwrap_or(options.prefer_mmap),
                 verify: false,
             },
         )?;
@@ -1516,6 +2158,65 @@ mod tests {
             Err(StorageError::Corrupt { .. })
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unfinished_writers_clean_up_their_file() {
+        // An error return, a panic, or plain abandonment before `finish`
+        // must not leave a torso container behind.
+        let path = temp("raii-abandoned");
+        {
+            let mut w = ContainerWriter::create(&path, 2, 1).unwrap();
+            w.begin_section(SectionKind::F32Panel).unwrap();
+            w.write_f32s(&[1.0, 2.0]).unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "dropped unfinished writer left {path:?}");
+
+        // A finished writer leaves its file alone.
+        let path = temp("raii-finished");
+        let mut w = ContainerWriter::create(&path, 1, 0).unwrap();
+        w.begin_section(SectionKind::F32Panel).unwrap();
+        w.end_section().unwrap();
+        w.finish().unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gather_pairs_sort_only_when_needed() {
+        let mut pairs = Vec::new();
+        sort_gather_pairs(&[3, 1, 4, 1], &mut pairs);
+        assert_eq!(pairs, vec![(1, 1), (1, 3), (3, 0), (4, 2)]);
+        sort_gather_pairs(&[2, 5, 9], &mut pairs);
+        assert_eq!(pairs, vec![(2, 0), (5, 1), (9, 2)]);
+    }
+
+    #[test]
+    fn coalesced_runs_respect_gap_and_span_caps() {
+        let row_bytes = 1024usize;
+        // Adjacent + small-gap rows merge; a gap beyond COALESCE_GAP splits.
+        let far = (COALESCE_GAP / row_bytes as u64) as u32 + 2;
+        let pairs: Vec<(u32, u32)> = [0u32, 1, 2, 2 + far].iter().map(|&r| (r, 0)).collect();
+        assert_eq!(coalesced_run_end(&pairs, 0, row_bytes), 3);
+        assert_eq!(coalesced_run_end(&pairs, 3, row_bytes), 4);
+        // The span cap bounds a dense run even with zero gaps.
+        let dense: Vec<(u32, u32)> = (0..4096u32).map(|r| (r, 0)).collect();
+        let end = coalesced_run_end(&dense, 0, row_bytes);
+        assert!(end * row_bytes <= COALESCE_MAX);
+        assert!(end > 1);
+        // A single oversized row still makes progress.
+        assert_eq!(coalesced_run_end(&[(7, 0)], 0, 2 * COALESCE_MAX), 1);
+    }
+
+    #[test]
+    fn resolved_chunk_rows_are_clamped() {
+        assert_eq!(resolve_chunk_rows(0, 100_000), DEFAULT_CHUNK_ROWS);
+        assert_eq!(resolve_chunk_rows(0, 10), 10);
+        assert_eq!(resolve_chunk_rows(64, 10), 10);
+        assert_eq!(resolve_chunk_rows(3, 10), 3);
+        assert_eq!(resolve_chunk_rows(5, 0), 1);
+        assert_eq!(resolve_chunk_rows(0, 0), 1);
     }
 
     #[test]

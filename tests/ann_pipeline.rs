@@ -14,7 +14,17 @@ fn exhaustive_ivf_pipeline_reproduces_exact_repair_and_verification() {
     let pair = load(DatasetName::ZhEn, DatasetScale::Small);
     let trained = build_model(ModelKind::MTransE, TrainConfig::fast()).train(&pair);
 
-    let exact = ExEa::new(&pair, &trained, ExeaConfig::default());
+    // Pin the baseline to the exact scan explicitly: the config default is
+    // env-overridable (EXEA_CANDIDATE_SEARCH), and a partial-probing override
+    // would silently change what this test compares against.
+    let exact = ExEa::new(
+        &pair,
+        &trained,
+        ExeaConfig {
+            candidate_search: CandidateSearch::Exact,
+            ..ExeaConfig::default()
+        },
+    );
     let ivf = ExEa::new(
         &pair,
         &trained,

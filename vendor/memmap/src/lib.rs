@@ -61,6 +61,47 @@ mod sys {
     }
 }
 
+#[cfg(target_os = "linux")]
+mod fadvise {
+    use std::os::raw::c_int;
+
+    pub const POSIX_FADV_WILLNEED: c_int = 3;
+
+    extern "C" {
+        // off_t is 64-bit on every linux target Rust supports (LFS is the
+        // default ABI for the glibc/musl versions std links against).
+        pub fn posix_fadvise(fd: c_int, offset: i64, len: i64, advice: c_int) -> c_int;
+    }
+}
+
+/// Advises the kernel that `len` bytes of `file` starting at `offset` will
+/// be read soon (`posix_fadvise(POSIX_FADV_WILLNEED)`), kicking off
+/// readahead so the following positional reads hit the page cache.
+///
+/// Purely a hint: on non-linux platforms, or when the kernel rejects the
+/// advice (pipes, sealed sandboxes), this is a silent no-op — correctness
+/// never depends on it. Ranges past EOF are clamped by the kernel.
+#[cfg(target_os = "linux")]
+pub fn advise_willneed(file: &std::fs::File, offset: u64, len: u64) {
+    use std::os::unix::io::AsRawFd;
+    let (Ok(offset), Ok(len)) = (i64::try_from(offset), i64::try_from(len)) else {
+        return;
+    };
+    if len == 0 {
+        return;
+    }
+    // SAFETY: posix_fadvise only reads its arguments; an invalid range or fd
+    // yields an error return we deliberately ignore (advisory only).
+    unsafe {
+        fadvise::posix_fadvise(file.as_raw_fd(), offset, len, fadvise::POSIX_FADV_WILLNEED);
+    }
+}
+
+/// See the linux variant; readahead advice is unavailable here, so this is
+/// a no-op that keeps call sites platform-independent.
+#[cfg(not(target_os = "linux"))]
+pub fn advise_willneed(_file: &std::fs::File, _offset: u64, _len: u64) {}
+
 impl Mmap {
     /// Maps the whole of `file` read-only.
     ///
@@ -172,6 +213,23 @@ mod tests {
         assert!(!map.is_empty());
         assert_eq!(&map[..], &payload[..]);
         drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn advise_willneed_is_a_harmless_hint() {
+        let path = temp_path("advise");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[0u8; 4096])
+            .unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        // None of these may panic or corrupt anything: in-range, past-EOF,
+        // zero-length, and unrepresentable ranges are all just hints.
+        advise_willneed(&file, 0, 4096);
+        advise_willneed(&file, 1 << 40, 4096);
+        advise_willneed(&file, 0, 0);
+        advise_willneed(&file, u64::MAX, u64::MAX);
         std::fs::remove_file(&path).unwrap();
     }
 
