@@ -21,6 +21,7 @@
 //!   ann      exact scan vs IVF pre-filter (recall/speed across nprobe)
 //!   sq8      exact scan vs SQ8 quantized scan + exact re-rank (recall/speed)
 //!   ondisk   in-memory vs mmap/pread-backed candidate store (resident bytes)
+//!   shard    exact scan vs sharded scatter-gather (recall across routed shards)
 //!   all      run everything above in sequence
 //! ```
 //!
@@ -85,7 +86,7 @@ fn run(experiment: Experiment, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|sq8|ondisk|all> \
+        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|sq8|ondisk|shard|all> \
          [--scale small|bench|paper] [--samples N]"
     );
 }

@@ -31,10 +31,13 @@ pub struct ExeaConfig {
     pub top_k: usize,
     /// How candidate lists (and the initial greedy prediction) are produced:
     /// the exact blocked scan, the IVF approximate pre-filter
-    /// ([`CandidateSearch::Ivf`], optionally with SQ8 list storage) or the
+    /// ([`CandidateSearch::Ivf`], optionally with SQ8 list storage), the
     /// SQ8 quantized scan ([`CandidateSearch::Sq8`]) for corpora where the
-    /// exact O(n_s·n_t) sweep dominates. At `nprobe = nlist` /
-    /// `rerank_factor = usize::MAX` the approximate paths are bit-identical
+    /// exact O(n_s·n_t) sweep dominates, or the sharded scatter-gather
+    /// engine ([`CandidateSearch::Sharded`]) that fans the corpus over
+    /// per-shard containers and merges their partial top-k lists. At
+    /// `nprobe = nlist` / `rerank_factor = usize::MAX` (and, for shards,
+    /// `route_shards = nshards`) the approximate paths are bit-identical
     /// to the exact one; below that they trade recall for query time, but
     /// every score they do return is still the bit-exact f32 dot (see the
     /// README's recall/speed tables).

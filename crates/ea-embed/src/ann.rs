@@ -42,16 +42,18 @@
 //! The [`CandidateSearch`] strategy enum (implementing the [`CandidateSource`]
 //! trait) is what consumers store in their configs to switch exact ↔ ANN.
 
-use crate::candidates::{CandidateIndex, Ranked, TopK};
+use crate::candidates::CandidateIndex;
 use crate::embedding::EmbeddingTable;
 use crate::kernel;
 use crate::quantized::{
     sq8_candidate_index, sq8_select_and_rerank, QuantizedTable, Sq8GridFit, Sq8Params, Sq8Scratch,
 };
+use crate::shard::{self, ShardParams};
 use crate::storage::{
     self, InMemory, ListStore, MappedOptions, RowSource, StorageError, StoreBacking,
     StreamingStats, TableRows,
 };
+use crate::topk::{Ranked, TopK};
 use crate::vector;
 use ea_graph::EntityId;
 use rand::seq::SliceRandom;
@@ -416,6 +418,12 @@ impl IvfIndex {
     /// degenerate cluster).
     pub fn centroid(&self, c: usize) -> &[f32] {
         self.centroids.row(c)
+    }
+
+    /// The full centroid panel — what the shard router scans to rank shards
+    /// by IVF-centroid proximity.
+    pub(crate) fn centroid_panel(&self) -> &EmbeddingTable {
+        &self.centroids
     }
 
     /// Number of corpus rows filed in list `c`.
@@ -1127,6 +1135,13 @@ pub enum CandidateSearch {
     /// exact kernel re-scores them — returned scores stay bit-exact f32
     /// dots (subset-only approximation, like IVF).
     Sq8(Sq8Params),
+    /// The sharded scatter-gather engine ([`crate::ShardedIndex`]): the
+    /// corpus splits into independently built per-shard IVF engines
+    /// (resident or per-shard on-disk containers), a router ranks shards by
+    /// centroid proximity, and per-shard partial top-k lists are
+    /// deterministically merged — bit-identical to a single-shard build
+    /// when every shard is routed, subset-only below that.
+    Sharded(ShardParams),
 }
 
 impl CandidateSearch {
@@ -1137,7 +1152,11 @@ impl CandidateSearch {
     /// `ivf-sq8` (each with default parameters), plus `ivf-mapped`,
     /// `sq8-mapped` and `ivf-sq8-mapped` (same engines with their panels
     /// spilled to an on-disk container and searched through the mapped
-    /// store); unset or empty means [`CandidateSearch::Exact`].
+    /// store), plus the scatter-gather shard layer over the same four IVF
+    /// engines: `sharded-ivf`, `sharded-ivf-sq8`, `sharded-ivf-mapped` and
+    /// `sharded-ivf-sq8-mapped` (default [`ShardParams`]: auto shard count,
+    /// every shard routed); unset or empty means
+    /// [`CandidateSearch::Exact`].
     ///
     /// Config `Default` impls ([`ExeaConfig`](https://docs.rs/exea-core),
     /// `TrainConfig`) call this instead of hard-coding `Exact`; explicitly
@@ -1153,8 +1172,10 @@ impl CandidateSearch {
             Ok(value) => Self::parse_override(&value).unwrap_or_else(|| {
                 panic!(
                     "unrecognised EXEA_CANDIDATE_SEARCH value {value:?} \
-                     (expected exact, ivf, sq8, ivf-sq8 or one of \
-                     ivf-mapped, sq8-mapped, ivf-sq8-mapped)"
+                     (expected exact, ivf, sq8, ivf-sq8, one of \
+                     ivf-mapped, sq8-mapped, ivf-sq8-mapped, or one of \
+                     sharded-ivf, sharded-ivf-sq8, sharded-ivf-mapped, \
+                     sharded-ivf-sq8-mapped)"
                 )
             }),
         }
@@ -1188,6 +1209,29 @@ impl CandidateSearch {
                 backing: mapped,
                 ..IvfParams::default()
             }),
+            "sharded-ivf" => CandidateSearch::Sharded(ShardParams::default()),
+            "sharded-ivf-sq8" => CandidateSearch::Sharded(ShardParams {
+                ivf: IvfParams {
+                    storage: IvfListStorage::Sq8(Sq8Params::default()),
+                    ..IvfParams::default()
+                },
+                ..ShardParams::default()
+            }),
+            "sharded-ivf-mapped" => CandidateSearch::Sharded(ShardParams {
+                ivf: IvfParams {
+                    backing: mapped,
+                    ..IvfParams::default()
+                },
+                ..ShardParams::default()
+            }),
+            "sharded-ivf-sq8-mapped" => CandidateSearch::Sharded(ShardParams {
+                ivf: IvfParams {
+                    storage: IvfListStorage::Sq8(Sq8Params::default()),
+                    backing: mapped,
+                    ..IvfParams::default()
+                },
+                ..ShardParams::default()
+            }),
             _ => return None,
         })
     }
@@ -1210,6 +1254,15 @@ impl CandidateSource for CandidateSearch {
                 StoreBacking::InMemory => "sq8",
                 StoreBacking::Mapped(_) => "sq8-mapped",
             },
+            CandidateSearch::Sharded(params) => {
+                let mapped = matches!(params.ivf.backing, StoreBacking::Mapped(_));
+                match (&params.ivf.storage, mapped) {
+                    (IvfListStorage::Flat, false) => "sharded-ivf",
+                    (IvfListStorage::Flat, true) => "sharded-ivf-mapped",
+                    (IvfListStorage::Sq8(_), false) => "sharded-ivf-sq8",
+                    (IvfListStorage::Sq8(_), true) => "sharded-ivf-sq8-mapped",
+                }
+            }
         }
     }
 
@@ -1235,6 +1288,15 @@ impl CandidateSource for CandidateSearch {
                 params,
             ),
             CandidateSearch::Sq8(params) => sq8_candidate_index(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+                false,
+                params,
+            ),
+            CandidateSearch::Sharded(params) => shard::sharded_candidate_index(
                 source_table,
                 source_ids,
                 target_table,
@@ -1272,6 +1334,15 @@ impl CandidateSource for CandidateSearch {
                 params,
             ),
             CandidateSearch::Sq8(params) => sq8_candidate_index(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+                true,
+                params,
+            ),
+            CandidateSearch::Sharded(params) => shard::sharded_candidate_index(
                 source_table,
                 source_ids,
                 target_table,
@@ -1561,6 +1632,70 @@ mod tests {
             let b = ivf.best_source_for_target(t_id).unwrap();
             assert_eq!(a.0, b.0);
             assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_override_values_parse_strictly() {
+        for (value, mapped, sq8) in [
+            ("sharded-ivf", false, false),
+            ("sharded-ivf-sq8", false, true),
+            ("sharded-ivf-mapped", true, false),
+            ("sharded-ivf-sq8-mapped", true, true),
+        ] {
+            let parsed = CandidateSearch::parse_override(value)
+                .unwrap_or_else(|| panic!("{value} must parse"));
+            assert_eq!(parsed.name(), value);
+            let CandidateSearch::Sharded(params) = &parsed else {
+                panic!("{value} must parse to Sharded");
+            };
+            // Defaults keep the override validation-safe: auto shard count,
+            // every shard routed — bit-identical to the unsharded engine.
+            assert_eq!((params.nshards, params.route_shards), (0, 0));
+            assert_eq!(
+                matches!(params.ivf.backing, StoreBacking::Mapped(_)),
+                mapped
+            );
+            assert_eq!(matches!(params.ivf.storage, IvfListStorage::Sq8(_)), sq8);
+        }
+        for typo in ["sharded", "sharded-sq8", "sharded-exact", "ivf-sharded"] {
+            assert_eq!(CandidateSearch::parse_override(typo), None, "{typo}");
+        }
+    }
+
+    #[test]
+    fn sharded_strategy_with_exhaustive_engines_matches_exact() {
+        use crate::shard::{ShardParams, ShardPartition};
+        use ea_graph::EntityId;
+        let s = random_table(31, 28, 6);
+        let t = random_table(32, 45, 6);
+        let sids: Vec<EntityId> = (0..28).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..45).map(EntityId).collect();
+        let exact = CandidateSearch::Exact.bidirectional_index(&s, &sids, &t, &tids, 4);
+        for partition in [ShardPartition::Clustered, ShardPartition::Contiguous] {
+            let params = ShardParams {
+                nshards: 3,
+                partition,
+                ..ShardParams::exhaustive()
+            };
+            let sharded =
+                CandidateSearch::Sharded(params).bidirectional_index(&s, &sids, &t, &tids, 4);
+            assert!(sharded.has_reverse());
+            for i in 0..28 {
+                let a: Vec<(EntityId, u32)> =
+                    exact.candidates(i).map(|(e, s)| (e, s.to_bits())).collect();
+                let b: Vec<(EntityId, u32)> = sharded
+                    .candidates(i)
+                    .map(|(e, s)| (e, s.to_bits()))
+                    .collect();
+                assert_eq!(a, b, "row {i}: exhaustive sharded must equal exact");
+            }
+            for &t_id in &tids {
+                let a = exact.best_source_for_target(t_id).unwrap();
+                let b = sharded.best_source_for_target(t_id).unwrap();
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
         }
     }
 }

@@ -37,11 +37,11 @@
 //! that re-ranking cannot pull in targets that were outside the raw top-k.
 
 use crate::embedding::EmbeddingTable;
-use crate::{kernel, order};
+use crate::kernel;
+use crate::topk::{Ranked, TopK};
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
 use rayon::prelude::*;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::ops::Range;
 
 /// Default number of source rows per parallel work block.
@@ -49,93 +49,6 @@ const DEFAULT_ROW_TILE: usize = 128;
 /// Default number of target columns per cache tile: the tile's normalised
 /// target rows stay hot while every source row of the block scans them.
 const DEFAULT_COL_TILE: usize = 256;
-
-/// One scored candidate: a column (or row) index plus its similarity.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Ranked {
-    pub(crate) score: f32,
-    pub(crate) index: u32,
-}
-
-impl Ranked {
-    /// Canonical candidate order: descending score ([`order::desc_f32`], so
-    /// NaN scores rank strictly last), ties broken by ascending index.
-    /// `Less` means `self` ranks earlier (is the better candidate). This is
-    /// the strict total order the dense ranking sorts with, so selections
-    /// made under it match the dense reference exactly, including tie-breaks
-    /// — and, being a total order, the selected set is independent of the
-    /// order candidates are pushed in (the property the IVF pre-filter's
-    /// list-order scans rely on).
-    pub(crate) fn rank_cmp(&self, other: &Ranked) -> Ordering {
-        order::desc_f32(self.score, other.score).then(self.index.cmp(&other.index))
-    }
-}
-
-/// Max-heap wrapper whose greatest element is the *worst*-ranked candidate,
-/// so `peek`/`pop` expose the eviction victim of bounded top-k selection.
-pub(crate) struct Worst(pub(crate) Ranked);
-
-impl PartialEq for Worst {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Worst {}
-impl PartialOrd for Worst {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Worst {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.0.rank_cmp(&other.0)
-    }
-}
-
-/// Bounded top-k selector backed by a binary heap of the kept candidates,
-/// worst on top. Because [`Ranked::rank_cmp`] is a strict total order, the
-/// kept set (and its sorted drain) is a pure function of the pushed
-/// candidates — push order never matters.
-pub(crate) struct TopK {
-    cap: usize,
-    heap: BinaryHeap<Worst>,
-}
-
-impl TopK {
-    pub(crate) fn new(cap: usize) -> Self {
-        Self {
-            cap,
-            heap: BinaryHeap::with_capacity(cap.saturating_add(1)),
-        }
-    }
-
-    /// Number of candidates currently kept.
-    pub(crate) fn kept(&self) -> usize {
-        self.heap.len()
-    }
-
-    pub(crate) fn push(&mut self, score: f32, index: u32) {
-        if self.cap == 0 {
-            return;
-        }
-        let entry = Ranked { score, index };
-        if self.heap.len() < self.cap {
-            self.heap.push(Worst(entry));
-        } else if let Some(worst) = self.heap.peek() {
-            if entry.rank_cmp(&worst.0) == Ordering::Less {
-                self.heap.pop();
-                self.heap.push(Worst(entry));
-            }
-        }
-    }
-
-    /// Drains the heap into a best-first list.
-    pub(crate) fn into_sorted(self) -> Vec<Ranked> {
-        let mut entries: Vec<Ranked> = self.heap.into_iter().map(|w| w.0).collect();
-        entries.sort_unstable_by(|a, b| a.rank_cmp(b));
-        entries
-    }
-}
 
 /// Scans one block of query rows against the whole corpus in column tiles,
 /// keeping the per-row top-`cap` candidates. Pure function of its inputs:

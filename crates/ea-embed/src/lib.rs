@@ -38,6 +38,18 @@
 //!   4× fewer bytes per candidate, and exact re-ranking of the approximate
 //!   top `rerank_factor · k` so returned scores stay bit-exact f32 dots
 //!   ([`CandidateSearch::Sq8`]).
+//! * [`topk`] — the shared bounded top-k selector every engine ranks with,
+//!   plus the deterministic order-preserving merge of best-first partial
+//!   lists that makes per-shard (and per-block) results composable: merging
+//!   partials through a [`topk::TopK`] selects bit for bit what one global
+//!   selector over the union would.
+//! * [`shard`] — horizontal scale-out: [`ShardedIndex`] splits the corpus
+//!   into N independently built per-shard engines (in-memory or on-disk
+//!   containers), a [`ShardRouter`] ranks shards by IVF-centroid proximity
+//!   so most queries probe few shards, and scatter-gather execution fans the
+//!   shards over rayon and heap-merges the partial lists — bit-identical to
+//!   a single-shard build when every shard is routed
+//!   ([`CandidateSearch::Sharded`]).
 //! * [`order`] — NaN-safe total-order comparators every ranking sorts with.
 //! * [`storage`] — the out-of-core candidate store: a versioned, checksummed
 //!   on-disk container for IVF lists, SQ8 code panels and the normalised f32
@@ -67,8 +79,10 @@ pub mod optimizer;
 pub mod order;
 pub mod quantized;
 pub mod sampling;
+pub mod shard;
 pub mod similarity;
 pub mod storage;
+pub mod topk;
 pub mod vector;
 
 pub use ann::{CandidateSearch, CandidateSource, IvfIndex, IvfListStorage, IvfParams, IvfSeeding};
@@ -77,6 +91,7 @@ pub use embedding::EmbeddingTable;
 pub use optimizer::{Adagrad, Optimizer, Sgd};
 pub use quantized::{QuantizedTable, Sq8Params};
 pub use sampling::{HardNegativeCache, NegativeSampler, Negatives};
+pub use shard::{ShardParams, ShardPartition, ShardRouter, ShardedIndex};
 pub use similarity::{greedy_alignment, select_top_k_by, top_k_targets, SimilarityMatrix};
 pub use storage::{
     save_ivf_streaming, save_sq8_streaming, InMemory, ListStore, MappedIndex, MappedOptions,

@@ -39,12 +39,13 @@
 //! quantized scan) or [`IvfListStorage::Sq8`](crate::IvfListStorage) (IVF-SQ:
 //! quantized inverted-list scans inside [`crate::IvfIndex`]).
 
-use crate::candidates::{CandidateIndex, Ranked, TopK};
+use crate::candidates::CandidateIndex;
 use crate::embedding::EmbeddingTable;
 use crate::kernel;
 use crate::storage::{
     self, InMemory, ListStore, StorageError, StoreBacking, StoreScratch, TableRows,
 };
+use crate::topk::{Ranked, TopK};
 use ea_graph::EntityId;
 use rayon::prelude::*;
 

@@ -145,6 +145,47 @@ pub enum StorageError {
         /// Expected-vs-found description.
         detail: String,
     },
+    /// Any of the above, tagged with the container file it concerns. Every
+    /// [`MappedIndex::open`] failure carries this wrapper so that multi-file
+    /// deployments (N shard containers) can tell *which* file failed, not
+    /// just which section inside it.
+    AtPath {
+        /// The container file the error concerns.
+        path: PathBuf,
+        /// The underlying failure.
+        source: Box<StorageError>,
+    },
+}
+
+impl StorageError {
+    /// Tags the error with the container file it concerns (idempotent: an
+    /// already-tagged error keeps its original path).
+    pub fn at_path(self, path: &Path) -> StorageError {
+        match self {
+            StorageError::AtPath { .. } => self,
+            other => StorageError::AtPath {
+                path: path.to_path_buf(),
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The underlying error with any [`StorageError::AtPath`] context
+    /// stripped — what section-level matchers should inspect.
+    pub fn root(&self) -> &StorageError {
+        match self {
+            StorageError::AtPath { source, .. } => source.root(),
+            other => other,
+        }
+    }
+
+    /// The container file the error concerns, when known.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            StorageError::AtPath { path, .. } => Some(path),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -173,6 +214,9 @@ impl fmt::Display for StorageError {
             StorageError::ShapeMismatch { section, detail } => {
                 write!(f, "section {section:?} shape mismatch: {detail}")
             }
+            StorageError::AtPath { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
         }
     }
 }
@@ -181,6 +225,7 @@ impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
+            StorageError::AtPath { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -1782,8 +1827,15 @@ impl MappedIndex {
     /// Opens a container, validating header, section table, checksums (per
     /// [`OpenOptions::verify`]) and every section's shape against the
     /// header's `rows`/`dim` — corrupt input yields a [`StorageError`]
-    /// naming the section, never a panic.
+    /// naming the section, never a panic. Every error is wrapped in
+    /// [`StorageError::AtPath`] naming the container file, so callers
+    /// juggling many containers (shard sets) can tell which one failed;
+    /// match the underlying variant via [`StorageError::root`].
     pub fn open_with(path: &Path, options: &OpenOptions) -> Result<MappedIndex, StorageError> {
+        Self::open_impl(path, options).map_err(|e| e.at_path(path))
+    }
+
+    fn open_impl(path: &Path, options: &OpenOptions) -> Result<MappedIndex, StorageError> {
         let container = Container::open(path, options)?;
         let (dim, rows) = (container.dim, container.rows);
         let stored_bytes = container.source.len();
@@ -2042,12 +2094,37 @@ static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// Removes the spill container when dropped — including during a panic
 /// unwind out of the search closure, so a failed mapped search cannot leave
 /// an O(rows · dim) file behind in the temp dir.
-struct SpillGuard(PathBuf);
+#[derive(Debug)]
+pub(crate) struct SpillGuard(PathBuf);
+
+impl SpillGuard {
+    /// The spill file this guard owns.
+    pub(crate) fn path(&self) -> &Path {
+        &self.0
+    }
+}
 
 impl Drop for SpillGuard {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.0);
     }
+}
+
+/// Reserves a process-unique spill path under `options.dir` (or the temp
+/// dir); the file is removed when the returned guard drops.
+pub(crate) fn new_spill(options: &MappedOptions) -> SpillGuard {
+    let dir = options.dir.clone().unwrap_or_else(std::env::temp_dir);
+    SpillGuard(dir.join(format!(
+        "exea-spill-{}-{}.eacg",
+        std::process::id(),
+        SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+    )))
+}
+
+/// The backend a mapped open should use once the `EXEA_MAPPED_BACKEND`
+/// process override is folded in.
+pub(crate) fn resolved_prefer_mmap(options: &MappedOptions) -> bool {
+    mapped_backend_override().unwrap_or(options.prefer_mmap)
 }
 
 /// Saves a container via `save`, opens it mapped, runs `search` against the
@@ -2065,13 +2142,8 @@ pub(crate) fn with_spilled_index<T>(
     save: impl FnOnce(&Path) -> Result<(), StorageError>,
     search: impl FnOnce(&MappedIndex) -> T,
 ) -> T {
-    let dir = options.dir.clone().unwrap_or_else(std::env::temp_dir);
-    let guard = SpillGuard(dir.join(format!(
-        "exea-spill-{}-{}.eacg",
-        std::process::id(),
-        SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
-    )));
-    let path = guard.0.as_path();
+    let guard = new_spill(options);
+    let path = guard.path();
     let result = (|| -> Result<T, StorageError> {
         save(path)?;
         // The container was just written by this process, so skip re-hashing
@@ -2080,7 +2152,7 @@ pub(crate) fn with_spilled_index<T>(
         let mapped = MappedIndex::open_with(
             path,
             &OpenOptions {
-                prefer_mmap: mapped_backend_override().unwrap_or(options.prefer_mmap),
+                prefer_mmap: resolved_prefer_mmap(options),
                 verify: false,
             },
         )?;

@@ -356,14 +356,18 @@ fn missing_sections_are_reported_by_name() {
 }
 
 #[test]
-fn open_reports_version_and_magic_errors() {
+fn open_reports_version_and_magic_errors_with_the_container_path() {
     let file = TempFile::new("magic");
-    // Random bytes long enough to parse: bad magic.
+    // Random bytes long enough to parse: bad magic, wrapped with the path
+    // of the offending container (the only way to tell shard files apart).
     std::fs::write(&file.0, vec![7u8; 256]).unwrap();
-    assert!(matches!(
-        MappedIndex::open(&file.0),
-        Err(StorageError::BadMagic)
-    ));
+    let err = MappedIndex::open(&file.0).unwrap_err();
+    assert!(matches!(err.root(), StorageError::BadMagic));
+    assert_eq!(err.path(), Some(file.0.as_path()));
+    assert!(
+        err.to_string().contains(&file.0.display().to_string()),
+        "error must name the container file: {err}"
+    );
     // A future version: rejected with the version found.
     let corpus = normalized(3, 4, 3);
     let quantized = QuantizedTable::build(&corpus);
@@ -371,8 +375,7 @@ fn open_reports_version_and_magic_errors() {
     let mut bytes = std::fs::read(&file.0).unwrap();
     bytes[8] = 99; // version field, little-endian low byte
     std::fs::write(&file.0, &bytes).unwrap();
-    assert!(matches!(
-        MappedIndex::open(&file.0),
-        Err(StorageError::BadVersion { found: 99 })
-    ));
+    let err = MappedIndex::open(&file.0).unwrap_err();
+    assert!(matches!(err.root(), StorageError::BadVersion { found: 99 }));
+    assert_eq!(err.path(), Some(file.0.as_path()));
 }

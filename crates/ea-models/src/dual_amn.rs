@@ -253,9 +253,10 @@ fn mutual_anchor_candidates(
     // forward lists, best source per target from the reverse lists — no
     // dense n_s × n_t matrix, no quadratic rescan. Ties resolve to the
     // earliest row/column, like the dense scans did. The configured
-    // `CandidateSearch` decides whether the lists come from the exact scan
-    // or the IVF pre-filter (approximate mining trades a few anchors for a
-    // sub-quadratic sweep; at `nprobe = nlist` it is bit-identical).
+    // `CandidateSearch` decides whether the lists come from the exact scan,
+    // the IVF pre-filter or the sharded scatter-gather engine (approximate
+    // mining trades a few anchors for a sub-quadratic sweep; at
+    // `nprobe = nlist` / full routing it is bit-identical).
     use ea_embed::CandidateSource as _;
     let index = search.bidirectional_index(source_out, &sources, target_out, &targets, 1);
     let mut pseudo = Vec::new();
