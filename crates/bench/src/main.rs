@@ -27,6 +27,7 @@
 //!
 //! `--scale small` (default) finishes in minutes on a laptop; `--scale bench`
 //! uses larger synthetic datasets and is what `EXPERIMENTS.md` reports.
+#![forbid(unsafe_code)]
 
 mod experiments;
 

@@ -121,6 +121,24 @@ impl Explanation {
     }
 }
 
+/// Display order for matched paths (endpoint entities, then path lengths) —
+/// all-integer keys, so [`generate_explanation`]'s output is deterministic
+/// regardless of hash-map iteration order.
+fn path_display_order(a: &MatchedPath, b: &MatchedPath) -> std::cmp::Ordering {
+    (
+        a.source.end(),
+        a.target.end(),
+        a.source.len(),
+        a.target.len(),
+    )
+        .cmp(&(
+            b.source.end(),
+            b.target.end(),
+            b.source.len(),
+            b.target.len(),
+        ))
+}
+
 /// Generates the semantic matching subgraph for the pair `(e1, e2)`.
 ///
 /// `alignment` is the alignment state used to decide which neighbours count
@@ -234,20 +252,7 @@ pub fn generate_explanation(
     }
 
     // Deterministic order regardless of hash-map iteration.
-    matched_paths.sort_by(|a, b| {
-        (
-            a.source.end(),
-            a.target.end(),
-            a.source.len(),
-            a.target.len(),
-        )
-            .cmp(&(
-                b.source.end(),
-                b.target.end(),
-                b.source.len(),
-                b.target.len(),
-            ))
-    });
+    matched_paths.sort_by(path_display_order);
 
     Explanation {
         source_entity: e1,

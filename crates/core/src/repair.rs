@@ -25,6 +25,7 @@
 
 use crate::framework::ExEa;
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
+use std::cmp::Ordering;
 use std::collections::HashSet;
 
 /// Which conflict resolvers to run (the paper's ablation switches).
@@ -99,19 +100,25 @@ fn select_top_candidates(scored: &mut Vec<(EntityId, f64)>, k: usize) {
     });
 }
 
+/// The claim order `conflict_winner` maximises under: alignment score through
+/// the NaN-safe ascending comparator (a NaN can never rank above a real
+/// score), equal scores ranking the *smaller* source id higher (the id
+/// comparison is reversed so `max_by` picks it).
+fn claim_order(a: &(EntityId, f64), b: &(EntityId, f64)) -> Ordering {
+    ea_embed::order::asc_f64(a.1, b.1).then(b.0.cmp(&a.0))
+}
+
 /// The winning claim of a one-to-many conflict: highest alignment score,
-/// ties broken by the smallest source entity id. Comparing under this strict
-/// total order makes the winner independent of the order the claims are
-/// listed in (and a NaN score can never win over a real one). Returns `None`
-/// on an empty claim list — the caller skips such conflicts instead of
-/// panicking.
+/// ties broken by the smallest source entity id. Comparing under the strict
+/// total [`claim_order`] makes the winner independent of the order the claims
+/// are listed in. Returns `None` on an empty claim list — the caller skips
+/// such conflicts instead of panicking.
 fn conflict_winner(claims: &[(EntityId, f64)]) -> Option<EntityId> {
     claims
         .iter()
-        .max_by(|a, b| {
-            ea_embed::order::asc_f64(a.1, b.1).then(b.0.cmp(&a.0)) // max ⇒ smallest id wins ties
-        })
-        .map(|&(source, _)| source)
+        .copied()
+        .max_by(claim_order)
+        .map(|(source, _)| source)
 }
 
 /// The result of running the repair pipeline.

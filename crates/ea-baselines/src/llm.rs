@@ -22,6 +22,7 @@ use exea_core::{ExEa, Explainer, Explanation};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::cmp::Ordering;
 
 /// Removes digit characters from a name (the simulated LLM's numeric
 /// insensitivity) and lower-cases it.
@@ -38,6 +39,15 @@ pub fn llm_name_similarity(a: &str, b: &str) -> f64 {
     let va = encode_name(&strip_digits(a));
     let vb = encode_name(&strip_digits(b));
     ea_embed::vector::cosine(&va, &vb) as f64
+}
+
+/// NaN-safe strict total order over scored triple matches `(i, j, sim)`:
+/// similarity descending, then source/target triple position. Rankings stay
+/// well-defined even if a name similarity degenerates to NaN.
+fn match_order(a: &(usize, usize, f64), b: &(usize, usize, f64)) -> Ordering {
+    ea_embed::order::desc_f64(a.2, b.2)
+        .then(a.0.cmp(&b.0))
+        .then(a.1.cmp(&b.1))
 }
 
 /// The ChatGPT (match) explanation baseline: name-overlap triple matching
@@ -109,14 +119,7 @@ impl Explainer for SimulatedLlmExplainer<'_> {
                 scored.push((i, j, sim));
             }
         }
-        // NaN-safe strict total order (similarity desc, then source/target
-        // triple position): rankings stay well-defined even if a name
-        // similarity degenerates to NaN.
-        scored.sort_unstable_by(|a, b| {
-            ea_embed::order::desc_f64(a.2, b.2)
-                .then(a.0.cmp(&b.0))
-                .then(a.1.cmp(&b.1))
-        });
+        scored.sort_unstable_by(match_order);
 
         let mut used_source = vec![false; source_cands.len()];
         let mut used_target = vec![false; target_cands.len()];

@@ -25,6 +25,7 @@ use exea_core::{Explainer, Explanation};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::cmp::Ordering;
 
 /// Which baseline strategy a [`PerturbationExplainer`] applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -473,6 +474,13 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     x
 }
 
+/// NaN-safe strict total order over candidate indices under their
+/// perturbation scores (score desc, index asc): a degenerate score can never
+/// scramble the ranking.
+fn rank_by_score(scores: &[f64], a: usize, b: usize) -> Ordering {
+    ea_embed::order::desc_f64(scores[a], scores[b]).then(a.cmp(&b))
+}
+
 impl Explainer for PerturbationExplainer<'_> {
     fn method_name(&self) -> &str {
         self.method.label()
@@ -488,11 +496,7 @@ impl Explainer for PerturbationExplainer<'_> {
             ChaCha8Rng::seed_from_u64(self.seed ^ ((source.0 as u64) << 32) ^ target.0 as u64);
         let scores = self.score_candidates(source, target, &candidates, &mut rng);
         let mut ranked: Vec<usize> = (0..candidates.len()).collect();
-        // NaN-safe strict total order (score desc, candidate index asc): a
-        // degenerate perturbation score can no longer scramble the ranking.
-        ranked.sort_unstable_by(|&a, &b| {
-            ea_embed::order::desc_f64(scores[a], scores[b]).then(a.cmp(&b))
-        });
+        ranked.sort_unstable_by(|&a, &b| rank_by_score(&scores, a, b));
 
         let mut explanation = Explanation::empty(source, target);
         for &idx in ranked.iter().take(budget.min(candidates.len())) {

@@ -13,6 +13,7 @@
 //! against this matrix bit for bit.
 
 use crate::embedding::EmbeddingTable;
+use crate::topk::Ranked;
 use crate::{kernel, order, vector};
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId};
 use std::collections::HashMap;
@@ -89,18 +90,21 @@ impl SimilarityMatrix {
         let n_t = self.target_ids.len();
         self.rankings = (0..self.source_ids.len())
             .map(|i| {
-                let mut cols: Vec<u32> = (0..n_t as u32).collect();
-                // `(score desc, column asc)` — the canonical candidate order.
-                // The explicit column tie-break makes this a strict total
-                // order (NaN scores rank last), so the unstable sort is
-                // deterministic and reproduces what the old stable sort did
-                // on NaN-free data.
-                cols.sort_unstable_by(|&a, &b| {
-                    let sa = self.values[i * n_t + a as usize];
-                    let sb = self.values[i * n_t + b as usize];
-                    order::desc_f32(sa, sb).then(a.cmp(&b))
-                });
-                cols
+                // `(score desc, column asc)` — the canonical candidate order,
+                // ranked under the same named comparator every candidate
+                // engine selects with ([`Ranked::rank_cmp`]; NaN scores rank
+                // strictly last). The explicit column tie-break makes this a
+                // strict total order, so the unstable sort is deterministic
+                // and reproduces what the old stable sort did on NaN-free
+                // data.
+                let mut cols: Vec<Ranked> = (0..n_t as u32)
+                    .map(|t| Ranked {
+                        score: self.values[i * n_t + t as usize],
+                        index: t,
+                    })
+                    .collect();
+                cols.sort_unstable_by(Ranked::rank_cmp);
+                cols.into_iter().map(|r| r.index).collect()
             })
             .collect();
     }

@@ -1,0 +1,140 @@
+//! Diagnostic type and the three output formats (`text`, `compact`, `json`).
+
+use std::fmt::Write as _;
+
+/// One finding: a rule violation (or a meta finding about an allow comment)
+/// at a 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule name, e.g. `nan-unsafe-order`.
+    pub rule: &'static str,
+    /// Display path of the offending file (as passed / workspace-relative).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+/// Output format selected with `--format=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// rustc-style two-line diagnostics (default).
+    Text,
+    /// One line per finding: `path:line:col: [rule] message`.
+    Compact,
+    /// A single JSON document with a `diagnostics` array.
+    Json,
+}
+
+impl Diagnostic {
+    /// `path:line:col: [rule] message` — the golden-fixture format.
+    pub fn compact(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// rustc-style rendering.
+    pub fn text(&self) -> String {
+        format!(
+            "error[{}]: {}\n  --> {}:{}:{}\n",
+            self.rule, self.message, self.path, self.line, self.col
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#"{{"rule":"{}","path":"{}","line":{},"col":{},"message":"{}"}}"#,
+            self.rule,
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Renders the full diagnostic list in the requested format. The result is
+/// written to stdout verbatim (may be empty for a clean run in non-JSON
+/// formats).
+pub fn render(diags: &[Diagnostic], format: Format, files_scanned: usize) -> String {
+    let mut out = String::new();
+    match format {
+        Format::Text => {
+            for d in diags {
+                out.push_str(&d.text());
+            }
+        }
+        Format::Compact => {
+            for d in diags {
+                out.push_str(&d.compact());
+                out.push('\n');
+            }
+        }
+        Format::Json => {
+            out.push_str("{\"files_scanned\":");
+            let _ = write!(out, "{files_scanned}");
+            out.push_str(",\"diagnostics\":[");
+            for (i, d) in diags.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&d.json());
+            }
+            out.push_str("]}\n");
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "nan-unsafe-order",
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 9,
+            message: "say \"no\"".to_string(),
+        }
+    }
+
+    #[test]
+    fn compact_shape() {
+        assert_eq!(
+            sample().compact(),
+            "crates/x/src/lib.rs:3:9: [nan-unsafe-order] say \"no\""
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let out = render(&[sample()], Format::Json, 1);
+        assert!(out.contains(r#""message":"say \"no\"""#));
+        assert!(out.contains(r#""files_scanned":1"#));
+    }
+}

@@ -1,0 +1,522 @@
+//! A small self-contained Rust lexer.
+//!
+//! The offline vendor set has no `syn`, so the rule engine works on a flat
+//! token stream produced here. The lexer understands exactly as much Rust as
+//! is needed to never mistake *non-code* for code:
+//!
+//! * line comments (captured, because `// exea-lint: allow(..)` directives
+//!   live in them) and **nested** block comments;
+//! * string literals: plain, byte (`b".."`), and raw / raw-byte literals with
+//!   any number of `#` guards (`r#".."#`, `br##".."##`);
+//! * char literals versus lifetimes (`'a'` is a char, `'a` in `<'a>` is a
+//!   lifetime, `'\u{1F600}'` is a char);
+//! * raw identifiers (`r#match`);
+//! * numeric literals with an is-float classification (decimal point,
+//!   exponent, or `f32`/`f64` suffix) so rules can use "a float literal" as
+//!   evidence;
+//! * a handful of compound operators (`::`, `+=`, `..`, …) the rules match
+//!   on.
+//!
+//! Everything inside comments, strings and char literals is invisible to the
+//! rules — the fixture suite pins that none of them can false-positive.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe` is an `Ident` with text `unsafe`).
+    Ident,
+    /// Lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// String literal of any flavour (text not retained).
+    Str,
+    /// Char or byte-char literal (text not retained).
+    Char,
+    /// Integer literal.
+    Int,
+    /// Float literal (decimal point, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// Punctuation; compound operators like `::` are a single token.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text for `Ident`, `Lifetime` and `Punct`; empty for literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+/// One line comment (`//…`), captured for allow-directive parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based byte column of the leading `//`.
+    pub col: u32,
+    /// Text after the `//` marker (doc markers `/`/`!` still included).
+    pub text: String,
+}
+
+/// Result of lexing one source file.
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self, off: usize) -> u8 {
+        *self.src.get(self.i + off).unwrap_or(&0)
+    }
+
+    fn eof(&self) -> bool {
+        self.i >= self.src.len()
+    }
+
+    fn bump(&mut self) {
+        let c = self.src[self.i];
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if !self.eof() {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Compound operators lexed as a single `Punct` token. Order matters only in
+/// that every entry is two bytes; longer operators (`<<=`, `..=`) come out as
+/// two tokens, which is fine for the patterns the rules match.
+const OPS2: &[&[u8; 2]] = &[
+    b"::", b"->", b"=>", b"==", b"!=", b"<=", b">=", b"&&", b"||", b"+=", b"-=", b"*=", b"/=",
+    b"%=", b"^=", b"|=", b"&=", b"<<", b">>", b"..",
+];
+
+/// Lexes one source file into tokens plus line comments.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while !c.eof() {
+        let (line, col) = (c.line, c.col);
+        let ch = c.peek(0);
+        match ch {
+            b' ' | b'\t' | b'\r' | b'\n' => c.bump(),
+            b'/' if c.peek(1) == b'/' => {
+                c.bump_n(2);
+                let start = c.i;
+                while !c.eof() && c.peek(0) != b'\n' {
+                    c.bump();
+                }
+                comments.push(Comment {
+                    line,
+                    col,
+                    text: src[start..c.i].to_string(),
+                });
+            }
+            b'/' if c.peek(1) == b'*' => {
+                c.bump_n(2);
+                let mut depth = 1usize;
+                while !c.eof() && depth > 0 {
+                    if c.peek(0) == b'/' && c.peek(1) == b'*' {
+                        c.bump_n(2);
+                        depth += 1;
+                    } else if c.peek(0) == b'*' && c.peek(1) == b'/' {
+                        c.bump_n(2);
+                        depth -= 1;
+                    } else {
+                        c.bump();
+                    }
+                }
+            }
+            b'"' => {
+                lex_plain_string(&mut c);
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let tok = lex_quote(&mut c);
+                tokens.push(Token { line, col, ..tok });
+            }
+            b'r' | b'b' => {
+                let tok = lex_r_or_b(&mut c);
+                tokens.push(Token { line, col, ..tok });
+            }
+            b'0'..=b'9' => {
+                let kind = lex_number(&mut c);
+                tokens.push(Token {
+                    kind,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(ch) => {
+                let text = lex_ident(&mut c);
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                let two = [c.peek(0), c.peek(1)];
+                if OPS2.iter().any(|op| **op == two) {
+                    c.bump_n(2);
+                    tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: String::from_utf8_lossy(&two).into_owned(),
+                        line,
+                        col,
+                    });
+                } else {
+                    c.bump();
+                    tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: (ch as char).to_string(),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+    }
+
+    Lexed { tokens, comments }
+}
+
+fn lex_ident(c: &mut Cursor) -> String {
+    let start = c.i;
+    while !c.eof() && is_ident_continue(c.peek(0)) {
+        c.bump();
+    }
+    String::from_utf8_lossy(&c.src[start..c.i]).into_owned()
+}
+
+/// At an opening `"`: consumes the whole escaped string literal.
+fn lex_plain_string(c: &mut Cursor) {
+    c.bump(); // opening quote
+    while !c.eof() {
+        match c.peek(0) {
+            b'\\' => c.bump_n(2),
+            b'"' => {
+                c.bump();
+                break;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// At the `r` of `r"…"` / `r#"…"#` (the caller verified the prefix):
+/// consumes the raw string including its `#` guards.
+fn lex_raw_string(c: &mut Cursor, hashes: usize) {
+    // `r` + hashes + opening quote.
+    c.bump_n(1 + hashes + 1);
+    while !c.eof() {
+        if c.peek(0) == b'"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if c.peek(1 + k) != b'#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                c.bump_n(1 + hashes);
+                return;
+            }
+        }
+        c.bump();
+    }
+}
+
+/// At a `'`: either a char literal or a lifetime.
+fn lex_quote(c: &mut Cursor) -> Token {
+    let n1 = c.peek(1);
+    // `'a` followed by anything but a closing quote is a lifetime; `'a'`,
+    // `'\n'`, `'\u{..}'` are char literals.
+    if n1 != b'\\' && is_ident_start(n1) && c.peek(2) != b'\'' {
+        c.bump(); // quote
+        let text = lex_ident(c);
+        return Token {
+            kind: TokKind::Lifetime,
+            text,
+            line: 0,
+            col: 0,
+        };
+    }
+    c.bump(); // opening quote
+    while !c.eof() {
+        match c.peek(0) {
+            b'\\' => c.bump_n(2),
+            b'\'' => {
+                c.bump();
+                break;
+            }
+            _ => c.bump(),
+        }
+    }
+    Token {
+        kind: TokKind::Char,
+        text: String::new(),
+        line: 0,
+        col: 0,
+    }
+}
+
+/// At an `r` or `b`: disambiguates raw strings, byte strings, byte chars and
+/// raw identifiers from ordinary identifiers starting with those letters.
+fn lex_r_or_b(c: &mut Cursor) -> Token {
+    let first = c.peek(0);
+    if first == b'r' {
+        // r"…", r#…#"…"#…# or r#ident.
+        let mut hashes = 0usize;
+        while c.peek(1 + hashes) == b'#' {
+            hashes += 1;
+        }
+        if c.peek(1 + hashes) == b'"' {
+            lex_raw_string(c, hashes);
+            return Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: 0,
+                col: 0,
+            };
+        }
+        if hashes == 1 && is_ident_start(c.peek(2)) {
+            c.bump_n(2); // r#
+                         // Keep the `r#` prefix: a raw ident is never a keyword, so rules
+                         // matching `unsafe`/fn names must not see it as one.
+            let text = format!("r#{}", lex_ident(c));
+            return Token {
+                kind: TokKind::Ident,
+                text,
+                line: 0,
+                col: 0,
+            };
+        }
+    } else {
+        // b"…", b'…', br"…" / br#"…"#.
+        if c.peek(1) == b'"' {
+            c.bump(); // b
+            lex_plain_string(c);
+            return Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: 0,
+                col: 0,
+            };
+        }
+        if c.peek(1) == b'\'' {
+            c.bump(); // b
+            return lex_quote(c);
+        }
+        if c.peek(1) == b'r' {
+            let mut hashes = 0usize;
+            while c.peek(2 + hashes) == b'#' {
+                hashes += 1;
+            }
+            if c.peek(2 + hashes) == b'"' {
+                c.bump(); // b
+                lex_raw_string(c, hashes);
+                return Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: 0,
+                    col: 0,
+                };
+            }
+        }
+    }
+    let text = lex_ident(c);
+    Token {
+        kind: TokKind::Ident,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// At a digit: consumes one numeric literal, classifying it int vs float.
+fn lex_number(c: &mut Cursor) -> TokKind {
+    let start = c.i;
+    let prefixed = c.peek(0) == b'0' && matches!(c.peek(1), b'x' | b'X' | b'o' | b'b');
+    if prefixed {
+        c.bump_n(2);
+    }
+    let mut float = false;
+    while !c.eof() {
+        let p = c.peek(0);
+        if p.is_ascii_alphanumeric() || p == b'_' {
+            if !prefixed
+                && (p == b'e' || p == b'E')
+                && matches!(c.peek(1), b'0'..=b'9' | b'+' | b'-')
+            {
+                float = true;
+                c.bump();
+                if matches!(c.peek(0), b'+' | b'-') {
+                    c.bump();
+                }
+                continue;
+            }
+            c.bump();
+        } else if p == b'.' && !prefixed {
+            let n = c.peek(1);
+            if n == b'.' || is_ident_start(n) {
+                break; // range (`1..n`) or method call (`1.max(2)`)
+            }
+            float = true;
+            c.bump();
+        } else {
+            break;
+        }
+    }
+    if !prefixed {
+        let text = &c.src[start..c.i];
+        if text.windows(3).any(|w| w == b"f32" || w == b"f64") {
+            float = true;
+        }
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r###"
+            // partial_cmp(x).unwrap() in a comment
+            /* nested /* block with sort_by(|a,b| a.partial_cmp(b)) */ done */
+            let s = "unsafe { partial_cmp }";
+            let r = r#"sort_by(|a, b| a.total_cmp(b))"#;
+            let b = b"unsafe";
+            let rb = br##"Instant::now()"##;
+        "###;
+        let names = idents(src);
+        assert!(!names.iter().any(|n| n == "partial_cmp"
+            || n == "sort_by"
+            || n == "unsafe"
+            || n == "total_cmp"
+            || n == "Instant"));
+        assert_eq!(lex(src).comments.len(), 1);
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let toks =
+            lex("let c = 'a'; let l: Vec<'static> = x; let e = '\\u{1F600}'; let q = '\\'';");
+        let chars = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        let lifetimes: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, 3);
+        assert_eq!(lifetimes, vec!["static".to_string()]);
+    }
+
+    #[test]
+    fn raw_identifiers_and_number_classes() {
+        let toks = lex(
+            "let r#match = 1; let f = 0.5; let g = 1e-3; let h = 2f32; let i = 0xff; let r = 1..n;",
+        );
+        // Raw idents keep their `r#` prefix so keyword-matching rules
+        // (e.g. `unsafe`) can never confuse `r#unsafe` with the keyword.
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "r#match"));
+        assert!(!toks.tokens.iter().any(|t| t.text == "match"));
+        let floats = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .count();
+        assert_eq!(floats, 3); // 0.5, 1e-3, 2f32 — not 0xff, not `1` in `1..n`
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks.tokens[0].line, toks.tokens[0].col), (1, 1));
+        assert_eq!((toks.tokens[1].line, toks.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn compound_ops_lex_as_one_token() {
+        let toks = lex("a += b; c::d; e..f; g >> h;");
+        let puncts: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(puncts.contains(&"+=".to_string()));
+        assert!(puncts.contains(&"::".to_string()));
+        assert!(puncts.contains(&"..".to_string()));
+        assert!(puncts.contains(&">>".to_string()));
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: allow-directive hygiene. A directive without a `--` justification
+//! is rejected (and does not suppress), an unknown rule name is rejected, and
+//! a well-formed directive that suppresses nothing is flagged as unused.
+
+fn ranking(a: f32, b: f32) -> Ordering {
+    // exea-lint: allow(nan-unsafe-order)
+    let first = a.partial_cmp(&b).unwrap();
+    // exea-lint: allow(nan-unsafe-ordering) -- fixture: rule name has a typo
+    let second = a.partial_cmp(&b).unwrap();
+    first.then(second)
+}
+
+fn quiet(a: u32, b: u32) -> u32 {
+    // exea-lint: allow(unordered-float-fold) -- fixture: nothing here folds floats
+    a + b
+}

@@ -1,0 +1,11 @@
+//! Fixture: a justified allow directive suppresses rule (1) in both the
+//! preceding-line and the trailing form.
+
+fn ranking(scores: &[f32]) -> Ordering {
+    let a = scores[0];
+    let b = scores[1];
+    // exea-lint: allow(nan-unsafe-order) -- fixture: legacy comparator pinned bit-compatible by prop suite
+    let first = a.partial_cmp(&b).unwrap();
+    let second = a.total_cmp(&b); // exea-lint: allow(nan-unsafe-order) -- fixture: ±0.0 never reaches this path
+    first.then(second)
+}

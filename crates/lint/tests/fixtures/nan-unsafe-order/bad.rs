@@ -1,0 +1,13 @@
+//! Fixture: rule (1) fires on every unwrap-style `partial_cmp` ranking and
+//! on raw `total_cmp`, each at the right line:col. (Fixtures are lexed, not
+//! compiled.)
+
+fn ranking(scores: &[f32]) -> Ordering {
+    let a = scores[0];
+    let b = scores[1];
+    let first = a.partial_cmp(&b).unwrap();
+    let second = a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+    let third = a.partial_cmp(&b).expect("comparable");
+    let fourth = a.total_cmp(&b);
+    first.then(second).then(third).then(fourth)
+}

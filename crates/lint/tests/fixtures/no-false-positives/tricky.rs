@@ -1,0 +1,28 @@
+//! Fixture: banned patterns inside strings, raw strings, byte strings, block
+//! comments and char/lifetime tokens must never produce diagnostics.
+//!
+//! Docs may mention `.partial_cmp(&b).unwrap()` or `unsafe` freely.
+
+/* block comment: xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); unsafe { } */
+/* nested /* par_iter().for_each(|x| total_cmp) */ still one comment */
+
+fn strings() -> usize {
+    let s = "a.partial_cmp(&b).unwrap() unsafe Instant::now() thread_rng()";
+    let r = r#"xs.sort_by(|a, b| a.total_cmp(b)) par_bridge "inner" done"#;
+    let r2 = r##"weights.values().sum::<f32>() r#"nested"# end"##;
+    let b = b"unsafe total_cmp par_bridge";
+    let rb = br#"SystemTime::now() for_each"#;
+    s.len() + r.len() + r2.len() + b.len() + rb.len()
+}
+
+fn chars_and_lifetimes<'unsafe_looking>(x: &'unsafe_looking str) -> (char, char, usize) {
+    let quote = '"';
+    let escaped = '\'';
+    let lifetime_like = 'a';
+    (quote, escaped, x.len() + lifetime_like as usize)
+}
+
+fn raw_idents() -> usize {
+    let r#unsafe = 3usize;
+    r#unsafe
+}

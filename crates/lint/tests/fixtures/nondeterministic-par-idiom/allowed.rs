@@ -1,0 +1,14 @@
+//! Fixture: the blessed deterministic shape — `par_iter().map().collect()`
+//! with a sequential merge — plus integer reductions and a justified allow
+//! never trip rule (4).
+
+fn aggregate(rows: &[Vec<f32>]) -> f32 {
+    let partials: Vec<f32> = rows.par_iter().map(|row| row.iter().sum::<f32>()).collect();
+    let total: f32 = partials.iter().sum();
+    let sizes = rows.par_iter().map(|row| row.len()).reduce(|| 0usize, |a, b| a + b);
+    // exea-lint: allow(nondeterministic-par-idiom) -- fixture: progress counter only, never affects scores
+    rows.par_iter().for_each(|row| {
+        COUNTER.fetch_add(row.len(), Ordering::Relaxed);
+    });
+    total + sizes as f32
+}

@@ -1,0 +1,14 @@
+//! Fixture: rule (4) fires on parallel idioms whose merge order is not
+//! deterministic: side-effecting `for_each`, float `reduce`, `par_bridge`.
+
+fn aggregate(rows: &[Vec<f32>], sink: &Mutex<Vec<f32>>) -> f32 {
+    rows.par_iter().for_each(|row| {
+        sink.lock().unwrap().push(row[0]);
+    });
+    let total = rows
+        .par_iter()
+        .map(|row| row.iter().sum::<f32>())
+        .reduce(|| 0.0f32, |a, b| a + b);
+    let bridged = rows.iter().par_bridge().map(|row| row.len()).sum::<usize>();
+    total + bridged as f32
+}

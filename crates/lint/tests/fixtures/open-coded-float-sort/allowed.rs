@@ -1,0 +1,18 @@
+//! Fixture: blessed comparator shapes never trip rule (2): delegation to
+//! `ea_embed::order`, `topk::rank_cmp`, a named comparator fn, integer
+//! comparators, and a justified allow.
+
+fn rank(xs: &mut Vec<(u32, f32)>, entries: &mut Vec<Ranked>, ids: &mut Vec<u32>) {
+    xs.sort_unstable_by(|a, b| order::desc_f32(a.1, b.1).then(a.0.cmp(&b.0)));
+    entries.sort_unstable_by(|a, b| a.rank_cmp(b));
+    xs.sort_unstable_by(match_order);
+    ids.sort_by(|a, b| a.cmp(b));
+    // exea-lint: allow(open-coded-float-sort) -- fixture: epsilon-tolerant percentile cut by design
+    xs.sort_by(|a, b| {
+        if a.1 < b.1 {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    });
+}

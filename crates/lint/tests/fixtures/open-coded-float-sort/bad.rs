@@ -1,0 +1,24 @@
+//! Fixture: rule (2) fires on sort/selection closures that compare floats
+//! without delegating to `ea_embed::order` / `topk::rank_cmp`.
+
+fn rank(xs: &mut Vec<(u32, f32)>) {
+    xs.sort_by(|a, b| match b.1.partial_cmp(&a.1) {
+        Some(o) => o,
+        None => Ordering::Equal,
+    });
+    xs.sort_unstable_by(|a, b| {
+        if a.1 < b.1 {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        }
+    });
+    let worst = xs.iter().min_by(|a, b| {
+        if a.1.is_nan() {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    });
+    drop(worst);
+}

@@ -1,0 +1,16 @@
+//! Fixture: ordered containers, slice iteration, integer accumulation and a
+//! justified allow never trip rule (3).
+
+fn totals(ordered: &BTreeMap<u32, f32>, dense: &[f32], people: &HashMap<u32, u64>) -> f32 {
+    let by_key = ordered.values().sum::<f32>();
+    let by_row = dense.iter().sum::<f32>();
+    let ages: u64 = people.values().sum();
+    let ids: HashSet<u32> = people.keys().copied().collect();
+    let count = ids.iter().count();
+    by_key + by_row + (ages as f32) + (count as f32)
+}
+
+fn running_max(h: &HashMap<u32, f32>) -> f32 {
+    // exea-lint: allow(unordered-float-fold) -- fixture: max is commutative and order-insensitive
+    h.values().fold(0.0f32, |m, v| if *v > m { *v } else { m })
+}

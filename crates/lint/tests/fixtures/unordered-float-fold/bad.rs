@@ -1,0 +1,12 @@
+//! Fixture: rule (3) fires on float accumulation driven by `HashMap` /
+//! `HashSet` iteration order, in chain, fold and loop form.
+
+fn totals(weights: &HashMap<u32, f32>) -> f32 {
+    let direct = weights.values().sum::<f32>();
+    let folded = weights.iter().fold(0.0f32, |acc, (_, w)| acc + w);
+    let mut acc = 0.0f32;
+    for w in weights.values() {
+        acc += *w;
+    }
+    direct + folded + acc
+}

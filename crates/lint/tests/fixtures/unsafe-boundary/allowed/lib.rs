@@ -1,0 +1,8 @@
+//! Fixture: a crate root carrying the forbid attribute, with a justified
+//! allow for one audited unsafe block, is clean under rule (5).
+#![forbid(unsafe_code)]
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    // exea-lint: allow(unsafe-boundary) -- fixture: audited bounds-checked pointer read
+    unsafe { *bytes.as_ptr() }
+}

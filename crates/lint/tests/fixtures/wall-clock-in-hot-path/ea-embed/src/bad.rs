@@ -1,0 +1,11 @@
+//! Fixture: rule (6) fires on wall-clock and entropy sources inside hot-path
+//! library code (this fixture's path contains `ea-embed/src/`).
+
+fn score_batch(rows: &[f32]) -> f32 {
+    let started = Instant::now();
+    let stamp = SystemTime::now();
+    let mut rng = thread_rng();
+    let jitter: f32 = rng.gen();
+    drop(stamp);
+    rows.iter().map(|r| r * jitter).sum::<f32>() + started.elapsed().as_secs_f32()
+}

@@ -1,0 +1,36 @@
+//! The lint's strongest fixture is the workspace itself: every rule must
+//! report zero diagnostics on the real tree. This is what the `lint-invariants`
+//! CI job enforces; the test keeps the guarantee local to `cargo test` too.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn workspace_is_clean() {
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let out = Command::new(env!("CARGO_BIN_EXE_exea-lint"))
+        .args(["--workspace", "--format=compact"])
+        .arg(format!("--root={}", workspace_root.display()))
+        .output()
+        .expect("spawn exea-lint");
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace self-scan found violations:\n{stdout}\n{stderr}"
+    );
+    assert_eq!(stdout, "", "expected no diagnostics, got:\n{stdout}");
+
+    // Sanity: the scan actually covered the tree (guards against a walk bug
+    // silently scanning zero files and vacuously passing).
+    let scanned: usize = stderr
+        .split_whitespace()
+        .find_map(|w| w.parse().ok())
+        .unwrap_or(0);
+    assert!(
+        scanned > 50,
+        "suspiciously few files scanned ({scanned}):\n{stderr}"
+    );
+}

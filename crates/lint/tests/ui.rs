@@ -1,0 +1,142 @@
+//! Golden-fixture UI tests: each rule directory under `tests/fixtures/` holds
+//! a violating fixture, an `allowed` counterpart exercising the inline
+//! justification syntax, and an `expected.compact` file with the exact
+//! diagnostics (path:line:col, rule, message) the scan must produce. The
+//! comparison is byte-for-byte, so a drifting column or reworded message
+//! fails loudly.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+/// Runs the built `exea-lint` binary from the crate root so fixture paths in
+/// the output are stable (`tests/fixtures/...`).
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_exea-lint"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn exea-lint")
+}
+
+/// Scans one fixture directory (bad + allowed together, so suppression is
+/// exercised in the same run) and compares against its golden file.
+fn check_fixture_dir(dir: &str) {
+    let fixture = format!("tests/fixtures/{dir}");
+    let out = lint(&["--format=compact", &fixture]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(&fixture)
+        .join("expected.compact");
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden file");
+
+    assert_eq!(
+        stdout,
+        golden,
+        "diagnostics for `{dir}` diverged from {}",
+        golden_path.display()
+    );
+    let expect_clean = golden.is_empty();
+    assert_eq!(
+        out.status.code(),
+        Some(if expect_clean { 0 } else { 1 }),
+        "exit code for `{dir}`"
+    );
+}
+
+#[test]
+fn golden_nan_unsafe_order() {
+    check_fixture_dir("nan-unsafe-order");
+}
+
+#[test]
+fn golden_open_coded_float_sort() {
+    check_fixture_dir("open-coded-float-sort");
+}
+
+#[test]
+fn golden_unordered_float_fold() {
+    check_fixture_dir("unordered-float-fold");
+}
+
+#[test]
+fn golden_nondeterministic_par_idiom() {
+    check_fixture_dir("nondeterministic-par-idiom");
+}
+
+#[test]
+fn golden_unsafe_boundary() {
+    check_fixture_dir("unsafe-boundary");
+}
+
+#[test]
+fn golden_wall_clock_in_hot_path() {
+    check_fixture_dir("wall-clock-in-hot-path");
+}
+
+/// Banned patterns inside strings, raw strings, comments and char literals
+/// must never surface: the golden file for this directory is empty.
+#[test]
+fn golden_no_false_positives() {
+    check_fixture_dir("no-false-positives");
+}
+
+/// Allow-directive hygiene: missing justification and unknown rule names are
+/// rejected (and do not suppress), unused directives are flagged.
+#[test]
+fn golden_malformed_allow() {
+    check_fixture_dir("malformed-allow");
+}
+
+/// Every allowed fixture on its own is fully clean — the justified allow
+/// directives suppress the violations they annotate and are all *used* (no
+/// `unused-allow` residue).
+#[test]
+fn allowed_fixtures_are_clean_in_isolation() {
+    for file in [
+        "tests/fixtures/nan-unsafe-order/allowed.rs",
+        "tests/fixtures/open-coded-float-sort/allowed.rs",
+        "tests/fixtures/unordered-float-fold/allowed.rs",
+        "tests/fixtures/nondeterministic-par-idiom/allowed.rs",
+        "tests/fixtures/unsafe-boundary/allowed/lib.rs",
+    ] {
+        let out = lint(&["--format=compact", file]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(stdout, "", "allowed fixture `{file}` is not clean");
+        assert_eq!(out.status.code(), Some(0), "exit code for `{file}`");
+    }
+}
+
+/// `--format=json` emits a machine-readable report with the same rule names
+/// and positions as the compact format.
+#[test]
+fn json_format_reports_rule_and_position() {
+    let out = lint(&["--format=json", "tests/fixtures/unsafe-boundary/bad/lib.rs"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout.contains("\"files_scanned\":1"), "got: {stdout}");
+    assert!(
+        stdout.contains("\"rule\":\"unsafe-boundary\""),
+        "got: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"line\":1") && stdout.contains("\"col\":1"),
+        "got: {stdout}"
+    );
+}
+
+/// No `--workspace` and no paths is a usage error: exit 2, message on stderr.
+#[test]
+fn usage_error_exits_two() {
+    let out = lint(&["--format=compact"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nothing to lint"), "got: {stderr}");
+}
+
+/// Unknown flags are rejected rather than silently treated as paths.
+#[test]
+fn unknown_flag_exits_two() {
+    let out = lint(&["--frmat=json", "tests/fixtures/no-false-positives"]);
+    assert_eq!(out.status.code(), Some(2));
+}
