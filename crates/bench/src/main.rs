@@ -22,6 +22,7 @@
 //!   sq8      exact scan vs SQ8 quantized scan + exact re-rank (recall/speed)
 //!   ondisk   in-memory vs mmap/pread-backed candidate store (resident bytes)
 //!   shard    exact scan vs sharded scatter-gather (recall across routed shards)
+//!   serve    exea-serve under concurrent load (p50/p99, clean vs injected faults)
 //!   all      run everything above in sequence
 //! ```
 //!
@@ -38,6 +39,17 @@ fn main() {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         print_usage();
         return;
+    }
+    // Validate environment overrides up front: a typo'd EXEA_CANDIDATE_SEARCH
+    // or EXEA_MAPPED_BACKEND is a clean one-line failure before any dataset
+    // loads, not a panic deep inside the first experiment.
+    if let Err(e) = ea_embed::CandidateSearch::from_env() {
+        eprintln!("exea-bench: {e}");
+        std::process::exit(2);
+    }
+    if let Err(e) = ea_embed::mapped_backend_from_env() {
+        eprintln!("exea-bench: {e}");
+        std::process::exit(2);
     }
     let mut config = BenchConfig::default();
     let mut experiment = args[0].clone();
@@ -87,7 +99,7 @@ fn run(experiment: Experiment, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|sq8|ondisk|shard|all> \
+        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|sq8|ondisk|shard|serve|all> \
          [--scale small|bench|paper] [--samples N]"
     );
 }

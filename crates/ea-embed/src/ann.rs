@@ -1144,6 +1144,39 @@ pub enum CandidateSearch {
     Sharded(ShardParams),
 }
 
+/// A rejected environment-variable override: the variable, the offending
+/// value, and the grammar it was checked against. Returned by
+/// [`CandidateSearch::from_env`] so long-lived processes (the `exea-serve`
+/// daemon, `exea-bench`) can refuse to start with a clean one-line message
+/// instead of a boot panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvOverrideError {
+    /// Name of the environment variable holding the rejected value.
+    pub var: &'static str,
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// Human-readable description of the accepted values.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for EnvOverrideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognised {} value {:?} (expected {})",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvOverrideError {}
+
+/// Accepted `EXEA_CANDIDATE_SEARCH` values, for error messages.
+const CANDIDATE_SEARCH_EXPECTED: &str = "exact, ivf, sq8, ivf-sq8, one of \
+     ivf-mapped, sq8-mapped, ivf-sq8-mapped, or one of \
+     sharded-ivf, sharded-ivf-sq8, sharded-ivf-mapped, \
+     sharded-ivf-sq8-mapped";
+
 impl CandidateSearch {
     /// The default strategy honouring the `EXEA_CANDIDATE_SEARCH`
     /// environment override — the hook CI uses to run the whole pipeline
@@ -1165,18 +1198,36 @@ impl CandidateSearch {
     /// # Panics
     /// Panics on an unrecognised non-empty value: the override exists so CI
     /// can guarantee approximate-path coverage, and a typo silently falling
-    /// back to `Exact` would turn that guarantee into a no-op.
+    /// back to `Exact` would turn that guarantee into a no-op. `Default`
+    /// impls have no error channel, hence the panic here; processes that
+    /// can report a startup failure cleanly (daemons, benches) should call
+    /// [`CandidateSearch::from_env`] first and surface the typed error.
     pub fn default_from_env() -> Self {
-        match std::env::var("EXEA_CANDIDATE_SEARCH") {
-            Err(_) => CandidateSearch::Exact,
-            Ok(value) => Self::parse_override(&value).unwrap_or_else(|| {
-                panic!(
-                    "unrecognised EXEA_CANDIDATE_SEARCH value {value:?} \
-                     (expected exact, ivf, sq8, ivf-sq8, one of \
-                     ivf-mapped, sq8-mapped, ivf-sq8-mapped, or one of \
-                     sharded-ivf, sharded-ivf-sq8, sharded-ivf-mapped, \
-                     sharded-ivf-sq8-mapped)"
-                )
+        match Self::from_env() {
+            Ok(search) => search,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible form of [`CandidateSearch::default_from_env`]: reads
+    /// `EXEA_CANDIDATE_SEARCH` and returns a typed [`EnvOverrideError`] on
+    /// an unrecognised non-empty value instead of panicking. Long-lived
+    /// processes validate the override through this before building any
+    /// engine, so a typo is a clean startup failure, not a boot panic.
+    pub fn from_env() -> Result<Self, EnvOverrideError> {
+        Self::from_env_value(std::env::var("EXEA_CANDIDATE_SEARCH").ok().as_deref())
+    }
+
+    /// Parses one would-be `EXEA_CANDIDATE_SEARCH` value (`None` = unset).
+    /// Pure, for tests: [`CandidateSearch::from_env`] is this applied to
+    /// the real environment.
+    pub fn from_env_value(value: Option<&str>) -> Result<Self, EnvOverrideError> {
+        match value {
+            None => Ok(CandidateSearch::Exact),
+            Some(v) => Self::parse_override(v).ok_or_else(|| EnvOverrideError {
+                var: "EXEA_CANDIDATE_SEARCH",
+                value: v.to_string(),
+                expected: CANDIDATE_SEARCH_EXPECTED,
             }),
         }
     }
@@ -1447,6 +1498,44 @@ mod tests {
         let t = EmbeddingTable::xavier(rows, dim, &mut rng);
         let all: Vec<usize> = (0..rows).collect();
         t.gather_normalized(&all)
+    }
+
+    #[test]
+    fn env_override_parse_is_typed_not_panicking() {
+        // Unset and every documented value parse cleanly.
+        assert_eq!(
+            CandidateSearch::from_env_value(None).unwrap(),
+            CandidateSearch::Exact
+        );
+        for value in [
+            "",
+            "exact",
+            "ivf",
+            "sq8",
+            "ivf-sq8",
+            "ivf-mapped",
+            "sq8-mapped",
+            "ivf-sq8-mapped",
+            "sharded-ivf",
+            "sharded-ivf-sq8",
+            "sharded-ivf-mapped",
+            "sharded-ivf-sq8-mapped",
+        ] {
+            let search = CandidateSearch::from_env_value(Some(value)).unwrap();
+            if !value.is_empty() {
+                assert_eq!(search.name(), value);
+            }
+        }
+
+        // A typo is a typed error naming the variable, the value and the
+        // accepted grammar — not a panic.
+        let err = CandidateSearch::from_env_value(Some("ivff")).unwrap_err();
+        assert_eq!(err.var, "EXEA_CANDIDATE_SEARCH");
+        assert_eq!(err.value, "ivff");
+        let msg = err.to_string();
+        assert!(msg.contains("EXEA_CANDIDATE_SEARCH"), "got: {msg}");
+        assert!(msg.contains("\"ivff\""), "got: {msg}");
+        assert!(msg.contains("sharded-ivf-sq8-mapped"), "got: {msg}");
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub mod storage;
 pub mod topk;
 pub mod vector;
 
-pub use ann::{CandidateSearch, CandidateSource, IvfIndex, IvfListStorage, IvfParams, IvfSeeding};
+pub use ann::{
+    CandidateSearch, CandidateSource, EnvOverrideError, IvfIndex, IvfListStorage, IvfParams,
+    IvfSeeding,
+};
 pub use candidates::CandidateIndex;
 pub use embedding::EmbeddingTable;
 pub use optimizer::{Adagrad, Optimizer, Sgd};
@@ -94,7 +97,7 @@ pub use sampling::{HardNegativeCache, NegativeSampler, Negatives};
 pub use shard::{ShardParams, ShardPartition, ShardRouter, ShardedIndex};
 pub use similarity::{greedy_alignment, select_top_k_by, top_k_targets, SimilarityMatrix};
 pub use storage::{
-    save_ivf_streaming, save_sq8_streaming, InMemory, ListStore, MappedIndex, MappedOptions,
-    MappedStore, NormalizedRows, OpenOptions, RowSource, StorageError, StoreBacking, StoreScratch,
-    StreamingStats, TableRows, DEFAULT_CHUNK_ROWS,
+    mapped_backend_from_env, save_ivf_streaming, save_sq8_streaming, InMemory, ListStore,
+    MappedIndex, MappedOptions, MappedStore, NormalizedRows, OpenOptions, RowSource, StorageError,
+    StoreBacking, StoreScratch, StreamingStats, TableRows, DEFAULT_CHUNK_ROWS,
 };

@@ -484,28 +484,58 @@ impl Drop for ContainerWriter {
 // Byte source: mmap with pread fallback
 // ---------------------------------------------------------------------------
 
+/// Retries an operation until it stops failing with
+/// [`io::ErrorKind::Interrupted`] (EINTR): a signal landing mid-syscall is
+/// transient by definition and must not surface as a failed container open
+/// or read. Every other error passes through untouched.
+fn retry_interrupted<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+/// Drives a positional reader until `buf` is full. Short reads continue at
+/// the next offset, interrupted reads (EINTR) retry at the same offset, and
+/// a zero-length read is a typed `UnexpectedEof` — callers never see a
+/// partial fill or a transient signal error.
+fn fill_exact_at(
+    mut read_at: impl FnMut(&mut [u8], u64) -> io::Result<usize>,
+    mut buf: &mut [u8],
+    mut offset: u64,
+) -> io::Result<()> {
+    while !buf.is_empty() {
+        match read_at(buf, offset) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "unexpected end of container",
+                ))
+            }
+            Ok(n) => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Positional read compatible across platforms (pread on unix).
 #[cfg(unix)]
 fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
     use std::os::unix::fs::FileExt;
-    file.read_exact_at(buf, offset)
+    fill_exact_at(|b, o| file.read_at(b, o), buf, offset)
 }
 
 #[cfg(windows)]
-fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
     use std::os::windows::fs::FileExt;
-    while !buf.is_empty() {
-        let n = file.seek_read(buf, offset)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "unexpected end of container",
-            ));
-        }
-        buf = &mut buf[n..];
-        offset += n as u64;
-    }
-    Ok(())
+    fill_exact_at(|b, o| file.seek_read(b, o), buf, offset)
 }
 
 #[cfg(not(any(unix, windows)))]
@@ -532,7 +562,7 @@ impl ByteSource {
                 return Ok(ByteSource::Mapped(map));
             }
         }
-        let len = file.metadata()?.len();
+        let len = retry_interrupted(|| file.metadata())?.len();
         Ok(ByteSource::Pread { file, len })
     }
 
@@ -648,7 +678,7 @@ struct Container {
 
 impl Container {
     fn open(path: &Path, options: &OpenOptions) -> Result<Container, StorageError> {
-        let file = File::open(path)?;
+        let file = retry_interrupted(|| File::open(path))?;
         let source = ByteSource::open(file, options.prefer_mmap)?;
         let len = source.len();
         if len < HEADER_LEN + FOOTER_LEN {
@@ -2070,20 +2100,35 @@ impl Default for MappedOptions {
     }
 }
 
-/// The process-wide backend override: `EXEA_MAPPED_BACKEND=mmap` forces
-/// mapped reads, `=pread` the coalesced positional-read path; unset or empty
-/// defers to [`MappedOptions::prefer_mmap`].
-///
-/// # Panics
-/// Panics on any other value — like `EXEA_CANDIDATE_SEARCH`, a typo'd
-/// override must not silently benchmark the wrong backend.
-fn mapped_backend_override() -> Option<bool> {
+/// The fallible parse of the process-wide backend override:
+/// `EXEA_MAPPED_BACKEND=mmap` forces mapped reads (`Ok(Some(true))`),
+/// `=pread` the coalesced positional-read path (`Ok(Some(false))`); unset
+/// or empty defers to [`MappedOptions::prefer_mmap`] (`Ok(None)`). Any
+/// other value is a typed [`crate::EnvOverrideError`] — long-lived processes
+/// validate through this at startup so a typo is a clean failure, not a
+/// panic mid-search.
+pub fn mapped_backend_from_env() -> Result<Option<bool>, crate::EnvOverrideError> {
     match std::env::var("EXEA_MAPPED_BACKEND") {
-        Err(_) => None,
-        Ok(v) if v.is_empty() => None,
-        Ok(v) if v == "mmap" => Some(true),
-        Ok(v) if v == "pread" => Some(false),
-        Ok(v) => panic!("unknown EXEA_MAPPED_BACKEND value {v:?} (expected \"mmap\" or \"pread\")"),
+        Err(_) => Ok(None),
+        Ok(v) if v.is_empty() => Ok(None),
+        Ok(v) if v == "mmap" => Ok(Some(true)),
+        Ok(v) if v == "pread" => Ok(Some(false)),
+        Ok(v) => Err(crate::EnvOverrideError {
+            var: "EXEA_MAPPED_BACKEND",
+            value: v,
+            expected: "\"mmap\" or \"pread\"",
+        }),
+    }
+}
+
+/// The infallible form used inside the search paths (which have no error
+/// channel): panics on an unrecognised value — like
+/// `EXEA_CANDIDATE_SEARCH`, a typo'd override must not silently benchmark
+/// the wrong backend.
+fn mapped_backend_override() -> Option<bool> {
+    match mapped_backend_from_env() {
+        Ok(choice) => choice,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -2253,6 +2298,61 @@ mod tests {
         w.finish().unwrap();
         assert!(path.exists());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interrupted_reads_retry_until_filled() {
+        // A reader that yields EINTR on every other call and otherwise
+        // produces one byte at a time must still fill the buffer exactly.
+        let mut calls = 0u32;
+        let mut out = [0u8; 4];
+        let result = fill_exact_at(
+            |buf, offset| {
+                calls += 1;
+                if calls % 2 == 1 {
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+                }
+                buf[0] = offset as u8;
+                Ok(1)
+            },
+            &mut out,
+            10,
+        );
+        result.unwrap();
+        assert_eq!(out, [10, 11, 12, 13]);
+        assert_eq!(calls, 8, "four payload reads interleaved with four EINTRs");
+    }
+
+    #[test]
+    fn interrupted_reads_still_surface_eof_and_real_errors() {
+        let mut out = [0u8; 2];
+        let eof = fill_exact_at(|_, _| Ok(0), &mut out, 0);
+        assert_eq!(eof.unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+
+        let denied = fill_exact_at(
+            |_, _| Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope")),
+            &mut out,
+            0,
+        );
+        assert_eq!(denied.unwrap_err().kind(), io::ErrorKind::PermissionDenied);
+    }
+
+    #[test]
+    fn retry_interrupted_loops_only_on_eintr() {
+        let mut attempts = 0u32;
+        let value = retry_interrupted(|| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "signal"))
+            } else {
+                Ok(attempts)
+            }
+        });
+        assert_eq!(value.unwrap(), 3);
+
+        let failed: io::Result<()> =
+            retry_interrupted(|| Err(io::Error::new(io::ErrorKind::NotFound, "gone")));
+        assert_eq!(failed.unwrap_err().kind(), io::ErrorKind::NotFound);
     }
 
     #[test]

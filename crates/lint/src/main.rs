@@ -197,5 +197,6 @@ fn file_ctx(fs_path: &Path, display: &str) -> FileCtx {
             || display.contains("core/src/")
             || display.starts_with("src/"),
         crate_root,
+        serve_library: display.contains("serve/src/"),
     }
 }

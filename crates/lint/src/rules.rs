@@ -1,4 +1,4 @@
-//! The six invariant rules, implemented over the flat token stream.
+//! The seven invariant rules, implemented over the flat token stream.
 //!
 //! Each rule has a stable kebab-case name (used in diagnostics and in
 //! `allow(..)` directives) and guards one of the workspace invariants
@@ -12,6 +12,7 @@
 //! | `nondeterministic-par-idiom` | deterministic parallel merges |
 //! | `unsafe-boundary` | the vendored-memmap-only unsafe boundary |
 //! | `wall-clock-in-hot-path` | bit-identical, replayable hot paths |
+//! | `panic-in-library-path` | the daemon answers typed errors, never dies |
 //!
 //! The rules are deliberately token-level heuristics (no type information):
 //! they match the concrete idioms this workspace bans, they are tuned so the
@@ -41,6 +42,10 @@ pub const UNSAFE_BOUNDARY: &str = "unsafe-boundary";
 /// Rule (6): wall-clock / ambient-entropy calls inside hot-path library
 /// code.
 pub const WALL_CLOCK_IN_HOT_PATH: &str = "wall-clock-in-hot-path";
+/// Rule (7): `unwrap()`/`expect()`/`panic!`-family calls in the serving
+/// daemon's library code, where an unwind kills a serving thread instead of
+/// producing a typed protocol response.
+pub const PANIC_IN_LIBRARY_PATH: &str = "panic-in-library-path";
 
 /// All rule names, in diagnostic-priority order.
 pub const RULES: &[&str] = &[
@@ -50,6 +55,7 @@ pub const RULES: &[&str] = &[
     NONDETERMINISTIC_PAR_IDIOM,
     UNSAFE_BOUNDARY,
     WALL_CLOCK_IN_HOT_PATH,
+    PANIC_IN_LIBRARY_PATH,
 ];
 
 /// True for names that can appear in an `allow(..)` directive.
@@ -70,6 +76,10 @@ pub struct FileCtx {
     /// True for crate roots (`lib.rs`, or a `src/main.rs` with no sibling
     /// `lib.rs`) — scope of rule (5)'s header check.
     pub crate_root: bool,
+    /// True for the serving daemon's library code (`crates/serve/src`) —
+    /// scope of rule (7): a panic there kills a serving thread, so every
+    /// failure must surface as a typed protocol response instead.
+    pub serve_library: bool,
 }
 
 /// Runs every rule over one file's token stream.
@@ -82,6 +92,7 @@ pub fn check(tokens: &[Token], ctx: &FileCtx) -> Vec<Diagnostic> {
     nondeterministic_par_idiom(tokens, ctx, &mut diags);
     unsafe_boundary(tokens, ctx, &mut diags);
     wall_clock_in_hot_path(tokens, ctx, &masked, &mut diags);
+    panic_in_library_path(tokens, ctx, &masked, &mut diags);
     diags
 }
 
@@ -771,6 +782,50 @@ fn wall_clock_in_hot_path(
     }
 }
 
+// ---------------------------------------------------------------------------
+// rule (7): panic-in-library-path
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+fn panic_in_library_path(t: &[Token], ctx: &FileCtx, masked: &[bool], diags: &mut Vec<Diagnostic>) {
+    if !ctx.serve_library {
+        return;
+    }
+    for i in 0..t.len() {
+        if masked[i] {
+            continue;
+        }
+        let Some(name) = ident_at(t, i) else { continue };
+        if (name == "unwrap" || name == "expect")
+            && i > 0
+            && is_punct(t, i - 1, ".")
+            && is_punct(t, i + 1, "(")
+        {
+            push(
+                diags,
+                ctx,
+                PANIC_IN_LIBRARY_PATH,
+                &t[i],
+                format!(
+                    "`.{name}(..)` in daemon library code can unwind a serving thread; \
+                     handle the failure arm and surface a typed protocol response instead"
+                ),
+            );
+        } else if PANIC_MACROS.contains(&name) && is_punct(t, i + 1, "!") {
+            push(
+                diags,
+                ctx,
+                PANIC_IN_LIBRARY_PATH,
+                &t[i],
+                format!(
+                    "`{name}!` in daemon library code kills the serving path; the daemon \
+                     must answer a typed error, never die on a request"
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -782,6 +837,7 @@ mod tests {
             is_order_module: false,
             hot_scope: false,
             crate_root: false,
+            serve_library: false,
         }
     }
 
@@ -891,5 +947,41 @@ mod tests {
             rules_of(&check(&lex(rng).tokens, &c)),
             vec![WALL_CLOCK_IN_HOT_PATH]
         );
+    }
+
+    #[test]
+    fn panics_fire_only_in_serve_library_scope() {
+        let unwrap = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let expect = "fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }";
+        let bang = "fn f() { panic!(\"boom\"); }";
+        let unreach = "fn f() { unreachable!(); }";
+        // Outside the serve library nothing fires.
+        for src in [unwrap, expect, bang, unreach] {
+            assert!(run(src).is_empty(), "fired outside serve scope: {src}");
+        }
+        let mut c = ctx();
+        c.serve_library = true;
+        for src in [unwrap, expect, bang, unreach] {
+            assert_eq!(
+                rules_of(&check(&lex(src).tokens, &c)),
+                vec![PANIC_IN_LIBRARY_PATH],
+                "did not fire in serve scope: {src}"
+            );
+        }
+        // The recovery idioms the daemon does use stay legal: they are
+        // different identifiers, not `unwrap`/`expect`.
+        for src in [
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }",
+            "fn f(l: &M) -> G { l.lock().unwrap_or_else(PoisonError::into_inner) }",
+        ] {
+            assert!(
+                check(&lex(src).tokens, &c).is_empty(),
+                "recovery idiom flagged: {src}"
+            );
+        }
+        // Test code inside the crate is exempt.
+        let gated = "#[cfg(test)]\nmod tests { fn f(x: Option<u32>) -> u32 { x.unwrap() } }";
+        assert!(check(&lex(gated).tokens, &c).is_empty());
     }
 }

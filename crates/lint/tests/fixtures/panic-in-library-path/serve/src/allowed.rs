@@ -1,0 +1,9 @@
+//! The justified escape hatch: deliberate panics (fault injection) carry an
+//! inline justification and are suppressed.
+
+pub fn injected_fault(trigger: bool) {
+    if trigger {
+        // exea-lint: allow(panic-in-library-path) -- deterministic fault injection; the chaos suite asserts this unwinds into a typed Internal response
+        panic!("injected handler panic");
+    }
+}

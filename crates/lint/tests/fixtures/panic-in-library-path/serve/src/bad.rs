@@ -1,0 +1,35 @@
+//! Violations: panicking idioms inside the serving daemon's library code.
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, key: u32) -> u32 {
+    *map.get(&key).unwrap()
+}
+
+pub fn must_have(value: Option<u32>) -> u32 {
+    value.expect("value is always present")
+}
+
+pub fn reject(kind: u8) -> u8 {
+    match kind {
+        0 => 0,
+        1 => panic!("unsupported request kind"),
+        _ => unreachable!("codes above 1 are filtered earlier"),
+    }
+}
+
+pub fn later() -> u32 {
+    todo!("wire this endpoint up")
+}
+
+// Recovery idioms are different identifiers and stay legal.
+pub fn recovering(value: Option<u32>) -> u32 {
+    value.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: a panicking assertion is how tests fail.
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -74,6 +74,11 @@ fn golden_wall_clock_in_hot_path() {
     check_fixture_dir("wall-clock-in-hot-path");
 }
 
+#[test]
+fn golden_panic_in_library_path() {
+    check_fixture_dir("panic-in-library-path");
+}
+
 /// Banned patterns inside strings, raw strings, comments and char literals
 /// must never surface: the golden file for this directory is empty.
 #[test]
@@ -99,6 +104,7 @@ fn allowed_fixtures_are_clean_in_isolation() {
         "tests/fixtures/unordered-float-fold/allowed.rs",
         "tests/fixtures/nondeterministic-par-idiom/allowed.rs",
         "tests/fixtures/unsafe-boundary/allowed/lib.rs",
+        "tests/fixtures/panic-in-library-path/serve/src/allowed.rs",
     ] {
         let out = lint(&["--format=compact", file]);
         let stdout = String::from_utf8_lossy(&out.stdout);

@@ -1,0 +1,293 @@
+//! Client library: blocking protocol client plus a retrying wrapper.
+//!
+//! [`Client`] is the thin layer — one connection, one request/response at a
+//! time, read timeouts so a dead daemon surfaces as a typed
+//! [`ClientError`] instead of a hang. [`RetryClient`] layers the retry
+//! contract on top:
+//!
+//! - transport faults (connection refused / reset / torn frame) →
+//!   reconnect and retry with exponential backoff,
+//! - [`Response::Overloaded`] → wait at least the server's `retry_after`
+//!   hint (backoff if larger), then retry,
+//! - [`Response::ShuttingDown`] and [`Response::DeadlineExceeded`] →
+//!   terminal, surfaced to the caller (retrying a deadline locally would
+//!   just miss it again; a draining daemon wants the client to go away),
+//! - every wait gets deterministic seeded jitter so a thundering herd of
+//!   clients de-synchronises reproducibly.
+
+use crate::protocol::{
+    self, FrameError, Request, RequestFrame, Response, ResponseFrame, WireError, MAX_FRAME,
+};
+use crate::server::Endpoint;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::io;
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Client-side failures (server-side rejections arrive as typed
+/// [`Response`] variants, not errors).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect to the endpoint.
+    Connect(io::Error),
+    /// The connection died mid-exchange (torn frame, reset, timeout).
+    Transport(FrameError),
+    /// The server closed the connection without answering.
+    NoReply,
+    /// The reply did not parse.
+    Malformed(WireError),
+    /// The reply's id does not match the request (protocol violation).
+    IdMismatch {
+        /// Id the request carried.
+        sent: u64,
+        /// Id the reply carried.
+        got: u64,
+    },
+    /// Retries exhausted; the last failure is carried inside.
+    RetriesExhausted(Box<ClientError>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "cannot connect: {e}"),
+            ClientError::Transport(e) => write!(f, "transport failure: {e}"),
+            ClientError::NoReply => write!(f, "server closed the connection without a reply"),
+            ClientError::Malformed(e) => write!(f, "malformed reply: {e}"),
+            ClientError::IdMismatch { sent, got } => {
+                write!(f, "reply id {got} does not match request id {sent}")
+            }
+            ClientError::RetriesExhausted(last) => {
+                write!(f, "retries exhausted; last failure: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking, single-connection protocol client.
+pub struct Client {
+    stream: Stream,
+    next_id: u64,
+    read_timeout: Duration,
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => io::Read::read(s, buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => io::Read::read(s, buf),
+        }
+    }
+}
+
+impl io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => io::Write::write(s, buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => io::Write::write(s, buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => io::Write::flush(s),
+            #[cfg(unix)]
+            Stream::Unix(s) => io::Write::flush(s),
+        }
+    }
+}
+
+impl Client {
+    /// Connects with a bound on how long any later read may stall.
+    pub fn connect(endpoint: &Endpoint, read_timeout: Duration) -> Result<Client, ClientError> {
+        let stream = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str()).map_err(ClientError::Connect)?;
+                // Same reasoning as the server side: length-prefixed frames
+                // are two small writes, which Nagle turns into ~40ms stalls.
+                s.set_nodelay(true).map_err(ClientError::Connect)?;
+                s.set_read_timeout(Some(read_timeout))
+                    .map_err(ClientError::Connect)?;
+                s.set_write_timeout(Some(read_timeout))
+                    .map_err(ClientError::Connect)?;
+                Stream::Tcp(s)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let s = UnixStream::connect(path).map_err(ClientError::Connect)?;
+                s.set_read_timeout(Some(read_timeout))
+                    .map_err(ClientError::Connect)?;
+                s.set_write_timeout(Some(read_timeout))
+                    .map_err(ClientError::Connect)?;
+                Stream::Unix(s)
+            }
+        };
+        Ok(Client {
+            stream,
+            next_id: 1,
+            read_timeout,
+        })
+    }
+
+    /// Sends one request and waits for its reply. `deadline_ms == 0` asks
+    /// for the server's default deadline.
+    pub fn call(&mut self, request: Request, deadline_ms: u32) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let frame = RequestFrame {
+            id,
+            deadline_ms,
+            request,
+        };
+        protocol::write_frame(&mut self.stream, &protocol::encode_request(&frame))
+            .map_err(|e| ClientError::Transport(FrameError::Io(e)))?;
+        // The server may need the whole deadline before answering; poll in
+        // read_timeout ticks until a frame lands or the stream dies.
+        let payload = loop {
+            match protocol::read_frame(&mut self.stream, MAX_FRAME, self.read_timeout) {
+                Ok(Some(payload)) => break payload,
+                Ok(None) => continue,
+                Err(FrameError::Closed) => return Err(ClientError::NoReply),
+                Err(e) => return Err(ClientError::Transport(e)),
+            }
+        };
+        let reply: ResponseFrame =
+            protocol::decode_response(&payload).map_err(ClientError::Malformed)?;
+        if reply.id != id {
+            return Err(ClientError::IdMismatch {
+                sent: id,
+                got: reply.id,
+            });
+        }
+        Ok(reply.response)
+    }
+}
+
+/// Retry/backoff parameters for [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts before giving up (including the first).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff wait.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(500),
+            seed: 0x5eed_c11e,
+        }
+    }
+}
+
+/// A client that reconnects and retries per the retry contract (module
+/// docs), with deterministic seeded jitter.
+pub struct RetryClient {
+    endpoint: Endpoint,
+    read_timeout: Duration,
+    policy: RetryPolicy,
+    rng: ChaCha8Rng,
+    conn: Option<Client>,
+}
+
+impl RetryClient {
+    /// A retrying client for `endpoint`; connections are opened lazily and
+    /// re-opened after transport faults.
+    pub fn new(endpoint: Endpoint, read_timeout: Duration, policy: RetryPolicy) -> RetryClient {
+        let rng = ChaCha8Rng::seed_from_u64(policy.seed);
+        RetryClient {
+            endpoint,
+            read_timeout,
+            policy,
+            rng,
+            conn: None,
+        }
+    }
+
+    /// The exponential backoff for `attempt` (0-based), jittered by up to
+    /// +50% from the seeded stream, floored at `min_wait` (the server's
+    /// `retry_after` hint, if any).
+    fn backoff(&mut self, attempt: u32, min_wait: Duration) -> Duration {
+        let base = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.max_backoff);
+        let base = base.max(min_wait);
+        let jitter_ns = self
+            .rng
+            .gen_range(0..=base.as_nanos().min(u128::from(u64::MAX)) as u64 / 2);
+        base + Duration::from_nanos(jitter_ns)
+    }
+
+    /// Sends `request`, retrying per the policy. Typed server rejections
+    /// other than `Overloaded` are returned as `Ok` — they are answers,
+    /// not failures.
+    pub fn call(&mut self, request: Request, deadline_ms: u32) -> Result<Response, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                // Transport faults carry no server hint; plain backoff.
+                let wait = self.backoff(attempt - 1, Duration::ZERO);
+                std::thread::sleep(wait);
+            }
+            let client = match self.conn.take() {
+                Some(c) => c,
+                None => match Client::connect(&self.endpoint, self.read_timeout) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        last = Some(e);
+                        continue;
+                    }
+                },
+            };
+            let mut client = client;
+            match client.call(request.clone(), deadline_ms) {
+                Ok(Response::Overloaded { retry_after_ms }) => {
+                    // The connection is fine — keep it — but honour the
+                    // server's retry hint before the next attempt.
+                    self.conn = Some(client);
+                    let hint = Duration::from_millis(u64::from(retry_after_ms));
+                    if attempt + 1 < self.policy.max_attempts {
+                        std::thread::sleep(self.backoff(attempt, hint));
+                        continue;
+                    }
+                    return Ok(Response::Overloaded { retry_after_ms });
+                }
+                Ok(response) => {
+                    self.conn = Some(client);
+                    return Ok(response);
+                }
+                Err(e @ (ClientError::Transport(_) | ClientError::NoReply)) => {
+                    // Connection is dead; drop it and retry on a fresh one.
+                    last = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::RetriesExhausted(Box::new(
+            last.unwrap_or(ClientError::NoReply),
+        )))
+    }
+}

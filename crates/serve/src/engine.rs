@@ -1,0 +1,236 @@
+//! The warm serving engine: everything expensive happens once, at startup.
+//!
+//! [`Engine::build`] loads the dataset, trains (or in a real deployment,
+//! loads) the alignment model, constructs the [`ExEa`] framework — path
+//! enumeration, rule mining, candidate index — and pre-builds one candidate
+//! engine per serving tier over the normalized target corpus:
+//!
+//! | tier | engine | quality |
+//! |------|--------|---------|
+//! | [`Tier::Full`] | [`ShardedIndex`], every shard routed, exhaustive IVF | bit-identical to the exact scan |
+//! | [`Tier::Partial`] | same shards, partial routing | subset-only, lower fan-out |
+//! | [`Tier::Sq8`] | [`QuantizedTable`] ADC scan + exact re-rank | subset-only, cheapest |
+//!
+//! Request handlers then only *read*: the engine is `Sync` and shared
+//! across every connection and worker thread without locks.
+//!
+//! # The `'static` borrow
+//!
+//! [`ExEa`] borrows its [`KgPair`] and [`TrainedAlignment`]. A daemon's
+//! engine lives until process exit, so `build` leaks both (one bounded
+//! allocation each per engine, not per request) to obtain `&'static`
+//! references. Tests share a single process-wide engine for the same
+//! reason.
+
+use crate::protocol::{Candidate, Tier};
+use crate::ServeError;
+use ea_data::datasets::{load, DatasetName, DatasetScale};
+use ea_embed::{EmbeddingTable, IvfParams, QuantizedTable, ShardParams, ShardedIndex, Sq8Params};
+use ea_graph::{AlignmentPair, AlignmentSet, EntityId, KgPair, KgSide};
+use ea_models::{build_model, ModelKind, TrainConfig, TrainedAlignment};
+use exea_core::{ExEa, ExeaConfig, PairScore, RepairConfig, RepairOutcome, ScoredExplanation};
+
+/// What to load and how to shard it.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Dataset to serve.
+    pub dataset: DatasetName,
+    /// Dataset scale.
+    pub scale: DatasetScale,
+    /// Alignment model to train at startup.
+    pub model: ModelKind,
+    /// Candidate depth cap per predict request.
+    pub max_k: usize,
+    /// Shard count for the tiered candidate engines (`0` = automatic).
+    pub nshards: usize,
+    /// Shards routed at [`Tier::Partial`] (`0` = half of them, at least 1).
+    pub partial_route: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            dataset: DatasetName::ZhEn,
+            scale: DatasetScale::Small,
+            model: ModelKind::GcnAlign,
+            max_k: 50,
+            nshards: 4,
+            partial_route: 0,
+        }
+    }
+}
+
+/// The warm, read-only serving state shared by every server thread.
+pub struct Engine {
+    exea: ExEa<'static>,
+    state: AlignmentSet,
+    source_norm: EmbeddingTable,
+    target_norm: EmbeddingTable,
+    sharded: ShardedIndex,
+    partial_route: usize,
+    quant: QuantizedTable,
+    sq8: Sq8Params,
+    max_k: usize,
+}
+
+impl Engine {
+    /// Builds the full serving state: dataset, model, framework, and the
+    /// three tier engines. Everything here is the slow path — call once.
+    pub fn build(config: &EngineConfig) -> Result<Engine, ServeError> {
+        let pair = load(config.dataset, config.scale);
+        let trained = build_model(config.model, TrainConfig::fast()).train(&pair);
+        Self::from_trained(pair, trained, config)
+    }
+
+    /// [`Engine::build`] over an already loaded pair + trained model (the
+    /// hook tests and benches use to avoid re-training).
+    pub fn from_trained(
+        pair: KgPair,
+        trained: TrainedAlignment,
+        config: &EngineConfig,
+    ) -> Result<Engine, ServeError> {
+        // One bounded leak per engine: the framework borrows the pair and
+        // model for the life of the process (see module docs).
+        let pair: &'static KgPair = Box::leak(Box::new(pair));
+        let trained: &'static TrainedAlignment = Box::leak(Box::new(trained));
+
+        let exea_config = ExeaConfig::default();
+        let exea = ExEa::new(pair, trained, exea_config);
+        let state = exea.default_alignment_state();
+
+        let source_table = trained.entities(KgSide::Source);
+        let target_table = trained.entities(KgSide::Target);
+        if target_table.rows() == 0 {
+            return Err(ServeError::Config(
+                "cannot serve an empty target corpus".to_string(),
+            ));
+        }
+        let all_sources: Vec<usize> = (0..source_table.rows()).collect();
+        let all_targets: Vec<usize> = (0..target_table.rows()).collect();
+        let source_norm = source_table.gather_normalized(&all_sources);
+        let target_norm = target_table.gather_normalized(&all_targets);
+
+        // Full tier: exhaustive IVF parameters + full routing keeps the
+        // sharded engine bit-identical to the exact scan, so the top tier
+        // serves exactly what the offline pipeline would.
+        let shard_params = ShardParams {
+            nshards: config.nshards,
+            route_shards: usize::MAX,
+            ivf: IvfParams::exhaustive(),
+            ..ShardParams::default()
+        };
+        let sharded = ShardedIndex::build(&target_norm, &shard_params);
+        let nshards = sharded.nshards().max(1);
+        let partial_route = if config.partial_route == 0 {
+            (nshards / 2).max(1)
+        } else {
+            config.partial_route.clamp(1, nshards)
+        };
+        let quant = QuantizedTable::build(&target_norm);
+
+        Ok(Engine {
+            exea,
+            state,
+            source_norm,
+            target_norm,
+            sharded,
+            partial_route,
+            quant,
+            sq8: Sq8Params::default(),
+            max_k: config.max_k.max(1),
+        })
+    }
+
+    /// The framework (read-only; used by tests for parity checks).
+    pub fn exea(&self) -> &ExEa<'static> {
+        &self.exea
+    }
+
+    /// The shared default alignment state (predictions + seed).
+    pub fn state(&self) -> &AlignmentSet {
+        &self.state
+    }
+
+    /// Acceptance threshold β = sigmoid(θ) of the verification rule.
+    pub fn beta(&self) -> f64 {
+        self.exea.config().beta()
+    }
+
+    /// Number of source entities predict accepts ids below.
+    pub fn num_sources(&self) -> usize {
+        self.source_norm.rows()
+    }
+
+    /// Whether `id` is a known source entity.
+    pub fn valid_source(&self, id: u32) -> bool {
+        (id as usize) < self.source_norm.rows()
+    }
+
+    /// Whether `id` is a known target entity.
+    pub fn valid_target(&self, id: u32) -> bool {
+        (id as usize) < self.target_norm.rows()
+    }
+
+    /// Candidate depth cap per predict request.
+    pub fn max_k(&self) -> usize {
+        self.max_k
+    }
+
+    /// Top-`k` candidate targets for one source entity at an explicit
+    /// serving tier. [`Tier::Full`] is bit-identical to the exact scan;
+    /// the degraded tiers are subset-only approximations of it.
+    pub fn predict(&self, source: u32, k: usize, tier: Tier) -> Vec<Candidate> {
+        let k = k.clamp(1, self.max_k);
+        let mut query = EmbeddingTable::zeros(1, self.source_norm.dim());
+        query
+            .row_mut(0)
+            .copy_from_slice(self.source_norm.row(source as usize));
+        let mut results = match tier {
+            Tier::Full => self
+                .sharded
+                .search_routed(&query, k, self.sharded.nshards()),
+            Tier::Partial => self.sharded.search_routed(&query, k, self.partial_route),
+            Tier::Sq8 => self.quant.search(&query, &self.target_norm, k, &self.sq8),
+        };
+        let row = if results.is_empty() {
+            Vec::new()
+        } else {
+            results.swap_remove(0)
+        };
+        row.into_iter()
+            .map(|(target, score)| Candidate { target, score })
+            .collect()
+    }
+
+    /// Explains and scores a batch of pairs through the order-preserving
+    /// pipeline — bit-identical to sequential per-pair calls regardless of
+    /// how requests were batched together.
+    pub fn explain_batch(&self, pairs: &[AlignmentPair]) -> Vec<ScoredExplanation> {
+        self.exea
+            .explain_and_score_batch(pairs, &self.state, true, self.exea.batch_options())
+    }
+
+    /// Scores a batch of pairs (confidence + strong-edge flag only) — the
+    /// verification entry point, order-preserving like
+    /// [`Engine::explain_batch`].
+    pub fn score_batch(&self, pairs: &[AlignmentPair]) -> Vec<PairScore> {
+        self.exea
+            .score_batch(pairs, &self.state, true, self.exea.batch_options())
+    }
+
+    /// Runs the full repair pipeline over the model's predictions.
+    pub fn repair(&self) -> RepairOutcome {
+        self.exea.repair(&RepairConfig::default())
+    }
+
+    /// A known-good (source, target) pair for smoke tests: the first model
+    /// prediction.
+    pub fn sample_pair(&self) -> Option<AlignmentPair> {
+        self.exea.predictions().iter().next()
+    }
+
+    /// Builds an [`AlignmentPair`] from raw wire ids.
+    pub fn pair_of(&self, source: u32, target: u32) -> AlignmentPair {
+        AlignmentPair::new(EntityId(source), EntityId(target))
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic fault injection for the chaos suite.
+//!
+//! A [`FaultPlan`] is plain data handed to the server at startup: per
+//! accepted connection (keyed by accept order, so a given plan always
+//! injects the same faults into the same connections) it can fail or delay
+//! reads, tear writes mid-frame, sever the connection after a number of
+//! requests, or panic inside the request handler; globally it can slow the
+//! batch workers down to make overload and deadline windows reproducible.
+//! Everything is deterministic — no randomness, no wall-clock conditions —
+//! so a failing chaos test replays exactly.
+//!
+//! The injection point is [`FaultyStream`], a `Read + Write` wrapper the
+//! server threads its accepted transports through. The daemon under test
+//! cannot tell an injected `EIO` from a real one, which is the point: the
+//! chaos suite asserts the *response* to the fault (typed error, counter,
+//! intact daemon), not the fault's provenance.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Faults to inject into one accepted connection.
+#[derive(Debug, Clone, Default)]
+pub struct ConnFaults {
+    /// Sleep this long before every read (a slow client / slow network).
+    pub read_delay: Option<Duration>,
+    /// Fail the nth read call (0-based) with an injected I/O error.
+    pub fail_read_at: Option<u32>,
+    /// Fail the nth write call (0-based) with an injected I/O error.
+    pub fail_write_at: Option<u32>,
+    /// Allow only this many response bytes through, then sever the stream
+    /// (a torn write from the client's perspective).
+    pub tear_write_after: Option<usize>,
+    /// Panic inside the request handler (exercises panic isolation).
+    pub panic_in_handler: bool,
+}
+
+impl ConnFaults {
+    /// Whether this connection has any fault to inject.
+    pub fn is_clean(&self) -> bool {
+        self.read_delay.is_none()
+            && self.fail_read_at.is_none()
+            && self.fail_write_at.is_none()
+            && self.tear_write_after.is_none()
+            && !self.panic_in_handler
+    }
+}
+
+/// The full deterministic fault schedule for one server run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Per-connection faults, indexed by accept order; connections past the
+    /// end of the list run clean.
+    pub connections: Vec<ConnFaults>,
+    /// Slow every admission batch down by this much (makes overload and
+    /// deadline-expiry windows deterministic in tests).
+    pub batch_delay: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (the production default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The faults for the `seq`-th accepted connection.
+    pub fn for_connection(&self, seq: u64) -> ConnFaults {
+        usize::try_from(seq)
+            .ok()
+            .and_then(|i| self.connections.get(i).cloned())
+            .unwrap_or_default()
+    }
+}
+
+/// A transport with deterministic faults layered over it.
+#[derive(Debug)]
+pub struct FaultyStream<S> {
+    inner: S,
+    faults: ConnFaults,
+    reads: u32,
+    writes: u32,
+    written: usize,
+}
+
+impl<S> FaultyStream<S> {
+    /// Wraps a transport with the given connection faults.
+    pub fn new(inner: S, faults: ConnFaults) -> FaultyStream<S> {
+        FaultyStream {
+            inner,
+            faults,
+            reads: 0,
+            writes: 0,
+            written: 0,
+        }
+    }
+
+    /// The faults this stream injects.
+    pub fn faults(&self) -> &ConnFaults {
+        &self.faults
+    }
+
+    /// The wrapped transport.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Read> Read for FaultyStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(delay) = self.faults.read_delay {
+            std::thread::sleep(delay);
+        }
+        let seq = self.reads;
+        self.reads = self.reads.saturating_add(1);
+        if self.faults.fail_read_at == Some(seq) {
+            return Err(io::Error::other("injected read fault"));
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultyStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let seq = self.writes;
+        self.writes = self.writes.saturating_add(1);
+        if self.faults.fail_write_at == Some(seq) {
+            return Err(io::Error::other("injected write fault"));
+        }
+        if let Some(cap) = self.faults.tear_write_after {
+            if self.written >= cap {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected torn write",
+                ));
+            }
+            let allowed = (cap - self.written).min(buf.len());
+            let n = self.inner.write(&buf[..allowed])?;
+            self.written += n;
+            return Ok(n);
+        }
+        let n = self.inner.write(buf)?;
+        self.written += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_key_faults_by_accept_order() {
+        let plan = FaultPlan {
+            connections: vec![
+                ConnFaults::default(),
+                ConnFaults {
+                    fail_read_at: Some(0),
+                    ..ConnFaults::default()
+                },
+            ],
+            batch_delay: None,
+        };
+        assert!(plan.for_connection(0).is_clean());
+        assert_eq!(plan.for_connection(1).fail_read_at, Some(0));
+        assert!(plan.for_connection(2).is_clean(), "past the end runs clean");
+        assert!(plan.for_connection(u64::MAX).is_clean());
+    }
+
+    #[test]
+    fn injected_read_fault_fires_on_the_scheduled_call() {
+        let data = vec![1u8, 2, 3, 4];
+        let mut s = FaultyStream::new(
+            std::io::Cursor::new(data),
+            ConnFaults {
+                fail_read_at: Some(1),
+                ..ConnFaults::default()
+            },
+        );
+        let mut buf = [0u8; 2];
+        assert_eq!(s.read(&mut buf).unwrap(), 2);
+        let err = s.read(&mut buf).unwrap_err();
+        assert_eq!(err.to_string(), "injected read fault");
+        // Later reads proceed (the fault fires exactly once).
+        assert_eq!(s.read(&mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn torn_write_caps_bytes_then_severs() {
+        let mut s = FaultyStream::new(
+            Vec::new(),
+            ConnFaults {
+                tear_write_after: Some(3),
+                ..ConnFaults::default()
+            },
+        );
+        assert_eq!(s.write(b"ab").unwrap(), 2);
+        assert_eq!(s.write(b"cd").unwrap(), 1, "only one byte fits the cap");
+        let err = s.write(b"e").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(s.get_ref(), b"abc");
+    }
+}

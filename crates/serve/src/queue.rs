@@ -1,0 +1,199 @@
+//! Bounded admission queue: the backpressure boundary of the daemon.
+//!
+//! Connection threads `try_push` — a full queue is an *immediate* typed
+//! rejection (the server turns it into [`Overloaded`]), never an unbounded
+//! buffer and never a blocking producer. Batch workers `pop_batch`, taking
+//! up to a batch's worth of jobs in strict admission order, which is what
+//! lets the server concatenate them into one order-preserving pipeline
+//! call and slice the results back per job.
+//!
+//! The queue is a plain `Mutex<VecDeque> + Condvar`; a poisoned mutex
+//! (possible only if a pusher panicked mid-push, which the panic-isolation
+//! layer already converts into a typed response) is recovered by taking the
+//! inner value — the queue's state is a `VecDeque` of owned jobs and stays
+//! structurally valid across an unwind.
+//!
+//! [`Overloaded`]: crate::protocol::Response::Overloaded
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// A bounded multi-producer multi-consumer admission queue.
+#[derive(Debug)]
+pub struct Admission<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Outcome of a [`Admission::try_push`].
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the job is handed back for a typed
+    /// rejection.
+    Full(T),
+    /// The queue is closed (shutdown); the job is handed back.
+    Closed(T),
+}
+
+/// Outcome of a [`Admission::pop_batch`].
+#[derive(Debug)]
+pub struct Batch<T> {
+    /// Jobs in strict admission order (possibly empty on a poll timeout).
+    pub jobs: Vec<T>,
+    /// Whether the queue is closed *and* drained — the worker's exit
+    /// signal.
+    pub finished: bool,
+}
+
+impl<T> Admission<T> {
+    /// A queue admitting at most `capacity` queued jobs.
+    pub fn new(capacity: usize) -> Admission<T> {
+        Admission {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits one job, or rejects immediately — never blocks.
+    pub fn try_push(&self, job: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(job));
+        }
+        if inner.queue.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        inner.queue.push_back(job);
+        let depth = inner.queue.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Takes up to `max` jobs in admission order, waiting up to `poll` for
+    /// the first one. An empty batch with `finished: false` is a poll tick
+    /// (workers use it to re-check faults/config); `finished: true` means
+    /// closed and drained.
+    pub fn pop_batch(&self, max: usize, poll: Duration) -> Batch<T> {
+        let mut inner = self.lock();
+        if inner.queue.is_empty() && !inner.closed {
+            let (guard, _timeout) = self
+                .ready
+                .wait_timeout(inner, poll)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+        let take = inner.queue.len().min(max.max(1));
+        let jobs: Vec<T> = inner.queue.drain(..take).collect();
+        let finished = inner.closed && inner.queue.is_empty();
+        drop(inner);
+        if !jobs.is_empty() {
+            // More work may remain; wake a sibling worker.
+            self.ready.notify_one();
+        }
+        Batch { jobs, finished }
+    }
+
+    /// Closes the queue and returns everything still queued (the server
+    /// answers each with `ShuttingDown`). Idempotent.
+    pub fn close(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        inner.closed = true;
+        let leftovers: Vec<T> = inner.queue.drain(..).collect();
+        drop(inner);
+        self.ready.notify_all();
+        leftovers
+    }
+
+    /// Jobs currently queued.
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Whether [`Admission::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_immediately_with_the_job() {
+        let q = Admission::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(job)) => assert_eq!(job, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn batches_preserve_admission_order() {
+        let q = Admission::new(16);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        let b = q.pop_batch(4, Duration::from_millis(1));
+        assert_eq!(b.jobs, vec![0, 1, 2, 3]);
+        assert!(!b.finished);
+        let b = q.pop_batch(4, Duration::from_millis(1));
+        assert_eq!(b.jobs, vec![4, 5]);
+    }
+
+    #[test]
+    fn close_returns_leftovers_and_finishes_workers() {
+        let q = Admission::new(8);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.close(), vec!["a", "b"]);
+        match q.try_push("c") {
+            Err(PushError::Closed(job)) => assert_eq!(job, "c"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        let b = q.pop_batch(4, Duration::from_millis(1));
+        assert!(b.jobs.is_empty());
+        assert!(b.finished);
+    }
+
+    #[test]
+    fn pop_wakes_on_push_across_threads() {
+        let q = Arc::new(Admission::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || loop {
+                let b = q.pop_batch(1, Duration::from_millis(50));
+                if let Some(&job) = b.jobs.first() {
+                    return job;
+                }
+                if b.finished {
+                    return -1;
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,373 @@
+//! Chaos suite: the daemon under deterministic fault injection.
+//!
+//! The invariant under test, from every angle: **the daemon always answers
+//! or rejects with a typed error — it never hangs, never corrupts a
+//! result, never dies.** Faults come from two directions: hostile bytes on
+//! the wire (torn frames, garbage, oversized prefixes, mid-request
+//! disconnects) and a [`FaultPlan`] injecting failures inside the server
+//! itself (failed reads/writes, slow reads, torn response writes, handler
+//! panics). Hangs are ruled out structurally: every client call carries a
+//! timeout and every test joins its threads, so a wedged daemon fails the
+//! suite instead of wedging it.
+
+use exea_serve::protocol::{self, Request, Response};
+use exea_serve::{
+    Client, ClientError, ConnFaults, Endpoint, Engine, EngineConfig, FaultPlan, Server,
+    ServerConfig, ServerHandle,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine::build(&EngineConfig::default()).expect("engine builds"))
+}
+
+fn start(config: ServerConfig) -> (ServerHandle, Endpoint, std::net::SocketAddr) {
+    let handle = Server::start(
+        engine(),
+        &[Endpoint::Tcp("127.0.0.1:0".to_string())],
+        config,
+    )
+    .expect("server starts");
+    let addr = handle.tcp_addr().expect("tcp endpoint bound");
+    (handle, Endpoint::Tcp(addr.to_string()), addr)
+}
+
+fn sample_pair() -> (u32, u32) {
+    let p = engine().sample_pair().expect("model predicts something");
+    (p.source.0, p.target.0)
+}
+
+/// The liveness probe every chaos test ends with: after whatever abuse, a
+/// clean connection still gets a correct, bit-identical answer.
+fn assert_daemon_healthy(endpoint: &Endpoint) {
+    let mut c = Client::connect(endpoint, Duration::from_secs(10)).expect("daemon still accepts");
+    let (source, target) = sample_pair();
+    match c
+        .call(Request::Explain { source, target }, 10_000)
+        .expect("daemon still serves")
+    {
+        Response::Explain { confidence, .. } => {
+            let direct = &engine().explain_batch(&[engine().pair_of(source, target)])[0];
+            assert_eq!(
+                confidence.to_bits(),
+                direct.confidence().to_bits(),
+                "post-chaos answers stay bit-identical"
+            );
+        }
+        other => panic!("expected Explain, got {other:?}"),
+    }
+}
+
+#[test]
+fn torn_request_frames_and_disconnects_leave_the_daemon_serving() {
+    let (handle, endpoint, addr) = start(ServerConfig::default());
+
+    // A frame that promises 100 bytes and delivers 3, then vanishes.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&100u32.to_le_bytes()).expect("len prefix");
+        raw.write_all(&[1, 2, 3]).expect("partial payload");
+        // Dropped here: mid-request disconnect.
+    }
+    // A connection that sends only half a length prefix.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.write_all(&[7u8, 0]).expect("half a prefix");
+    }
+    // An instant disconnect with no bytes at all.
+    drop(TcpStream::connect(addr).expect("connect"));
+
+    // Give the connection threads a moment to classify the carnage.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_daemon_healthy(&endpoint);
+    let stats = handle.stats();
+    assert!(
+        stats.transport_faults >= 1,
+        "torn frames are counted: {stats:?}"
+    );
+    assert_eq!(stats.panics, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_and_oversized_frames_get_typed_rejections() {
+    let (handle, endpoint, addr) = start(ServerConfig::default());
+
+    // Well-framed garbage: correct length prefix, meaningless payload.
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let garbage = [0xAAu8; 32];
+        protocol::write_frame(&mut raw, &garbage).expect("framed garbage");
+        let reply = protocol::read_frame(&mut raw, protocol::MAX_FRAME, Duration::from_secs(5))
+            .expect("server answers")
+            .expect("a frame, not EOF");
+        let frame = protocol::decode_response(&reply).expect("typed response");
+        assert!(
+            matches!(frame.response, Response::BadRequest { .. }),
+            "garbage is a BadRequest, got {:?}",
+            frame.response
+        );
+    }
+
+    // An oversized length prefix: typed rejection, then the connection is
+    // closed (the stream position is unrecoverable).
+    {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        raw.write_all(&(protocol::MAX_FRAME + 1).to_le_bytes())
+            .expect("huge prefix");
+        let reply = protocol::read_frame(&mut raw, protocol::MAX_FRAME, Duration::from_secs(5))
+            .expect("server answers before closing")
+            .expect("a frame, not EOF");
+        let frame = protocol::decode_response(&reply).expect("typed response");
+        assert!(matches!(frame.response, Response::BadRequest { .. }));
+        // And then EOF — not a hang, not garbage.
+        match protocol::read_frame(&mut raw, protocol::MAX_FRAME, Duration::from_secs(5)) {
+            Err(protocol::FrameError::Closed) => {}
+            other => panic!("expected a clean close after the rejection, got {other:?}"),
+        }
+    }
+
+    assert_daemon_healthy(&endpoint);
+    let stats = handle.stats();
+    assert!(stats.bad_requests >= 2);
+    assert_eq!(stats.panics, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn fault_plan_matrix_every_injected_fault_yields_a_typed_outcome() {
+    // Connections 0..4 get, in accept order: a failed read, a slow read
+    // (under the stall budget), a failed response write, a torn response
+    // write, and a handler panic. Connection 5+ run clean.
+    let plan = FaultPlan {
+        connections: vec![
+            ConnFaults {
+                fail_read_at: Some(0),
+                ..ConnFaults::default()
+            },
+            ConnFaults {
+                read_delay: Some(Duration::from_millis(30)),
+                ..ConnFaults::default()
+            },
+            ConnFaults {
+                fail_write_at: Some(0),
+                ..ConnFaults::default()
+            },
+            ConnFaults {
+                tear_write_after: Some(5),
+                ..ConnFaults::default()
+            },
+            ConnFaults {
+                panic_in_handler: true,
+                ..ConnFaults::default()
+            },
+        ],
+        batch_delay: None,
+    };
+    let config = ServerConfig {
+        fault: plan,
+        stall_budget: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let (handle, endpoint, _) = start(config);
+    let (source, target) = sample_pair();
+
+    // Conn 0: the server's first read fails -> server drops the
+    // connection; the client sees a typed transport error, never a hang.
+    {
+        let mut c = Client::connect(&endpoint, Duration::from_secs(5)).expect("connect");
+        match c.call(Request::Explain { source, target }, 5_000) {
+            Err(ClientError::NoReply | ClientError::Transport(_)) => {}
+            other => panic!("conn 0 (failed read): expected a typed client error, got {other:?}"),
+        }
+    }
+    // Conn 1: slow reads under the stall budget — served correctly anyway.
+    {
+        let mut c = Client::connect(&endpoint, Duration::from_secs(10)).expect("connect");
+        match c.call(Request::Explain { source, target }, 10_000) {
+            Ok(Response::Explain { confidence, .. }) => {
+                let direct = &engine().explain_batch(&[engine().pair_of(source, target)])[0];
+                assert_eq!(confidence.to_bits(), direct.confidence().to_bits());
+            }
+            other => panic!("conn 1 (slow read): expected Explain, got {other:?}"),
+        }
+    }
+    // Conn 2: the response write fails server-side -> client sees EOF.
+    {
+        let mut c = Client::connect(&endpoint, Duration::from_secs(5)).expect("connect");
+        match c.call(Request::Health, 0) {
+            Err(ClientError::NoReply | ClientError::Transport(_)) => {}
+            other => panic!("conn 2 (failed write): expected a typed client error, got {other:?}"),
+        }
+    }
+    // Conn 3: the response is torn after 5 bytes -> typed torn frame.
+    {
+        let mut c = Client::connect(&endpoint, Duration::from_secs(5)).expect("connect");
+        match c.call(Request::Health, 0) {
+            Err(ClientError::Transport(_) | ClientError::NoReply) => {}
+            other => panic!("conn 3 (torn write): expected a typed client error, got {other:?}"),
+        }
+    }
+    // Conn 4: the handler panics -> panic isolation turns it into a typed
+    // Internal response on a live connection.
+    {
+        let mut c = Client::connect(&endpoint, Duration::from_secs(5)).expect("connect");
+        match c.call(Request::Health, 0) {
+            Ok(Response::Internal { message }) => {
+                assert!(message.contains("panicked"), "got: {message}")
+            }
+            other => panic!("conn 4 (handler panic): expected Internal, got {other:?}"),
+        }
+    }
+
+    // After the whole matrix, the daemon is intact and correct.
+    assert_daemon_healthy(&endpoint);
+    let stats = handle.stats();
+    assert!(stats.panics >= 1, "the injected panic was counted");
+    assert!(
+        stats.transport_faults >= 2,
+        "injected I/O faults were counted"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn saturation_every_request_gets_a_typed_outcome() {
+    let config = ServerConfig {
+        queue_capacity: 2,
+        max_batch: 2,
+        batch_workers: 1,
+        retry_after_ms: 5,
+        fault: FaultPlan {
+            batch_delay: Some(Duration::from_millis(30)),
+            ..FaultPlan::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (handle, endpoint, _) = start(config);
+    let (source, target) = sample_pair();
+
+    // 24 concurrent clients against a 2-slot queue with a slow worker.
+    // Joining every thread bounds wall-time: a single hang fails the test.
+    let mut threads = Vec::new();
+    for _ in 0..24 {
+        let endpoint = endpoint.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c =
+                Client::connect(&endpoint, Duration::from_secs(15)).expect("client connects");
+            c.call(Request::Explain { source, target }, 10_000)
+        }));
+    }
+    let mut served = 0usize;
+    let mut rejected = 0usize;
+    for t in threads {
+        match t.join().expect("client thread survives") {
+            Ok(Response::Explain { confidence, .. }) => {
+                let direct = &engine().explain_batch(&[engine().pair_of(source, target)])[0];
+                assert_eq!(
+                    confidence.to_bits(),
+                    direct.confidence().to_bits(),
+                    "served answers stay bit-identical under saturation"
+                );
+                served += 1;
+            }
+            Ok(Response::Overloaded { retry_after_ms }) => {
+                assert_eq!(retry_after_ms, 5);
+                rejected += 1;
+            }
+            Ok(Response::DeadlineExceeded) => rejected += 1,
+            other => panic!("expected a typed outcome, got {other:?}"),
+        }
+    }
+    assert_eq!(served + rejected, 24, "every request accounted for");
+    assert!(served >= 1, "someone was served");
+    assert!(rejected >= 1, "backpressure engaged");
+    let stats = handle.stats();
+    assert_eq!(stats.panics, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_under_load_never_hangs_and_types_every_outcome() {
+    let config = ServerConfig {
+        fault: FaultPlan {
+            batch_delay: Some(Duration::from_millis(50)),
+            ..FaultPlan::default()
+        },
+        drain_deadline: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let (handle, endpoint, _) = start(config);
+    let (source, target) = sample_pair();
+
+    let mut threads = Vec::new();
+    for _ in 0..8 {
+        let endpoint = endpoint.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c = match Client::connect(&endpoint, Duration::from_secs(10)) {
+                Ok(c) => c,
+                // Connecting after the listener died is a typed outcome too.
+                Err(ClientError::Connect(_)) => return None,
+                Err(e) => panic!("unexpected connect failure: {e}"),
+            };
+            Some(c.call(Request::Explain { source, target }, 5_000))
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let report = handle.shutdown();
+
+    for t in threads {
+        match t.join().expect("client thread survives") {
+            None => {}
+            Some(Ok(
+                Response::Explain { .. }
+                | Response::ShuttingDown
+                | Response::Overloaded { .. }
+                | Response::DeadlineExceeded,
+            )) => {}
+            Some(Err(ClientError::NoReply | ClientError::Transport(_))) => {}
+            Some(other) => panic!("expected a typed outcome across shutdown, got {other:?}"),
+        }
+    }
+    // The drain itself is bounded: either it finished or the deadline
+    // kicked in and queued work was answered ShuttingDown — both are fine,
+    // the test completing at all proves no hang.
+    let _ = report;
+}
+
+#[test]
+fn fault_plans_are_deterministic_across_runs() {
+    // The same plan against two fresh daemons injects the same faults into
+    // the same connections — the property that makes chaos failures
+    // replayable.
+    for _ in 0..2 {
+        let plan = FaultPlan {
+            connections: vec![ConnFaults {
+                panic_in_handler: true,
+                ..ConnFaults::default()
+            }],
+            batch_delay: None,
+        };
+        let config = ServerConfig {
+            fault: plan,
+            ..ServerConfig::default()
+        };
+        let (handle, endpoint, _) = start(config);
+        let mut c = Client::connect(&endpoint, Duration::from_secs(5)).expect("connect");
+        match c.call(Request::Health, 0) {
+            Ok(Response::Internal { .. }) => {}
+            other => panic!("expected the injected panic every run, got {other:?}"),
+        }
+        assert_daemon_healthy(&endpoint);
+        assert_eq!(handle.stats().panics, 1);
+        handle.shutdown();
+    }
+}
