@@ -23,6 +23,7 @@
 //!   ondisk   in-memory vs mmap/pread-backed candidate store (resident bytes)
 //!   shard    exact scan vs sharded scatter-gather (recall across routed shards)
 //!   serve    exea-serve under concurrent load (p50/p99, clean vs injected faults)
+//!   lsm      LSM mutable engine: insert/delete/compact schedule (recall, cost, repair parity)
 //!   all      run everything above in sequence
 //! ```
 //!
@@ -99,7 +100,7 @@ fn run(experiment: Experiment, config: &BenchConfig) {
 
 fn print_usage() {
     println!(
-        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|sq8|ondisk|shard|serve|all> \
+        "exea-bench <table1|table2|fig4|fig5|table3|table4|fig6|table5|table6|table7|table8|topk|ann|sq8|ondisk|shard|serve|lsm|all> \
          [--scale small|bench|paper] [--samples N]"
     );
 }

@@ -45,6 +45,7 @@
 use crate::candidates::CandidateIndex;
 use crate::embedding::EmbeddingTable;
 use crate::kernel;
+use crate::lsm::{self, LsmParams};
 use crate::quantized::{
     sq8_candidate_index, sq8_select_and_rerank, QuantizedTable, Sq8GridFit, Sq8Params, Sq8Scratch,
 };
@@ -1142,6 +1143,14 @@ pub enum CandidateSearch {
     /// deterministically merged — bit-identical to a single-shard build
     /// when every shard is routed, subset-only below that.
     Sharded(ShardParams),
+    /// The LSM-style mutable engine ([`crate::MutableIndex`]): immutable
+    /// sealed segments plus an exact-scanned in-memory tail, tombstone
+    /// shadowing for deletes, deterministic caller-driven compaction. As a
+    /// one-shot strategy it builds the index by inserting the corpus rows
+    /// (sealing every [`LsmParams::seal_rows`]) and runs the gather-merge
+    /// search — bit-identical to a single engine over the corpus at the
+    /// default exhaustive per-segment settings, subset-only below them.
+    Lsm(LsmParams),
 }
 
 /// A rejected environment-variable override: the variable, the offending
@@ -1173,9 +1182,10 @@ impl std::error::Error for EnvOverrideError {}
 
 /// Accepted `EXEA_CANDIDATE_SEARCH` values, for error messages.
 const CANDIDATE_SEARCH_EXPECTED: &str = "exact, ivf, sq8, ivf-sq8, one of \
-     ivf-mapped, sq8-mapped, ivf-sq8-mapped, or one of \
+     ivf-mapped, sq8-mapped, ivf-sq8-mapped, one of \
      sharded-ivf, sharded-ivf-sq8, sharded-ivf-mapped, \
-     sharded-ivf-sq8-mapped";
+     sharded-ivf-sq8-mapped, or one of \
+     lsm-ivf, lsm-ivf-sq8, lsm-ivf-mapped, lsm-ivf-sq8-mapped";
 
 impl CandidateSearch {
     /// The default strategy honouring the `EXEA_CANDIDATE_SEARCH`
@@ -1188,8 +1198,10 @@ impl CandidateSearch {
     /// store), plus the scatter-gather shard layer over the same four IVF
     /// engines: `sharded-ivf`, `sharded-ivf-sq8`, `sharded-ivf-mapped` and
     /// `sharded-ivf-sq8-mapped` (default [`ShardParams`]: auto shard count,
-    /// every shard routed); unset or empty means
-    /// [`CandidateSearch::Exact`].
+    /// every shard routed), plus the LSM mutable engine over the same four:
+    /// `lsm-ivf`, `lsm-ivf-sq8`, `lsm-ivf-mapped` and `lsm-ivf-sq8-mapped`
+    /// (default [`LsmParams`]: 512-row seal budget, exhaustive per-segment
+    /// probing); unset or empty means [`CandidateSearch::Exact`].
     ///
     /// Config `Default` impls ([`ExeaConfig`](https://docs.rs/exea-core),
     /// `TrainConfig`) call this instead of hard-coding `Exact`; explicitly
@@ -1283,6 +1295,29 @@ impl CandidateSearch {
                 },
                 ..ShardParams::default()
             }),
+            "lsm-ivf" => CandidateSearch::Lsm(LsmParams::default()),
+            "lsm-ivf-sq8" => CandidateSearch::Lsm(LsmParams {
+                ivf: IvfParams {
+                    storage: IvfListStorage::Sq8(Sq8Params::default()),
+                    ..LsmParams::default().ivf
+                },
+                ..LsmParams::default()
+            }),
+            "lsm-ivf-mapped" => CandidateSearch::Lsm(LsmParams {
+                ivf: IvfParams {
+                    backing: mapped,
+                    ..LsmParams::default().ivf
+                },
+                ..LsmParams::default()
+            }),
+            "lsm-ivf-sq8-mapped" => CandidateSearch::Lsm(LsmParams {
+                ivf: IvfParams {
+                    storage: IvfListStorage::Sq8(Sq8Params::default()),
+                    backing: mapped,
+                    ..LsmParams::default().ivf
+                },
+                ..LsmParams::default()
+            }),
             _ => return None,
         })
     }
@@ -1312,6 +1347,15 @@ impl CandidateSource for CandidateSearch {
                     (IvfListStorage::Flat, true) => "sharded-ivf-mapped",
                     (IvfListStorage::Sq8(_), false) => "sharded-ivf-sq8",
                     (IvfListStorage::Sq8(_), true) => "sharded-ivf-sq8-mapped",
+                }
+            }
+            CandidateSearch::Lsm(params) => {
+                let mapped = matches!(params.ivf.backing, StoreBacking::Mapped(_));
+                match (&params.ivf.storage, mapped) {
+                    (IvfListStorage::Flat, false) => "lsm-ivf",
+                    (IvfListStorage::Flat, true) => "lsm-ivf-mapped",
+                    (IvfListStorage::Sq8(_), false) => "lsm-ivf-sq8",
+                    (IvfListStorage::Sq8(_), true) => "lsm-ivf-sq8-mapped",
                 }
             }
         }
@@ -1348,6 +1392,15 @@ impl CandidateSource for CandidateSearch {
                 params,
             ),
             CandidateSearch::Sharded(params) => shard::sharded_candidate_index(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+                false,
+                params,
+            ),
+            CandidateSearch::Lsm(params) => lsm::lsm_candidate_index(
                 source_table,
                 source_ids,
                 target_table,
@@ -1394,6 +1447,15 @@ impl CandidateSource for CandidateSearch {
                 params,
             ),
             CandidateSearch::Sharded(params) => shard::sharded_candidate_index(
+                source_table,
+                source_ids,
+                target_table,
+                target_ids,
+                k,
+                true,
+                params,
+            ),
+            CandidateSearch::Lsm(params) => lsm::lsm_candidate_index(
                 source_table,
                 source_ids,
                 target_table,
@@ -1520,6 +1582,10 @@ mod tests {
             "sharded-ivf-sq8",
             "sharded-ivf-mapped",
             "sharded-ivf-sq8-mapped",
+            "lsm-ivf",
+            "lsm-ivf-sq8",
+            "lsm-ivf-mapped",
+            "lsm-ivf-sq8-mapped",
         ] {
             let search = CandidateSearch::from_env_value(Some(value)).unwrap();
             if !value.is_empty() {
@@ -1536,6 +1602,70 @@ mod tests {
         assert!(msg.contains("EXEA_CANDIDATE_SEARCH"), "got: {msg}");
         assert!(msg.contains("\"ivff\""), "got: {msg}");
         assert!(msg.contains("sharded-ivf-sq8-mapped"), "got: {msg}");
+        assert!(msg.contains("lsm-ivf-sq8-mapped"), "got: {msg}");
+    }
+
+    #[test]
+    fn lsm_override_values_parse_strictly() {
+        for (value, mapped, sq8) in [
+            ("lsm-ivf", false, false),
+            ("lsm-ivf-sq8", false, true),
+            ("lsm-ivf-mapped", true, false),
+            ("lsm-ivf-sq8-mapped", true, true),
+        ] {
+            let parsed = CandidateSearch::parse_override(value)
+                .unwrap_or_else(|| panic!("{value} must parse"));
+            let CandidateSearch::Lsm(params) = &parsed else {
+                panic!("{value} must parse to Lsm");
+            };
+            assert_eq!(parsed.name(), value);
+            // Defaults are validation-friendly: exhaustive per-segment
+            // probing, so the engine is bit-identical to the exact scan.
+            assert_eq!(params.ivf.nprobe, usize::MAX, "{value}");
+            assert_eq!(params.seal_rows, LsmParams::default().seal_rows);
+            assert_eq!(
+                matches!(params.ivf.backing, StoreBacking::Mapped(_)),
+                mapped,
+                "{value}"
+            );
+            assert_eq!(
+                matches!(params.ivf.storage, IvfListStorage::Sq8(_)),
+                sq8,
+                "{value}"
+            );
+        }
+        for typo in ["lsm", "lsm-sq8", "lsm-exact", "ivf-lsm"] {
+            assert_eq!(CandidateSearch::parse_override(typo), None, "{typo}");
+        }
+    }
+
+    #[test]
+    fn lsm_strategy_with_exhaustive_segments_matches_exact() {
+        let s = random_table(41, 30, 8);
+        let t = random_table(42, 37, 8);
+        let sids: Vec<EntityId> = (0..30).map(EntityId).collect();
+        let tids: Vec<EntityId> = (0..37).map(EntityId).collect();
+        let exact = CandidateSearch::Exact.bidirectional_index(&s, &sids, &t, &tids, 4);
+        // A seal budget far below the corpus forces multiple segments.
+        let params = LsmParams {
+            seal_rows: 10,
+            ..LsmParams::default()
+        };
+        let lsm = CandidateSearch::Lsm(params).bidirectional_index(&s, &sids, &t, &tids, 4);
+        assert!(lsm.has_reverse());
+        for i in 0..sids.len() {
+            let a: Vec<(EntityId, u32)> =
+                exact.candidates(i).map(|(e, s)| (e, s.to_bits())).collect();
+            let b: Vec<(EntityId, u32)> =
+                lsm.candidates(i).map(|(e, s)| (e, s.to_bits())).collect();
+            assert_eq!(a, b, "row {i}: exhaustive lsm must equal exact");
+        }
+        for &t_id in &tids {
+            assert_eq!(
+                exact.best_source_for_target(t_id),
+                lsm.best_source_for_target(t_id)
+            );
+        }
     }
 
     #[test]

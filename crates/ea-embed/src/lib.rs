@@ -50,6 +50,14 @@
 //!   shards over rayon and heap-merges the partial lists — bit-identical to
 //!   a single-shard build when every shard is routed
 //!   ([`CandidateSearch::Sharded`]).
+//! * [`lsm`] — incremental corpora: [`lsm::MutableIndex`] layers immutable
+//!   sealed segments (resident engines or on-disk containers) under a small
+//!   exact-scanned in-memory mutable segment, with tombstone shadowing for
+//!   deletes and a deterministic caller-driven `compact()`. Query-time
+//!   gather-merge through [`topk::TopK::merge`] keeps an N-segment search
+//!   bit-identical to a single engine over the live corpus
+//!   ([`CandidateSearch::Lsm`]), so inserts and deletes no longer force a
+//!   full rebuild.
 //! * [`order`] — NaN-safe total-order comparators every ranking sorts with.
 //! * [`storage`] — the out-of-core candidate store: a versioned, checksummed
 //!   on-disk container for IVF lists, SQ8 code panels and the normalised f32
@@ -75,6 +83,7 @@ pub mod ann;
 pub mod candidates;
 pub mod embedding;
 pub mod kernel;
+pub mod lsm;
 pub mod optimizer;
 pub mod order;
 pub mod quantized;
@@ -91,6 +100,7 @@ pub use ann::{
 };
 pub use candidates::CandidateIndex;
 pub use embedding::EmbeddingTable;
+pub use lsm::{LsmParams, MutableIndex};
 pub use optimizer::{Adagrad, Optimizer, Sgd};
 pub use quantized::{QuantizedTable, Sq8Params};
 pub use sampling::{HardNegativeCache, NegativeSampler, Negatives};

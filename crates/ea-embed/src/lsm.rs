@@ -1,0 +1,939 @@
+//! LSM-style incremental corpora: live inserts/deletes over the candidate
+//! ladder, with deterministic compaction.
+//!
+//! Every other engine in this crate is build-once: any insert or delete
+//! means a full rebuild. A [`MutableIndex`] lifts that restriction the way
+//! log-structured merge trees do, out of parts the crate already defends:
+//!
+//! * **Sealed segments** — immutable per-segment engines over earlier rows:
+//!   a resident [`IvfIndex`] or an on-disk candidate container written by
+//!   the streaming builder and served through [`MappedIndex`]. Exactly the
+//!   single-container engine the property suites pin, over a subset of the
+//!   live rows.
+//! * **The mutable segment** — a small in-memory tail of recently inserted
+//!   rows, normalised once on insert and scanned *exactly* with the shared
+//!   [`crate::kernel`] (clamped bit-exact dots, like every engine).
+//! * **Tombstones** — a delete (or a re-insert) shadows all older rows with
+//!   the same entity id: shadowed rows are masked out of each segment's
+//!   partial list *before* the merge, so they can never displace a live
+//!   candidate.
+//!
+//! Queries run gather-merge: each segment answers with a best-first partial
+//! top-k list (over-fetched by the segment's shadowed-row count, so masking
+//! can never starve the merge), shadowed rows are filtered, segment-local
+//! rows are remapped to *canonical live positions* — ascending (segment id,
+//! local row), mutable segment last — and the per-query lists are folded
+//! through one [`TopK`] ([`TopK::merge`]). The remap is monotone within
+//! each segment, so by the same set-purity argument the shard layer pins
+//! (`rank_cmp` is a strict total order ⇒ the merged selection is a pure
+//! function of the candidate multiset), a search over N segments is
+//! **bit-identical** — ids and score bits — to a single engine built over
+//! the live rows gathered in canonical order (`tests/prop_lsm.rs` pins it
+//! for any interleaving of inserts, deletes, seals and compactions, at
+//! exhaustive per-segment settings; below them the approximation stays
+//! subset-only, scores always bit-exact).
+//!
+//! When the mutable segment reaches [`LsmParams::seal_rows`] buffered rows
+//! it is sealed through the streaming container builder
+//! ([`crate::save_ivf_streaming`] semantics — mapped backing) or a resident
+//! build. [`MutableIndex::compact`] folds all sealed segments + tombstones
+//! into one re-clustered segment: live rows are gathered in ascending
+//! (segment id, local row) order and rebuilt with the seeded ChaCha8
+//! k-means, so the output container is **byte-identical** (checksums
+//! included) for a given (input segments, seed) regardless of when — or on
+//! how many threads — it runs. Compaction is synchronous and caller-driven:
+//! nothing in this module reads a clock, so *when* to compact is policy the
+//! caller owns (`exea-serve` compacts on a segment-count threshold).
+//!
+//! [`CandidateSearch::Lsm`](crate::CandidateSearch::Lsm) threads the engine
+//! through the [`crate::CandidateSource`] trait (`EXEA_CANDIDATE_SEARCH=lsm-*`),
+//! so prediction, repair and verification downstream ride it unchanged.
+
+use crate::ann::{IvfIndex, IvfListStorage, IvfParams};
+use crate::candidates::CandidateIndex;
+use crate::embedding::EmbeddingTable;
+use crate::kernel;
+use crate::quantized::Sq8Params;
+use crate::storage::{self, MappedIndex, OpenOptions, StorageError, StoreBacking, TableRows};
+use crate::topk::{Ranked, TopK};
+use crate::vector;
+use ea_graph::EntityId;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Queries per parallel work block of the mutable-segment scan, matching
+/// the engines' fan-out tile.
+const LSM_QUERY_TILE: usize = 128;
+
+/// Default row budget of the mutable segment before it is sealed.
+const DEFAULT_SEAL_ROWS: usize = 512;
+
+/// Rows per bounded chunk when streaming sealed rows back for compaction.
+const COMPACT_CHUNK_ROWS: usize = 4096;
+
+/// Tuning knobs of the LSM engine.
+///
+/// The default favours validation, like [`crate::ShardParams::exhaustive`]:
+/// every inverted list of every sealed segment is probed, so the engine is
+/// bit-identical to the exact scan over the live rows. Dial
+/// `ivf.nprobe` down (or switch `ivf.storage` to SQ8) to trade recall for
+/// speed once a deployment is validated — the approximation stays
+/// subset-only either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsmParams {
+    /// Buffered-row budget of the in-memory mutable segment: an insert that
+    /// fills the buffer to this many rows (live or shadowed) seals it into
+    /// an immutable segment. Clamped to at least 1.
+    pub seal_rows: usize,
+    /// The per-segment engine: list storage (flat or SQ8) and backing
+    /// (resident panels, or per-segment on-disk containers). Auto-tuned
+    /// knobs (`nlist`, `nprobe`) resolve against each segment's row count;
+    /// `seed` drives the ChaCha8 k-means of seals and compactions.
+    pub ivf: IvfParams,
+}
+
+impl Default for LsmParams {
+    fn default() -> Self {
+        Self {
+            seal_rows: DEFAULT_SEAL_ROWS,
+            ivf: IvfParams::exhaustive(),
+        }
+    }
+}
+
+impl LsmParams {
+    /// The seal budget actually used (at least one row).
+    pub fn resolved_seal_rows(&self) -> usize {
+        self.seal_rows.max(1)
+    }
+}
+
+/// Where one entity's live row currently lives.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Row `row` of sealed segment `seg` (index into the sealed vector).
+    Sealed { seg: u32, row: u32 },
+    /// Row `row` of the mutable segment's buffer.
+    Mem { row: u32 },
+}
+
+/// One immutable sealed segment: its local-row → entity map, the shadow
+/// mask newer inserts/deletes maintain, and the engine over its rows.
+#[derive(Debug)]
+struct Segment {
+    /// `entities[local]` is the entity id of segment-local row `local`.
+    entities: Vec<u32>,
+    /// `alive[local]` — false once a newer segment shadows the row.
+    alive: Vec<bool>,
+    /// Count of shadowed rows (`alive` entries that are false).
+    dead: usize,
+    store: SegmentStore,
+}
+
+#[derive(Debug)]
+enum SegmentStore {
+    /// Resident panels: the segment rows plus an [`IvfIndex`] built over
+    /// them (which owns the SQ8 codes when the params ask for them).
+    Resident {
+        table: EmbeddingTable,
+        index: IvfIndex,
+    },
+    /// An independently built candidate container served through
+    /// [`MappedIndex`]; the spill guard removes the file on drop.
+    Mapped {
+        index: MappedIndex,
+        _spill: storage::SpillGuard,
+    },
+}
+
+impl Segment {
+    fn rows(&self) -> usize {
+        self.entities.len()
+    }
+
+    fn live(&self) -> usize {
+        self.entities.len() - self.dead
+    }
+
+    /// Coarse list count of the segment engine, for nprobe resolution.
+    fn nlist(&self) -> usize {
+        match &self.store {
+            SegmentStore::Resident { index, .. } => index.nlist(),
+            SegmentStore::Mapped { index, .. } => index
+                .ivf()
+                .expect("sealed segments always carry IVF state")
+                .nlist(),
+        }
+    }
+
+    /// Best-first partial top-k over this segment's rows, segment-local
+    /// ids, exactly `queries.rows() * cap` entries.
+    fn search_flat(
+        &self,
+        queries: &EmbeddingTable,
+        sq8: Option<&Sq8Params>,
+        cap: usize,
+        nprobe: usize,
+    ) -> Vec<Ranked> {
+        match &self.store {
+            SegmentStore::Resident { table, index } => {
+                index.search_flat(queries, table, cap, nprobe)
+            }
+            SegmentStore::Mapped { index, .. } => index
+                .ivf()
+                .expect("sealed segments always carry IVF state")
+                .search_flat_store(queries, index.store(), sq8, cap, nprobe),
+        }
+    }
+
+    /// Appends this segment's live rows (ascending local order, the
+    /// canonical order) to `data`/`entities` — the compaction gather.
+    /// Mapped segments are streamed back in bounded chunks.
+    fn gather_live(&self, dim: usize, data: &mut Vec<f32>, entities: &mut Vec<u32>) {
+        match &self.store {
+            SegmentStore::Resident { table, .. } => {
+                for (local, &alive) in self.alive.iter().enumerate() {
+                    if alive {
+                        data.extend_from_slice(table.row(local));
+                        entities.push(self.entities[local]);
+                    }
+                }
+            }
+            SegmentStore::Mapped { index, .. } => {
+                let store = index.store();
+                let mut chunk = vec![0.0f32; COMPACT_CHUNK_ROWS.min(self.rows().max(1)) * dim];
+                let mut start = 0usize;
+                while start < self.rows() {
+                    let take = COMPACT_CHUNK_ROWS.min(self.rows() - start);
+                    store.read_f32_rows(start, &mut chunk[..take * dim]);
+                    for local in start..start + take {
+                        if self.alive[local] {
+                            let rel = (local - start) * dim;
+                            data.extend_from_slice(&chunk[rel..rel + dim]);
+                            entities.push(self.entities[local]);
+                        }
+                    }
+                    start += take;
+                }
+            }
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.entities.len() * 5
+            + match &self.store {
+                SegmentStore::Resident { table, index } => {
+                    table.data().len() * 4 + index.resident_bytes()
+                }
+                SegmentStore::Mapped { index, .. } => index.resident_bytes(),
+            }
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        match &self.store {
+            SegmentStore::Resident { .. } => 0,
+            SegmentStore::Mapped { index, .. } => index.stored_bytes(),
+        }
+    }
+}
+
+/// The append-only in-memory mutable segment: rows normalised once on
+/// insert, shadow mask maintained in place, exact-scanned at query time.
+#[derive(Debug, Default)]
+struct MemSegment {
+    data: Vec<f32>,
+    entities: Vec<u32>,
+    alive: Vec<bool>,
+    dead: usize,
+}
+
+impl MemSegment {
+    fn rows(&self) -> usize {
+        self.entities.len()
+    }
+
+    fn live(&self) -> usize {
+        self.entities.len() - self.dead
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+        self.entities.clear();
+        self.alive.clear();
+        self.dead = 0;
+    }
+}
+
+/// The LSM-style mutable candidate engine: immutable sealed segments plus a
+/// small exact-scanned mutable segment, queried through one deterministic
+/// gather-merge. See the [module docs](self) for the invariants.
+#[derive(Debug)]
+pub struct MutableIndex {
+    dim: usize,
+    params: LsmParams,
+    sealed: Vec<Segment>,
+    mem: MemSegment,
+    /// entity id → its single live row. Lookups only — never iterated, so
+    /// hash order can't leak into results.
+    live: HashMap<u32, Slot>,
+}
+
+impl MutableIndex {
+    /// An empty mutable index over `dim`-dimensional embeddings.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, params: LsmParams) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self {
+            dim,
+            params,
+            sealed: Vec::new(),
+            mem: MemSegment::default(),
+            live: HashMap::new(),
+        }
+    }
+
+    /// Embedding dimension of every row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live rows (one per live entity).
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no entity is live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Number of sealed segments.
+    pub fn segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Rows currently buffered in the mutable segment (live or shadowed).
+    pub fn mem_rows(&self) -> usize {
+        self.mem.rows()
+    }
+
+    /// Whether `entity` currently has a live row.
+    pub fn contains(&self, entity: u32) -> bool {
+        self.live.contains_key(&entity)
+    }
+
+    /// The parameters this index was built with.
+    pub fn params(&self) -> &LsmParams {
+        &self.params
+    }
+
+    /// Heap bytes the index keeps resident (mapped segment panels excluded).
+    pub fn resident_bytes(&self) -> usize {
+        self.mem.data.len() * 4
+            + self.mem.entities.len() * 5
+            + self
+                .sealed
+                .iter()
+                .map(Segment::resident_bytes)
+                .sum::<usize>()
+    }
+
+    /// Container bytes of the mapped sealed segments (0 when resident).
+    pub fn stored_bytes(&self) -> u64 {
+        self.sealed.iter().map(Segment::stored_bytes).sum()
+    }
+
+    /// Container paths of the mapped sealed segments, ascending segment id
+    /// (empty under a resident backing). Ops/test introspection, like
+    /// [`MutableIndex::stored_bytes`]: the byte-determinism suite reads the
+    /// compacted container back through this, and an operator can check
+    /// which spill files a live index pins.
+    pub fn segment_paths(&self) -> Vec<&std::path::Path> {
+        self.sealed
+            .iter()
+            .filter_map(|seg| match &seg.store {
+                SegmentStore::Resident { .. } => None,
+                SegmentStore::Mapped { _spill, .. } => Some(_spill.path()),
+            })
+            .collect()
+    }
+
+    /// Live entity ids, ascending.
+    pub fn live_entities(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.live.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Shadows any current live row of `entity` (marks it dead in whichever
+    /// segment holds it). Returns whether a row was shadowed.
+    fn shadow(&mut self, entity: u32) -> bool {
+        match self.live.remove(&entity) {
+            None => false,
+            Some(Slot::Sealed { seg, row }) => {
+                let segment = &mut self.sealed[seg as usize];
+                debug_assert!(segment.alive[row as usize]);
+                segment.alive[row as usize] = false;
+                segment.dead += 1;
+                true
+            }
+            Some(Slot::Mem { row }) => {
+                debug_assert!(self.mem.alive[row as usize]);
+                self.mem.alive[row as usize] = false;
+                self.mem.dead += 1;
+                true
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the row of `entity`. The row is L2-normalised
+    /// exactly once, with the same kernel [`EmbeddingTable::gather_normalized`]
+    /// uses — pass the *raw* embedding; zero-norm rows come out all-zero
+    /// under the usual degenerate-embedding contract.
+    ///
+    /// A previous row of the same entity (any segment) is shadowed. When
+    /// the mutable segment reaches the seal budget it is sealed; the
+    /// returned flag says whether that happened. A seal failure (spill
+    /// I/O) leaves the index exactly as before this insert's seal attempt:
+    /// the row is already buffered and live, only the seal is pending (the
+    /// next reaching insert, or an explicit [`MutableIndex::seal`],
+    /// retries).
+    ///
+    /// # Panics
+    /// Panics if `row.len() != self.dim()`.
+    pub fn insert(&mut self, entity: u32, row: &[f32]) -> Result<bool, StorageError> {
+        assert_eq!(row.len(), self.dim, "row length mismatch");
+        self.shadow(entity);
+        let local = self.mem.rows() as u32;
+        let start = self.mem.data.len();
+        self.mem.data.resize(start + self.dim, 0.0);
+        normalize_into(row, &mut self.mem.data[start..]);
+        self.mem.entities.push(entity);
+        self.mem.alive.push(true);
+        self.live.insert(entity, Slot::Mem { row: local });
+        if self.mem.rows() >= self.params.resolved_seal_rows() {
+            self.seal()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Deletes `entity`'s row, if live: records a tombstone that shadows
+    /// every older row with this entity id. Returns whether a row existed.
+    pub fn remove(&mut self, entity: u32) -> bool {
+        self.shadow(entity)
+    }
+
+    /// Seals the mutable segment into an immutable one: its live rows (in
+    /// insertion order) become a new sealed segment built with
+    /// `params.ivf` — streamed into an on-disk container under a mapped
+    /// backing, resident otherwise. A no-op when no live row is buffered
+    /// (shadowed buffer rows are discarded).
+    ///
+    /// On error (spill I/O) the index is unchanged — the builder's RAII
+    /// guard removes any partial container, and the mutable segment keeps
+    /// answering queries.
+    pub fn seal(&mut self) -> Result<(), StorageError> {
+        if self.mem.live() == 0 {
+            self.mem.clear();
+            return Ok(());
+        }
+        let mut data = Vec::with_capacity(self.mem.live() * self.dim);
+        let mut entities = Vec::with_capacity(self.mem.live());
+        for (local, &alive) in self.mem.alive.iter().enumerate() {
+            if alive {
+                data.extend_from_slice(&self.mem.data[local * self.dim..(local + 1) * self.dim]);
+                entities.push(self.mem.entities[local]);
+            }
+        }
+        let table = EmbeddingTable::from_data(entities.len(), self.dim, data);
+        let store = build_segment_store(table, &self.params.ivf)?;
+        let seg = self.sealed.len() as u32;
+        for (row, &entity) in entities.iter().enumerate() {
+            self.live.insert(
+                entity,
+                Slot::Sealed {
+                    seg,
+                    row: row as u32,
+                },
+            );
+        }
+        self.sealed.push(Segment {
+            alive: vec![true; entities.len()],
+            dead: 0,
+            entities,
+            store,
+        });
+        self.mem.clear();
+        Ok(())
+    }
+
+    /// Folds all sealed segments + tombstones into one re-clustered
+    /// segment. Live rows are gathered in ascending (segment id, local
+    /// row) order and rebuilt with the seeded ChaCha8 k-means, so under a
+    /// mapped backing the output container is **byte-identical**
+    /// (checksums included) for a given (input segments, seed) — no matter
+    /// when, or on how many threads, compaction runs. The mutable segment
+    /// is untouched; canonical live positions are preserved.
+    ///
+    /// Synchronous and caller-driven — this module never schedules it.
+    /// On error the pre-compaction segment set is unchanged and keeps
+    /// answering queries; the builder's RAII guard removes any partial
+    /// output container.
+    pub fn compact(&mut self) -> Result<(), StorageError> {
+        if self.sealed.is_empty() {
+            return Ok(());
+        }
+        let live_sealed: usize = self.sealed.iter().map(Segment::live).sum();
+        if live_sealed == 0 {
+            self.sealed.clear();
+            return Ok(());
+        }
+        let mut data = Vec::with_capacity(live_sealed * self.dim);
+        let mut entities = Vec::with_capacity(live_sealed);
+        for seg in &self.sealed {
+            seg.gather_live(self.dim, &mut data, &mut entities);
+        }
+        let table = EmbeddingTable::from_data(entities.len(), self.dim, data);
+        let store = build_segment_store(table, &self.params.ivf)?;
+        for (row, &entity) in entities.iter().enumerate() {
+            self.live.insert(
+                entity,
+                Slot::Sealed {
+                    seg: 0,
+                    row: row as u32,
+                },
+            );
+        }
+        self.sealed = vec![Segment {
+            alive: vec![true; entities.len()],
+            dead: 0,
+            entities,
+            store,
+        }];
+        Ok(())
+    }
+
+    /// The live corpus in canonical order: rows gathered ascending
+    /// (segment id, local row), mutable segment last, plus the entity id of
+    /// each row. A single engine built over this table is what
+    /// [`MutableIndex::search_flat`] is bit-identical to (at exhaustive
+    /// per-segment settings) — the reference the property suite compares
+    /// against, and a convenient export for rebuilds.
+    pub fn live_table(&self) -> (EmbeddingTable, Vec<u32>) {
+        let mut data = Vec::with_capacity(self.len() * self.dim);
+        let mut entities = Vec::with_capacity(self.len());
+        for seg in &self.sealed {
+            seg.gather_live(self.dim, &mut data, &mut entities);
+        }
+        for (local, &alive) in self.mem.alive.iter().enumerate() {
+            if alive {
+                data.extend_from_slice(&self.mem.data[local * self.dim..(local + 1) * self.dim]);
+                entities.push(self.mem.entities[local]);
+            }
+        }
+        (
+            EmbeddingTable::from_data(entities.len(), self.dim, data),
+            entities,
+        )
+    }
+
+    /// Canonical-position → entity id map (the row order of
+    /// [`MutableIndex::live_table`]).
+    fn canonical_entities(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.sealed {
+            for (local, &alive) in seg.alive.iter().enumerate() {
+                if alive {
+                    out.push(seg.entities[local]);
+                }
+            }
+        }
+        for (local, &alive) in self.mem.alive.iter().enumerate() {
+            if alive {
+                out.push(self.mem.entities[local]);
+            }
+        }
+        out
+    }
+
+    /// Canonical live positions of one segment's local rows (`u32::MAX`
+    /// for shadowed rows, which are filtered before use) plus the position
+    /// after the segment's last live row.
+    fn canonical_positions(alive: &[bool], base: u32) -> (Vec<u32>, u32) {
+        let mut pos = vec![u32::MAX; alive.len()];
+        let mut next = base;
+        for (local, &a) in alive.iter().enumerate() {
+            if a {
+                pos[local] = next;
+                next += 1;
+            }
+        }
+        (pos, next)
+    }
+
+    /// Searches the live corpus: flattened best-first top-`min(k, len)`
+    /// lists, one per query row, `Ranked::index` being the **canonical live
+    /// position** (the row of [`MutableIndex::live_table`]) — the form
+    /// that is bit-identical to a single engine over the live table. Use
+    /// [`MutableIndex::search`] for entity ids.
+    ///
+    /// Queries must already be normalised (like every engine in the crate).
+    ///
+    /// # Panics
+    /// Panics if `queries.dim() != self.dim()`.
+    pub fn search_flat(&self, queries: &EmbeddingTable, k: usize) -> Vec<Ranked> {
+        assert_eq!(queries.dim(), self.dim, "query dimension mismatch");
+        let cap = k.min(self.len());
+        let n_q = queries.rows();
+        if cap == 0 || n_q == 0 {
+            return Vec::new();
+        }
+        let sq8 = match &self.params.ivf.storage {
+            IvfListStorage::Flat => None,
+            IvfListStorage::Sq8(sq8) => Some(sq8.clone()),
+        };
+
+        // Scatter: per-segment partial lists in fixed segment order, each
+        // over-fetched by the segment's shadowed-row count (at most `dead`
+        // shadowed rows can outrank a live one, so the segment's live
+        // top-`cap` always survives the filter), shadowed rows masked,
+        // local rows remapped to canonical positions. The remap is
+        // monotone over live rows, so each filtered list stays best-first
+        // sorted under `rank_cmp` — ready for the gather merge.
+        let mut base = 0u32;
+        let mut partials: Vec<Vec<Vec<Ranked>>> = Vec::with_capacity(self.sealed.len() + 1);
+        for seg in &self.sealed {
+            if seg.live() == 0 {
+                partials.push(vec![Vec::new(); n_q]);
+                continue;
+            }
+            let (pos, next) = Self::canonical_positions(&seg.alive, base);
+            let cap_s = (cap + seg.dead).min(seg.rows());
+            let nprobe = self.params.ivf.resolved_nprobe(seg.nlist());
+            let flat = seg.search_flat(queries, sq8.as_ref(), cap_s, nprobe);
+            debug_assert_eq!(flat.len(), n_q * cap_s, "segment lists must be full");
+            let lists: Vec<Vec<Ranked>> = (0..n_q)
+                .map(|q| {
+                    flat[q * cap_s..(q + 1) * cap_s]
+                        .iter()
+                        .filter(|r| seg.alive[r.index as usize])
+                        .map(|r| Ranked {
+                            score: r.score,
+                            index: pos[r.index as usize],
+                        })
+                        .collect()
+                })
+                .collect();
+            partials.push(lists);
+            base = next;
+        }
+        if self.mem.live() > 0 {
+            partials.push(self.scan_mem(queries, cap, base));
+        }
+
+        // Gather: per query, fold the partial lists through one selector
+        // in fixed segment order — the merge contract makes the kept set a
+        // pure function of the candidate multiset, so segment boundaries
+        // (and rayon scheduling inside the scatter) can't change a bit.
+        let blocks: Vec<usize> = (0..n_q).step_by(LSM_QUERY_TILE).collect();
+        let merged: Vec<Vec<Ranked>> = blocks
+            .par_iter()
+            .map(|&start| {
+                let end = (start + LSM_QUERY_TILE).min(n_q);
+                let mut out = Vec::with_capacity((end - start) * cap);
+                for q in start..end {
+                    let mut select = TopK::new(cap);
+                    for lists in &partials {
+                        select.merge(&lists[q]);
+                    }
+                    let sorted = select.into_sorted();
+                    debug_assert_eq!(sorted.len(), cap, "live rows must fill the selection");
+                    out.extend(sorted);
+                }
+                out
+            })
+            .collect();
+        merged.concat()
+    }
+
+    /// [`MutableIndex::search_flat`] with `Ranked::index` remapped to
+    /// **entity ids** after selection — the caller-facing form. Scores are
+    /// identical; within a run of bit-equal scores the order still follows
+    /// canonical position (selection happens before the remap).
+    pub fn search(&self, queries: &EmbeddingTable, k: usize) -> Vec<Ranked> {
+        let order = self.canonical_entities();
+        let mut flat = self.search_flat(queries, k);
+        for r in &mut flat {
+            r.index = order[r.index as usize];
+        }
+        flat
+    }
+
+    /// Exact scan of the mutable segment: per-query best-first top-`cap`
+    /// lists over its live rows, canonical positions starting at `base`.
+    /// Scores are the clamped register-blocked kernel dots — bit-identical
+    /// to every other engine by the kernel's determinism contract.
+    fn scan_mem(&self, queries: &EmbeddingTable, cap: usize, base: u32) -> Vec<Vec<Ranked>> {
+        let n_q = queries.rows();
+        let rows = self.mem.rows();
+        let (pos, _) = Self::canonical_positions(&self.mem.alive, base);
+        let blocks: Vec<usize> = (0..n_q).step_by(LSM_QUERY_TILE).collect();
+        let nested: Vec<Vec<Vec<Ranked>>> = blocks
+            .par_iter()
+            .map(|&start| {
+                let end = (start + LSM_QUERY_TILE).min(n_q);
+                let mut scores = vec![0.0f32; rows];
+                let mut lists = Vec::with_capacity(end - start);
+                for q in start..end {
+                    kernel::scan_block(queries.row(q), &self.mem.data, self.dim, &mut scores);
+                    let mut select = TopK::new(cap);
+                    for (local, &raw) in scores.iter().enumerate() {
+                        if self.mem.alive[local] {
+                            select.push(raw.clamp(-1.0, 1.0), pos[local]);
+                        }
+                    }
+                    lists.push(select.into_sorted());
+                }
+                lists
+            })
+            .collect();
+        nested.concat()
+    }
+}
+
+/// L2-normalises `row` into `out` with the exact arithmetic of
+/// [`EmbeddingTable::normalized_row_into`] (norm, reciprocal, per-element
+/// multiply; zero-norm rows come out all-zero) — rows inserted live must be
+/// bit-identical to the one-time gather the build-once engines run.
+fn normalize_into(row: &[f32], out: &mut [f32]) {
+    let n = vector::norm(row);
+    if n > f32::EPSILON {
+        let inv = 1.0 / n;
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o = v * inv;
+        }
+    } else {
+        out.fill(0.0);
+    }
+}
+
+/// Builds the engine of one sealed segment: a resident [`IvfIndex`], or a
+/// streamed on-disk container behind a spill guard (removed when the
+/// segment is dropped). Errors propagate with the partial container already
+/// cleaned up by the writer's RAII guard.
+fn build_segment_store(
+    table: EmbeddingTable,
+    ivf: &IvfParams,
+) -> Result<SegmentStore, StorageError> {
+    match &ivf.backing {
+        StoreBacking::InMemory => {
+            let index = IvfIndex::build(&table, ivf);
+            Ok(SegmentStore::Resident { table, index })
+        }
+        StoreBacking::Mapped(options) => {
+            let guard = storage::new_spill(options);
+            // Freshly written by this process — skip re-hashing, like the
+            // one-shot spill path.
+            let open = OpenOptions {
+                prefer_mmap: storage::resolved_prefer_mmap(options),
+                verify: false,
+            };
+            storage::save_ivf_streaming_with_sync(
+                &TableRows::new(&table),
+                ivf,
+                guard.path(),
+                0,
+                false,
+            )?;
+            let index = MappedIndex::open_with(guard.path(), &open)?;
+            Ok(SegmentStore::Mapped {
+                index,
+                _spill: guard,
+            })
+        }
+    }
+}
+
+/// One directed LSM pass: build a [`MutableIndex`] over the *raw* corpus
+/// rows (insertion normalises them once, bit-identically to the one-time
+/// gather), sealing every `seal_rows` inserts, then search with the
+/// normalised queries. Corpus entities are corpus-local positions, so the
+/// returned lists slot straight into [`CandidateIndex::from_parts`].
+fn lsm_search_backed(
+    query_table: &EmbeddingTable,
+    query_ids: &[EntityId],
+    corpus_table: &EmbeddingTable,
+    corpus_ids: &[EntityId],
+    cap: usize,
+    params: &LsmParams,
+) -> Vec<Ranked> {
+    let mut index = MutableIndex::new(corpus_table.dim(), params.clone());
+    for (i, id) in corpus_ids.iter().enumerate() {
+        index
+            .insert(i as u32, corpus_table.row(id.index()))
+            .unwrap_or_else(|e| panic!("lsm segment seal failed: {e}"));
+    }
+    let query_rows: Vec<usize> = query_ids.iter().map(|q| q.index()).collect();
+    let query_norm = query_table.gather_normalized(&query_rows);
+    index.search(&query_norm, cap)
+}
+
+/// One-shot LSM candidate generation behind [`crate::CandidateSource`]:
+/// forward lists from an index over the target rows, reverse lists (when
+/// asked) from a second index over the source rows — the transposed
+/// problem, exactly like the other engines' second pass.
+pub(crate) fn lsm_candidate_index(
+    source_table: &EmbeddingTable,
+    source_ids: &[EntityId],
+    target_table: &EmbeddingTable,
+    target_ids: &[EntityId],
+    k: usize,
+    reverse: bool,
+    params: &LsmParams,
+) -> CandidateIndex {
+    let forward = lsm_search_backed(
+        source_table,
+        source_ids,
+        target_table,
+        target_ids,
+        k.min(target_ids.len()),
+        params,
+    );
+    let backward = if reverse {
+        Some(lsm_search_backed(
+            target_table,
+            target_ids,
+            source_table,
+            source_ids,
+            k.min(source_ids.len()),
+            params,
+        ))
+    } else {
+        None
+    };
+    CandidateIndex::from_parts(source_ids, target_ids, k, forward, backward)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn raw_table(seed: u64, rows: usize, dim: usize) -> EmbeddingTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        EmbeddingTable::xavier(rows, dim, &mut rng)
+    }
+
+    fn normalized(table: &EmbeddingTable) -> EmbeddingTable {
+        let all: Vec<usize> = (0..table.rows()).collect();
+        table.gather_normalized(&all)
+    }
+
+    fn small_params(seal_rows: usize) -> LsmParams {
+        LsmParams {
+            seal_rows,
+            ..LsmParams::default()
+        }
+    }
+
+    fn fill(index: &mut MutableIndex, table: &EmbeddingTable) {
+        for i in 0..table.rows() {
+            index.insert(i as u32, table.row(i)).expect("insert");
+        }
+    }
+
+    fn bits(list: &[Ranked]) -> Vec<(u32, u32)> {
+        list.iter().map(|r| (r.index, r.score.to_bits())).collect()
+    }
+
+    #[test]
+    fn insert_normalises_like_the_one_time_gather() {
+        let raw = raw_table(1, 40, 9);
+        let mut index = MutableIndex::new(9, small_params(16));
+        fill(&mut index, &raw);
+        let (live, entities) = index.live_table();
+        let reference = normalized(&raw);
+        assert_eq!(index.len(), 40);
+        assert!(index.segments() >= 2, "the seal budget must have tripped");
+        for (row, &entity) in entities.iter().enumerate() {
+            let want: Vec<u32> = reference
+                .row(entity as usize)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let got: Vec<u32> = live.row(row).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "entity {entity}");
+        }
+    }
+
+    #[test]
+    fn segmented_search_matches_single_engine_over_live_table() {
+        let raw = raw_table(2, 120, 12);
+        let queries = normalized(&raw_table(3, 7, 12));
+        let mut index = MutableIndex::new(12, small_params(32));
+        fill(&mut index, &raw);
+        for e in [5u32, 17, 64, 100] {
+            assert!(index.remove(e));
+        }
+        let (live, _) = index.live_table();
+        let cap = 10usize.min(index.len());
+        let single = IvfIndex::build(&live, &IvfParams::exhaustive());
+        let want = single.search_flat(&queries, &live, cap, usize::MAX);
+        let got = index.search_flat(&queries, cap);
+        assert_eq!(bits(&got), bits(&want));
+    }
+
+    #[test]
+    fn delete_then_reinsert_resurrects_with_the_new_row() {
+        let raw = raw_table(4, 30, 8);
+        let mut index = MutableIndex::new(8, small_params(10));
+        fill(&mut index, &raw);
+        assert!(index.remove(7));
+        assert!(!index.contains(7));
+        assert!(!index.remove(7), "double delete is a no-op");
+        let replacement = raw_table(5, 1, 8);
+        index.insert(7, replacement.row(0)).expect("reinsert");
+        assert!(index.contains(7));
+        assert_eq!(index.len(), 30);
+        let queries = normalized(&replacement);
+        let hits = index.search(&queries, 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 7, "the new row must answer for entity 7");
+    }
+
+    #[test]
+    fn compaction_folds_everything_into_one_segment() {
+        let raw = raw_table(6, 90, 10);
+        let queries = normalized(&raw_table(7, 5, 10));
+        let mut index = MutableIndex::new(10, small_params(20));
+        fill(&mut index, &raw);
+        for e in [3u32, 25, 71] {
+            index.remove(e);
+        }
+        index.seal().expect("seal the tail");
+        let before = index.search(&queries, 8);
+        assert!(index.segments() > 1);
+        index.compact().expect("compact");
+        assert_eq!(index.segments(), 1);
+        assert_eq!(index.len(), 87);
+        let after = index.search(&queries, 8);
+        assert_eq!(bits(&after), bits(&before), "compaction preserves results");
+    }
+
+    #[test]
+    fn empty_and_degenerate_searches_are_safe() {
+        let mut index = MutableIndex::new(6, small_params(4));
+        let queries = normalized(&raw_table(8, 3, 6));
+        assert!(index.search_flat(&queries, 5).is_empty());
+        index.compact().expect("compacting nothing is a no-op");
+        index.seal().expect("sealing nothing is a no-op");
+        index.insert(1, &[0.0; 6]).expect("zero-norm row");
+        let hits = index.search(&queries, 5);
+        assert_eq!(hits.len(), 3, "one live row, three queries");
+        assert!(hits.iter().all(|r| r.index == 1 && r.score == 0.0));
+    }
+}

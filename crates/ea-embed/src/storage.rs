@@ -1162,6 +1162,29 @@ impl MappedStore {
         }
     }
 
+    /// Decodes the contiguous rows `start..start + out.len() / dim` of the
+    /// f32 panel into `out` — the raw-row read path LSM compaction streams
+    /// sealed segments back through ([`crate::lsm::MutableIndex::compact`]).
+    /// Call in bounded chunks; like the search-path gathers, an I/O failure
+    /// mid-read panics (the container was validated at open; a failure here
+    /// means the file was truncated or the device died underneath us).
+    pub(crate) fn read_f32_rows(&self, start: usize, out: &mut [f32]) {
+        let dim = self.dim;
+        debug_assert_eq!(out.len() % dim.max(1), 0, "whole rows only");
+        debug_assert!(start + out.len() / dim.max(1) <= self.rows, "rows in range");
+        let offset = self.panel_offset + start as u64 * dim as u64 * 4;
+        match self.source.slice(offset, out.len() * 4) {
+            Some(raw) => decode_f32s(raw, out),
+            None => {
+                let mut bytes = vec![0u8; out.len() * 4];
+                self.source
+                    .read_into(offset, &mut bytes)
+                    .unwrap_or_else(|e| panic!("container read failed mid-compaction: {e}"));
+                decode_f32s(&bytes, out);
+            }
+        }
+    }
+
     /// The pread form of [`ListStore::scan_code_rows`]: same sort + coalesce
     /// as the f32 gather, with the integer ADC computed straight off the
     /// staged run bytes (integer accumulation is order-independent per row).
@@ -1840,6 +1863,25 @@ pub(crate) fn save_sq8_streaming_with_sync<S: RowSource + ?Sized>(
 ///
 /// Searches return bit-identical `(row, score)` lists to the in-memory
 /// engines the container was saved from.
+///
+/// # File lifetime
+///
+/// The open holds the container through an open file handle (and, on the
+/// mmap backend, a mapping of it), so on Unix **unlinking the file after a
+/// successful open is safe**: the inode stays alive until the index is
+/// dropped and reads keep returning the validated bytes
+/// (`tests/lsm_threads.rs` pins this on the pread backend — the contract a
+/// sealed LSM segment relies on when its spill file is cleaned up early).
+/// Opening the *path* again after deletion fails with a typed
+/// [`StorageError::Io`] wrapped in [`StorageError::AtPath`], never garbage.
+///
+/// **Mmap caveat:** what neither backend survives is the file being
+/// *modified or truncated in place* while open. The pread backend turns
+/// reads past the new end into the mid-search panic below; the mmap backend
+/// has no such hook — a fault on a truncated mapping is delivered by the OS
+/// as `SIGBUS` and cannot be caught as a typed error. Never rewrite a live
+/// container in place; write a new file and swap paths (the rename-free
+/// spill-guard discipline every writer in this crate follows).
 #[derive(Debug)]
 pub struct MappedIndex {
     ivf: Option<IvfIndex>,

@@ -40,7 +40,8 @@ pub const NONDETERMINISTIC_PAR_IDIOM: &str = "nondeterministic-par-idiom";
 /// check on crate roots.
 pub const UNSAFE_BOUNDARY: &str = "unsafe-boundary";
 /// Rule (6): wall-clock / ambient-entropy calls inside hot-path library
-/// code.
+/// code, including timed waits (`sleep`, `recv_timeout`) that turn into
+/// time-driven maintenance scheduling.
 pub const WALL_CLOCK_IN_HOT_PATH: &str = "wall-clock-in-hot-path";
 /// Rule (7): `unwrap()`/`expect()`/`panic!`-family calls in the serving
 /// daemon's library code, where an unwind kills a serving thread instead of
@@ -733,6 +734,13 @@ fn has_forbid_unsafe(t: &[Token]) -> bool {
 
 const ENTROPY_FNS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
 
+/// Timed-wait primitives that smuggle the wall clock in as *scheduling*
+/// rather than as a timestamp: a `sleep`/`recv_timeout` loop is how a
+/// background compactor or seal timer gets written, and the LSM contract
+/// (`ea_embed::lsm`) is that maintenance is caller-driven — `compact()` is a
+/// synchronous operation, never a timer.
+const TIMED_WAIT_FNS: &[&str] = &["sleep", "sleep_ms", "park_timeout", "recv_timeout"];
+
 fn wall_clock_in_hot_path(
     t: &[Token],
     ctx: &FileCtx,
@@ -776,6 +784,18 @@ fn wall_clock_in_hot_path(
                 format!(
                     "`{name}` draws ambient entropy, breaking run-to-run determinism; \
                      use a seeded ChaCha8 RNG threaded through the config"
+                ),
+            );
+        } else if TIMED_WAIT_FNS.contains(&name) && is_punct(t, i + 1, "(") {
+            push(
+                diags,
+                ctx,
+                WALL_CLOCK_IN_HOT_PATH,
+                &t[i],
+                format!(
+                    "`{name}` schedules work off the wall clock; index maintenance \
+                     (seal/compact) must be caller-driven — expose a synchronous \
+                     operation and let the caller decide when"
                 ),
             );
         }
@@ -947,6 +967,18 @@ mod tests {
             rules_of(&check(&lex(rng).tokens, &c)),
             vec![WALL_CLOCK_IN_HOT_PATH]
         );
+        // Timed waits are wall-clock *scheduling*: a sleep loop is how a
+        // background compactor gets written, and LSM maintenance must stay
+        // caller-driven.
+        let timer = "fn f() { loop { thread::sleep(TICK); idx.compact(); } }";
+        assert_eq!(
+            rules_of(&check(&lex(timer).tokens, &c)),
+            vec![WALL_CLOCK_IN_HOT_PATH]
+        );
+        // A field or variable merely *named* sleep does not trip the rule —
+        // only the call form does.
+        let named = "fn f(s: &Config) -> u64 { s.sleep }";
+        assert!(check(&lex(named).tokens, &c).is_empty());
     }
 
     #[test]

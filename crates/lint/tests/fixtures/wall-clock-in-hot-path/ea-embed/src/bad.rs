@@ -9,3 +9,10 @@ fn score_batch(rows: &[f32]) -> f32 {
     drop(stamp);
     rows.iter().map(|r| r * jitter).sum::<f32>() + started.elapsed().as_secs_f32()
 }
+
+fn background_compactor(idx: &mut MutableIndex) {
+    loop {
+        thread::sleep(COMPACT_TICK);
+        idx.compact();
+    }
+}

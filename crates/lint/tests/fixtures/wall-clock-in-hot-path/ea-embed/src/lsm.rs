@@ -1,0 +1,18 @@
+//! Fixture: the LSM module's caller-driven maintenance idiom stays legal —
+//! a synchronous `compact()` the *caller* invokes uses no clock, no timer,
+//! no ambient entropy, and a seeded RNG is fine. This file's path mirrors
+//! `crates/ea-embed/src/lsm.rs`, so it scans under the same hot scope as
+//! the real module.
+
+fn compact(idx: &mut MutableIndex, seed: u64) -> Result<(), StorageError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let order = idx.segments_ascending();
+    idx.recluster(order, &mut rng)
+}
+
+fn maybe_compact(idx: &mut MutableIndex, compact_segments: usize) {
+    // Count-driven, not time-driven: the insert that seals a segment decides.
+    if idx.segments() >= compact_segments {
+        let _ = idx.compact();
+    }
+}

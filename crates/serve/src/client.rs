@@ -14,6 +14,12 @@
 //!   just miss it again; a draining daemon wants the client to go away),
 //! - every wait gets deterministic seeded jitter so a thundering herd of
 //!   clients de-synchronises reproducibly.
+//!
+//! Retrying a *mutation* after an ambiguous transport fault (the request
+//! may or may not have been applied before the connection died) is safe:
+//! [`Request::Insert`] replaces the entity's row and [`Request::Remove`]
+//! tombstones it, both idempotent, so replaying converges to the same
+//! corpus state the first attempt aimed for.
 
 use crate::protocol::{
     self, FrameError, Request, RequestFrame, Response, ResponseFrame, WireError, MAX_FRAME,

@@ -7,12 +7,26 @@
 //!
 //! | tier | engine | quality |
 //! |------|--------|---------|
-//! | [`Tier::Full`] | [`ShardedIndex`], every shard routed, exhaustive IVF | bit-identical to the exact scan |
-//! | [`Tier::Partial`] | same shards, partial routing | subset-only, lower fan-out |
+//! | [`Tier::Full`] | [`MutableIndex`] LSM gather-merge, exhaustive segments | bit-identical to the exact scan over the *live* corpus |
+//! | [`Tier::Partial`] | [`ShardedIndex`], partial routing | subset-only, lower fan-out |
 //! | [`Tier::Sq8`] | [`QuantizedTable`] ADC scan + exact re-rank | subset-only, cheapest |
 //!
-//! Request handlers then only *read*: the engine is `Sync` and shared
-//! across every connection and worker thread without locks.
+//! Request handlers mostly *read*: the engine is `Sync` and shared across
+//! every connection and worker thread. The one mutable piece is the live
+//! LSM corpus behind [`Engine::insert`] / [`Engine::remove`] — an
+//! `RwLock<MutableIndex>` whose write sections (append one row, tombstone
+//! one entity, occasionally seal or compact) are short and caller-driven,
+//! so concurrent predicts keep flowing between mutations.
+//!
+//! # Live mutations and bounded staleness
+//!
+//! Inserts and removes only affect [`Tier::Full`] predictions: the full
+//! tier searches the live LSM corpus, so a freshly inserted row is
+//! queryable the moment its insert is acknowledged. The degraded tiers
+//! ([`Tier::Partial`], [`Tier::Sq8`]) and the explain/verify/repair
+//! pipeline keep serving the *offline* corpus snapshot — under load or for
+//! explanations the daemon intentionally answers from the (bounded-stale)
+//! startup state rather than paying the rebuild.
 //!
 //! # The `'static` borrow
 //!
@@ -25,10 +39,14 @@
 use crate::protocol::{Candidate, Tier};
 use crate::ServeError;
 use ea_data::datasets::{load, DatasetName, DatasetScale};
-use ea_embed::{EmbeddingTable, IvfParams, QuantizedTable, ShardParams, ShardedIndex, Sq8Params};
+use ea_embed::{
+    EmbeddingTable, IvfParams, LsmParams, MutableIndex, QuantizedTable, ShardParams, ShardedIndex,
+    Sq8Params,
+};
 use ea_graph::{AlignmentPair, AlignmentSet, EntityId, KgPair, KgSide};
 use ea_models::{build_model, ModelKind, TrainConfig, TrainedAlignment};
 use exea_core::{ExEa, ExeaConfig, PairScore, RepairConfig, RepairOutcome, ScoredExplanation};
+use std::sync::{PoisonError, RwLock};
 
 /// What to load and how to shard it.
 #[derive(Debug, Clone)]
@@ -45,6 +63,15 @@ pub struct EngineConfig {
     pub nshards: usize,
     /// Shards routed at [`Tier::Partial`] (`0` = half of them, at least 1).
     pub partial_route: usize,
+    /// Sealed-segment count at which an insert triggers a synchronous
+    /// compaction of the live LSM corpus (`0` = default of 8). Compaction
+    /// is count-driven — never scheduled by wall clock — so a fixed request
+    /// sequence always compacts at the same points.
+    pub compact_segments: usize,
+    /// Mutable-segment row budget of the live LSM corpus — inserts past it
+    /// seal a segment (`0` = the [`LsmParams`] default). Tests lower this
+    /// to force seal/compact cycles with few requests.
+    pub lsm_seal_rows: usize,
 }
 
 impl Default for EngineConfig {
@@ -56,16 +83,73 @@ impl Default for EngineConfig {
             max_k: 50,
             nshards: 4,
             partial_route: 0,
+            compact_segments: 0,
+            lsm_seal_rows: 0,
         }
     }
 }
 
-/// The warm, read-only serving state shared by every server thread.
+/// Acknowledgement of one [`Engine::insert`], mirrored on the wire by
+/// [`crate::protocol::Response::Insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertAck {
+    /// Whether this insert sealed the mutable segment.
+    pub sealed: bool,
+    /// Live rows in the mutable corpus after the insert.
+    pub live_rows: u64,
+    /// Sealed segments after the insert (and any triggered compaction).
+    pub segments: u32,
+}
+
+/// Acknowledgement of one [`Engine::remove`], mirrored on the wire by
+/// [`crate::protocol::Response::Remove`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoveAck {
+    /// Whether a live row existed (and was tombstoned).
+    pub existed: bool,
+    /// Live rows in the mutable corpus after the remove.
+    pub live_rows: u64,
+}
+
+/// Serving-time failure of a live mutation. The daemon never dies on
+/// these — the server maps them to typed wire responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateError {
+    /// Caller sent a vector of the wrong width — becomes
+    /// [`crate::protocol::Response::BadRequest`].
+    Dim {
+        /// Dimension the caller sent.
+        got: usize,
+        /// Dimension the engine serves.
+        want: usize,
+    },
+    /// A seal or compaction failed inside the engine — becomes
+    /// [`crate::protocol::Response::Internal`]. The pre-mutation segment
+    /// set is still intact and answering (see the LSM crash-consistency
+    /// tests).
+    Storage(String),
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutateError::Dim { got, want } => {
+                write!(f, "vector has {got} values, engine dimension is {want}")
+            }
+            MutateError::Storage(message) => write!(f, "live corpus mutation failed: {message}"),
+        }
+    }
+}
+
+/// The warm serving state shared by every server thread. Read-only except
+/// for the live LSM corpus (see the module docs).
 pub struct Engine {
     exea: ExEa<'static>,
     state: AlignmentSet,
     source_norm: EmbeddingTable,
     target_norm: EmbeddingTable,
+    live: RwLock<MutableIndex>,
+    compact_segments: usize,
     sharded: ShardedIndex,
     partial_route: usize,
     quant: QuantizedTable,
@@ -128,11 +212,40 @@ impl Engine {
         };
         let quant = QuantizedTable::build(&target_norm);
 
+        // The live LSM corpus starts as the offline target corpus, inserted
+        // in row order so canonical live positions equal target ids and the
+        // full tier stays bit-identical to the exact scan. Rows go in *raw*
+        // — the index normalises exactly once on insert, like the offline
+        // gather above.
+        let compact_segments = if config.compact_segments == 0 {
+            8
+        } else {
+            config.compact_segments
+        };
+        let mut lsm_params = LsmParams::default();
+        if config.lsm_seal_rows > 0 {
+            lsm_params.seal_rows = config.lsm_seal_rows;
+        }
+        let mut live = MutableIndex::new(target_table.dim(), lsm_params);
+        for row in 0..target_table.rows() {
+            live.insert(row as u32, target_table.row(row))
+                .map_err(|e| ServeError::Config(format!("live corpus build failed: {e}")))?;
+        }
+        // Fold the startup segments once so serving begins from the same
+        // compacted shape regardless of how the seal budget divided the
+        // corpus load.
+        if live.segments() >= compact_segments {
+            live.compact()
+                .map_err(|e| ServeError::Config(format!("live corpus build failed: {e}")))?;
+        }
+
         Ok(Engine {
             exea,
             state,
             source_norm,
             target_norm,
+            live: RwLock::new(live),
+            compact_segments,
             sharded,
             partial_route,
             quant,
@@ -177,29 +290,104 @@ impl Engine {
     }
 
     /// Top-`k` candidate targets for one source entity at an explicit
-    /// serving tier. [`Tier::Full`] is bit-identical to the exact scan;
-    /// the degraded tiers are subset-only approximations of it.
+    /// serving tier. [`Tier::Full`] searches the live LSM corpus and is
+    /// bit-identical to the exact scan over it (which, before any
+    /// insert/remove, *is* the offline corpus); the degraded tiers are
+    /// subset-only approximations over the offline snapshot.
     pub fn predict(&self, source: u32, k: usize, tier: Tier) -> Vec<Candidate> {
         let k = k.clamp(1, self.max_k);
         let mut query = EmbeddingTable::zeros(1, self.source_norm.dim());
         query
             .row_mut(0)
             .copy_from_slice(self.source_norm.row(source as usize));
-        let mut results = match tier {
-            Tier::Full => self
-                .sharded
-                .search_routed(&query, k, self.sharded.nshards()),
-            Tier::Partial => self.sharded.search_routed(&query, k, self.partial_route),
-            Tier::Sq8 => self.quant.search(&query, &self.target_norm, k, &self.sq8),
-        };
-        let row = if results.is_empty() {
-            Vec::new()
-        } else {
-            results.swap_remove(0)
+        let row: Vec<(u32, f32)> = match tier {
+            Tier::Full => {
+                let live = self.live.read().unwrap_or_else(PoisonError::into_inner);
+                live.search(&query, k)
+                    .into_iter()
+                    .map(|r| (r.index, r.score))
+                    .collect()
+            }
+            Tier::Partial => {
+                let mut results = self.sharded.search_routed(&query, k, self.partial_route);
+                if results.is_empty() {
+                    Vec::new()
+                } else {
+                    results.swap_remove(0)
+                }
+            }
+            Tier::Sq8 => {
+                let mut results = self.quant.search(&query, &self.target_norm, k, &self.sq8);
+                if results.is_empty() {
+                    Vec::new()
+                } else {
+                    results.swap_remove(0)
+                }
+            }
         };
         row.into_iter()
             .map(|(target, score)| Candidate { target, score })
             .collect()
+    }
+
+    /// Inserts (or replaces) one live target row. The vector is raw — the
+    /// engine normalises it exactly once, like the offline build — and the
+    /// row is queryable at [`Tier::Full`] the moment this returns. When the
+    /// insert seals a segment and the sealed count reaches the configured
+    /// threshold, the same call synchronously compacts the corpus
+    /// (count-driven scheduling; see [`EngineConfig::compact_segments`]).
+    pub fn insert(&self, entity: u32, vector: &[f32]) -> Result<InsertAck, MutateError> {
+        let mut live = self.live.write().unwrap_or_else(PoisonError::into_inner);
+        if vector.len() != live.dim() {
+            return Err(MutateError::Dim {
+                got: vector.len(),
+                want: live.dim(),
+            });
+        }
+        let sealed = live
+            .insert(entity, vector)
+            .map_err(|e| MutateError::Storage(e.to_string()))?;
+        if sealed && live.segments() >= self.compact_segments {
+            live.compact()
+                .map_err(|e| MutateError::Storage(e.to_string()))?;
+        }
+        Ok(InsertAck {
+            sealed,
+            live_rows: live.len() as u64,
+            segments: live.segments() as u32,
+        })
+    }
+
+    /// Tombstones one live target row; the entity stops appearing in
+    /// [`Tier::Full`] predictions the moment this returns.
+    pub fn remove(&self, entity: u32) -> RemoveAck {
+        let mut live = self.live.write().unwrap_or_else(PoisonError::into_inner);
+        let existed = live.remove(entity);
+        RemoveAck {
+            existed,
+            live_rows: live.len() as u64,
+        }
+    }
+
+    /// Live rows currently served at [`Tier::Full`].
+    pub fn live_rows(&self) -> usize {
+        self.live
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Embedding dimension of the served corpus (what [`Engine::insert`]
+    /// expects a vector to have).
+    pub fn dim(&self) -> usize {
+        self.target_norm.dim()
+    }
+
+    /// The normalised query vector [`Engine::predict`] uses for `source`
+    /// (a test hook: inserting it as a target row makes that row the
+    /// guaranteed top candidate for `source`, score ≈ 1).
+    pub fn source_vector(&self, source: u32) -> Vec<f32> {
+        self.source_norm.row(source as usize).to_vec()
     }
 
     /// Explains and scores a batch of pairs through the order-preserving

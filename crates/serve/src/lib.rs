@@ -44,7 +44,7 @@ pub mod queue;
 pub mod server;
 
 pub use client::{Client, ClientError, RetryClient, RetryPolicy};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, InsertAck, MutateError, RemoveAck};
 pub use fault::{ConnFaults, FaultPlan, FaultyStream};
 pub use protocol::{Request, RequestFrame, Response, ResponseFrame, StatsReply, Tier};
 pub use queue::{Admission, Batch, PushError};

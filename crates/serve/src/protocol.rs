@@ -41,6 +41,12 @@ pub const MAX_FRAME: u32 = 1 << 20;
 /// answers [`Response::BadRequest`].
 pub const MAX_VERIFY_PAIRS: usize = 4096;
 
+/// Upper bound on the embedding dimension of one [`Request::Insert`] —
+/// beyond this the request decodes to a typed [`WireError::Malformed`]
+/// (the real dimension check against the engine happens server-side and
+/// answers [`Response::BadRequest`]).
+pub const MAX_INSERT_DIM: usize = 4096;
+
 /// Serving tier a reply was computed at — the degradation ladder, most
 /// exact first. Tagged on every predict response so clients always know
 /// what quality they got.
@@ -86,7 +92,8 @@ impl Tier {
 
 /// One operation of the daemon, as a typed enum — the function-dispatch
 /// shape: one variant per remote procedure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// (`PartialEq` only: [`Request::Insert`] carries floats.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Top-`k` candidate targets for one source entity, served from the
     /// degradation ladder (`tier` pins a tier, `None` lets load decide).
@@ -114,6 +121,21 @@ pub enum Request {
     },
     /// Run the full repair pipeline over the model's predictions.
     Repair,
+    /// Insert (or replace) one live target row in the LSM mutable corpus.
+    /// The vector is the *raw* embedding; the engine normalises it once,
+    /// exactly like the offline build.
+    Insert {
+        /// Target entity id the row answers for.
+        entity: u32,
+        /// Raw embedding row (`engine dim` values; bit-exact f32s).
+        vector: Vec<f32>,
+    },
+    /// Delete one live target row (tombstone; shadows every older
+    /// generation of the entity).
+    Remove {
+        /// Target entity id to tombstone.
+        entity: u32,
+    },
     /// Liveness + load probe; never queued, never rejected for load.
     Health,
     /// Serving counters since startup.
@@ -122,7 +144,7 @@ pub enum Request {
 
 /// A framed request: client-chosen correlation id, per-request deadline
 /// budget, and the operation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestFrame {
     /// Echoed verbatim in the response frame.
     pub id: u64,
@@ -208,6 +230,22 @@ pub enum Response {
         greedy_fallback: u64,
         /// Size of the repaired alignment.
         repaired_len: u64,
+    },
+    /// Insert acknowledged: the row is live and queryable.
+    Insert {
+        /// Whether this insert sealed the mutable segment.
+        sealed: bool,
+        /// Live rows in the mutable corpus after the insert.
+        live_rows: u64,
+        /// Sealed segments after the insert (and any triggered compaction).
+        segments: u32,
+    },
+    /// Remove acknowledged.
+    Remove {
+        /// Whether a live row existed (and was tombstoned).
+        existed: bool,
+        /// Live rows in the mutable corpus after the remove.
+        live_rows: u64,
     },
     /// Liveness + load snapshot.
     Health {
@@ -358,6 +396,8 @@ const TAG_VERIFY: u8 = 3;
 const TAG_REPAIR: u8 = 4;
 const TAG_HEALTH: u8 = 5;
 const TAG_STATS: u8 = 6;
+const TAG_INSERT: u8 = 7;
+const TAG_REMOVE: u8 = 8;
 const TAG_OVERLOADED: u8 = 100;
 const TAG_DEADLINE: u8 = 101;
 const TAG_SHUTDOWN: u8 = 102;
@@ -394,6 +434,18 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
             }
         }
         Request::Repair => out.push(TAG_REPAIR),
+        Request::Insert { entity, vector } => {
+            out.push(TAG_INSERT);
+            out.extend_from_slice(&entity.to_le_bytes());
+            out.extend_from_slice(&(vector.len() as u16).to_le_bytes());
+            for v in vector {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Request::Remove { entity } => {
+            out.push(TAG_REMOVE);
+            out.extend_from_slice(&entity.to_le_bytes());
+        }
         Request::Health => out.push(TAG_HEALTH),
         Request::Stats => out.push(TAG_STATS),
     }
@@ -434,6 +486,19 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, WireError> {
             Request::Verify { pairs }
         }
         TAG_REPAIR => Request::Repair,
+        TAG_INSERT => {
+            let entity = c.u32()?;
+            let dim = c.u16()? as usize;
+            if dim > MAX_INSERT_DIM {
+                return Err(WireError::Malformed("insert vector too wide"));
+            }
+            let mut vector = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                vector.push(c.f32()?);
+            }
+            Request::Insert { entity, vector }
+        }
+        TAG_REMOVE => Request::Remove { entity: c.u32()? },
         TAG_HEALTH => Request::Health,
         TAG_STATS => Request::Stats,
         other => return Err(WireError::UnknownTag(other)),
@@ -495,6 +560,21 @@ pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
             ] {
                 out.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        Response::Insert {
+            sealed,
+            live_rows,
+            segments,
+        } => {
+            out.push(TAG_INSERT);
+            out.push(u8::from(*sealed));
+            out.extend_from_slice(&live_rows.to_le_bytes());
+            out.extend_from_slice(&segments.to_le_bytes());
+        }
+        Response::Remove { existed, live_rows } => {
+            out.push(TAG_REMOVE);
+            out.push(u8::from(*existed));
+            out.extend_from_slice(&live_rows.to_le_bytes());
         }
         Response::Health {
             draining,
@@ -585,6 +665,15 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, WireError> {
             low_confidence_pairs: c.u64()?,
             greedy_fallback: c.u64()?,
             repaired_len: c.u64()?,
+        },
+        TAG_INSERT => Response::Insert {
+            sealed: c.u8()? != 0,
+            live_rows: c.u64()?,
+            segments: c.u32()?,
+        },
+        TAG_REMOVE => Response::Remove {
+            existed: c.u8()? != 0,
+            live_rows: c.u64()?,
         },
         TAG_HEALTH => Response::Health {
             draining: c.u8()? != 0,
@@ -817,6 +906,27 @@ mod tests {
                 pairs: vec![(0, 1), (2, 3), (u32::MAX, 0)],
             },
         });
+        roundtrip_request(RequestFrame {
+            id: 13,
+            deadline_ms: 40,
+            request: Request::Insert {
+                entity: 77,
+                vector: vec![0.5, -1.25, 3.0, 0.0],
+            },
+        });
+        roundtrip_request(RequestFrame {
+            id: 14,
+            deadline_ms: 40,
+            request: Request::Insert {
+                entity: 0,
+                vector: vec![],
+            },
+        });
+        roundtrip_request(RequestFrame {
+            id: 15,
+            deadline_ms: 0,
+            request: Request::Remove { entity: u32::MAX },
+        });
         for request in [Request::Repair, Request::Health, Request::Stats] {
             roundtrip_request(RequestFrame {
                 id: 2,
@@ -893,6 +1003,21 @@ mod tests {
                 degraded_sq8: 10,
                 connections: 11,
             }),
+        });
+        roundtrip_response(ResponseFrame {
+            id: 13,
+            response: Response::Insert {
+                sealed: true,
+                live_rows: 1 << 40,
+                segments: 3,
+            },
+        });
+        roundtrip_response(ResponseFrame {
+            id: 14,
+            response: Response::Remove {
+                existed: false,
+                live_rows: 0,
+            },
         });
         roundtrip_response(ResponseFrame {
             id: 9,
@@ -989,6 +1114,52 @@ mod tests {
             decode_request(&huge).unwrap_err(),
             WireError::Malformed("too many verify pairs")
         );
+        // Oversized insert dimension rejected before allocation, and an
+        // insert truncated mid-vector is typed at every prefix.
+        let insert = encode_request(&RequestFrame {
+            id: 1,
+            deadline_ms: 0,
+            request: Request::Insert {
+                entity: 5,
+                vector: vec![1.0, 2.0],
+            },
+        });
+        for cut in 0..insert.len() {
+            assert!(
+                decode_request(&insert[..cut]).is_err(),
+                "insert prefix of {cut} bytes decoded"
+            );
+        }
+        let mut wide = encode_request(&RequestFrame {
+            id: 1,
+            deadline_ms: 0,
+            request: Request::Insert {
+                entity: 5,
+                vector: vec![],
+            },
+        });
+        let dim_at = wide.len() - 2;
+        wide[dim_at..].copy_from_slice(&(MAX_INSERT_DIM as u16 + 1).to_le_bytes());
+        assert_eq!(
+            decode_request(&wide).unwrap_err(),
+            WireError::Malformed("insert vector too wide")
+        );
+        // Insert vectors travel as raw bits: NaN survives the wire.
+        let nan = encode_request(&RequestFrame {
+            id: 1,
+            deadline_ms: 0,
+            request: Request::Insert {
+                entity: 5,
+                vector: vec![f32::NAN, -0.0],
+            },
+        });
+        match decode_request(&nan).unwrap().request {
+            Request::Insert { vector, .. } => {
+                assert_eq!(vector[0].to_bits(), f32::NAN.to_bits());
+                assert_eq!(vector[1].to_bits(), (-0.0f32).to_bits());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

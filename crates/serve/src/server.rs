@@ -12,8 +12,9 @@
 //!
 //! # Request lifecycle
 //!
-//! Cheap requests (predict, health, stats) are answered inline on the
-//! connection thread. Pipeline requests (explain, verify, repair) are
+//! Cheap requests (predict, insert, remove, health, stats) are answered
+//! inline on the connection thread. Pipeline requests (explain, verify,
+//! repair) are
 //! enqueued as jobs; batch workers drain the queue in admission order,
 //! concatenate the jobs' pairs into one order-preserving
 //! `explain_and_score_batch` / `score_batch` call, and slice the results
@@ -40,7 +41,7 @@
 //!   peer can always distinguish "rejected" (typed response) from "dead"
 //!   (closed connection); it can never observe silence forever.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, MutateError};
 use crate::fault::{ConnFaults, FaultPlan, FaultyStream};
 use crate::protocol::{
     self, FrameError, Request, Response, ResponseFrame, StatsReply, Tier, MAX_FRAME,
@@ -683,6 +684,54 @@ fn dispatch(shared: &Shared, request: Request, deadline: Deadline) -> Response {
             }
             Counters::bump(&shared.counters.served);
             Response::Predict { tier, candidates }
+        }
+        // Live mutations are answered inline like predicts: one short write
+        // section on the LSM corpus (occasionally a seal or a count-driven
+        // compaction), never queued behind the pipeline batches.
+        Request::Insert { entity, vector } => {
+            let _guard = InflightGuard::enter(&shared.inflight);
+            match shared.engine.insert(entity, &vector) {
+                Ok(ack) => {
+                    if deadline.expired() {
+                        // The row is in — the ack is merely late. Tell the
+                        // caller the deadline verdict, not a lie about the
+                        // corpus state.
+                        Counters::bump(&shared.counters.deadline_expired);
+                        return Response::DeadlineExceeded;
+                    }
+                    Counters::bump(&shared.counters.served);
+                    Response::Insert {
+                        sealed: ack.sealed,
+                        live_rows: ack.live_rows,
+                        segments: ack.segments,
+                    }
+                }
+                Err(e @ MutateError::Dim { .. }) => {
+                    Counters::bump(&shared.counters.bad_requests);
+                    Response::BadRequest {
+                        message: e.to_string(),
+                    }
+                }
+                Err(e @ MutateError::Storage(_)) => {
+                    Counters::bump(&shared.counters.panics);
+                    Response::Internal {
+                        message: e.to_string(),
+                    }
+                }
+            }
+        }
+        Request::Remove { entity } => {
+            let _guard = InflightGuard::enter(&shared.inflight);
+            let ack = shared.engine.remove(entity);
+            if deadline.expired() {
+                Counters::bump(&shared.counters.deadline_expired);
+                return Response::DeadlineExceeded;
+            }
+            Counters::bump(&shared.counters.served);
+            Response::Remove {
+                existed: ack.existed,
+                live_rows: ack.live_rows,
+            }
         }
         Request::Explain { source, target } => {
             if !shared.engine.valid_source(source) || !shared.engine.valid_target(target) {

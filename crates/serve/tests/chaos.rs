@@ -10,7 +10,7 @@
 //! timeout and every test joins its threads, so a wedged daemon fails the
 //! suite instead of wedging it.
 
-use exea_serve::protocol::{self, Request, Response};
+use exea_serve::protocol::{self, Request, Response, Tier};
 use exea_serve::{
     Client, ClientError, ConnFaults, Endpoint, Engine, EngineConfig, FaultPlan, Server,
     ServerConfig, ServerHandle,
@@ -23,6 +23,21 @@ use std::time::Duration;
 fn engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
     ENGINE.get_or_init(|| Engine::build(&EngineConfig::default()).expect("engine builds"))
+}
+
+/// A dedicated engine for the mutation storm (the shared one must stay
+/// immutable for the other tests' bit-identity probes). Tiny seal/compact
+/// thresholds so the storm crosses many seal → compact cycles.
+fn lsm_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::build(&EngineConfig {
+            lsm_seal_rows: 8,
+            compact_segments: 2,
+            ..EngineConfig::default()
+        })
+        .expect("lsm engine builds")
+    })
 }
 
 fn start(config: ServerConfig) -> (ServerHandle, Endpoint, std::net::SocketAddr) {
@@ -44,14 +59,21 @@ fn sample_pair() -> (u32, u32) {
 /// The liveness probe every chaos test ends with: after whatever abuse, a
 /// clean connection still gets a correct, bit-identical answer.
 fn assert_daemon_healthy(endpoint: &Endpoint) {
+    assert_daemon_healthy_on(engine(), endpoint);
+}
+
+/// [`assert_daemon_healthy`] against an explicit engine (the mutation
+/// storm runs its own).
+fn assert_daemon_healthy_on(engine: &'static Engine, endpoint: &Endpoint) {
     let mut c = Client::connect(endpoint, Duration::from_secs(10)).expect("daemon still accepts");
-    let (source, target) = sample_pair();
+    let p = engine.sample_pair().expect("model predicts something");
+    let (source, target) = (p.source.0, p.target.0);
     match c
         .call(Request::Explain { source, target }, 10_000)
         .expect("daemon still serves")
     {
         Response::Explain { confidence, .. } => {
-            let direct = &engine().explain_batch(&[engine().pair_of(source, target)])[0];
+            let direct = &engine.explain_batch(&[engine.pair_of(source, target)])[0];
             assert_eq!(
                 confidence.to_bits(),
                 direct.confidence().to_bits(),
@@ -341,6 +363,128 @@ fn shutdown_under_load_never_hangs_and_types_every_outcome() {
     // kicked in and queued work was answered ShuttingDown — both are fine,
     // the test completing at all proves no hang.
     let _ = report;
+}
+
+#[test]
+fn mutation_storm_during_seals_and_compactions_loses_no_requests() {
+    // Concurrent inserts, removes, and full-tier predicts against tiny
+    // seal/compact thresholds, with slow-read faults on some connections:
+    // the storm crosses many seal → compact cycles while queries are in
+    // flight, and the invariant is total accounting — every single request
+    // gets a typed response (zero lost, zero hangs, zero panics).
+    let engine = lsm_engine();
+    let plan = FaultPlan {
+        connections: vec![
+            ConnFaults {
+                read_delay: Some(Duration::from_millis(2)),
+                ..ConnFaults::default()
+            },
+            ConnFaults::default(),
+        ],
+        batch_delay: None,
+    };
+    let handle = Server::start(
+        engine,
+        &[Endpoint::Tcp("127.0.0.1:0".to_string())],
+        ServerConfig {
+            fault: plan,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.tcp_addr().expect("tcp endpoint bound");
+    let endpoint = Endpoint::Tcp(addr.to_string());
+    let baseline_rows = engine.live_rows() as u64;
+    let dim = engine.dim();
+
+    // 4 writer threads × 24 mutations each, interleaved with 2 reader
+    // threads hammering full-tier predicts. Writers insert into disjoint
+    // entity ranges and remove half of what they insert, so the final
+    // corpus state is exactly predictable.
+    let mut threads = Vec::new();
+    for w in 0..4u32 {
+        let endpoint = endpoint.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c =
+                Client::connect(&endpoint, Duration::from_secs(15)).expect("writer connects");
+            let base = 1_000_000 + w * 1_000;
+            let mut answered = 0usize;
+            for i in 0..24u32 {
+                let entity = base + i;
+                let vector: Vec<f32> = (0..dim)
+                    .map(|d| ((u64::from(entity) * 31 + d as u64) % 17) as f32 - 8.0)
+                    .collect();
+                match c
+                    .call(Request::Insert { entity, vector }, 10_000)
+                    .expect("insert gets a typed response")
+                {
+                    Response::Insert { .. } => answered += 1,
+                    other => panic!("expected Insert, got {other:?}"),
+                }
+                if i % 2 == 1 {
+                    match c
+                        .call(Request::Remove { entity }, 10_000)
+                        .expect("remove gets a typed response")
+                    {
+                        Response::Remove { existed, .. } => {
+                            assert!(existed, "the row just inserted was live");
+                            answered += 1;
+                        }
+                        other => panic!("expected Remove, got {other:?}"),
+                    }
+                }
+            }
+            answered
+        }));
+    }
+    for _ in 0..2 {
+        let endpoint = endpoint.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c =
+                Client::connect(&endpoint, Duration::from_secs(15)).expect("reader connects");
+            let mut answered = 0usize;
+            for i in 0..48u32 {
+                match c
+                    .call(
+                        Request::Predict {
+                            source: i % 4,
+                            k: 10,
+                            tier: Some(Tier::Full),
+                        },
+                        10_000,
+                    )
+                    .expect("predict gets a typed response")
+                {
+                    Response::Predict { candidates, .. } => {
+                        assert!(!candidates.is_empty(), "the corpus is never empty");
+                        answered += 1;
+                    }
+                    other => panic!("expected Predict, got {other:?}"),
+                }
+            }
+            answered
+        }));
+    }
+    let answered: usize = threads
+        .into_iter()
+        .map(|t| t.join().expect("storm thread survives"))
+        .sum();
+    assert_eq!(
+        answered,
+        4 * (24 + 12) + 2 * 48,
+        "every storm request was answered"
+    );
+
+    // Writers inserted 24 each and removed the odd half: 12 survivors per
+    // writer remain live, on top of the startup corpus.
+    assert_eq!(engine.live_rows() as u64, baseline_rows + 4 * 12);
+    // The storm genuinely crossed seal/compact cycles (96 inserts against
+    // an 8-row seal budget), and nothing panicked on the way.
+    let stats = handle.stats();
+    assert_eq!(stats.panics, 0);
+    assert_eq!(stats.bad_requests, 0);
+    assert_daemon_healthy_on(engine, &endpoint);
+    handle.shutdown();
 }
 
 #[test]

@@ -17,6 +17,22 @@ fn engine() -> &'static Engine {
     ENGINE.get_or_init(|| Engine::build(&EngineConfig::default()).expect("engine builds"))
 }
 
+/// A second engine reserved for mutation tests: the shared one must stay
+/// immutable or the predict-parity tests above would race its live corpus.
+/// Tiny seal/compact thresholds so a handful of wire inserts exercises the
+/// full seal → compact cycle.
+fn lsm_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        Engine::build(&EngineConfig {
+            lsm_seal_rows: 4,
+            compact_segments: 2,
+            ..EngineConfig::default()
+        })
+        .expect("lsm engine builds")
+    })
+}
+
 fn start(config: ServerConfig) -> (ServerHandle, Endpoint) {
     let handle = Server::start(
         engine(),
@@ -326,6 +342,140 @@ fn overload_rejects_with_retry_hint_and_retry_client_recovers() {
         Response::Explain { .. } => {}
         other => panic!("retry client should eventually be served, got {other:?}"),
     }
+    handle.shutdown();
+}
+
+#[test]
+fn inserts_and_removes_flow_through_full_predict_immediately() {
+    let engine = lsm_engine();
+    let handle = Server::start(
+        engine,
+        &[Endpoint::Tcp("127.0.0.1:0".to_string())],
+        ServerConfig::default(),
+    )
+    .expect("server starts");
+    let endpoint = Endpoint::Tcp(handle.tcp_addr().expect("tcp endpoint bound").to_string());
+    let mut c = client(&endpoint);
+    let full = Some(Tier::Full);
+    let predict = |c: &mut Client, source: u32| -> Vec<(u32, u32)> {
+        match c
+            .call(
+                Request::Predict {
+                    source,
+                    k: 10,
+                    tier: full,
+                },
+                0,
+            )
+            .expect("predict answers")
+        {
+            Response::Predict { candidates, .. } => candidates
+                .iter()
+                .map(|cand| (cand.target, cand.score.to_bits()))
+                .collect(),
+            other => panic!("expected Predict, got {other:?}"),
+        }
+    };
+    let baseline = predict(&mut c, 0);
+    let baseline_rows = engine.live_rows() as u64;
+
+    // Insert the query vector of source 0 as a brand-new target row: its
+    // dot with the query is ≈1, every real score is ≤1, so the new row
+    // must surface as the top candidate on the very next request.
+    let planted = 9_000_000u32;
+    match c
+        .call(
+            Request::Insert {
+                entity: planted,
+                vector: engine.source_vector(0),
+            },
+            0,
+        )
+        .expect("insert answers")
+    {
+        Response::Insert { live_rows, .. } => assert_eq!(live_rows, baseline_rows + 1),
+        other => panic!("expected Insert, got {other:?}"),
+    }
+    let with_planted = predict(&mut c, 0);
+    assert_eq!(
+        with_planted[0].0, planted,
+        "a freshly inserted row is queryable immediately"
+    );
+
+    // Push enough rows through the wire to seal segments and trigger the
+    // count-driven compaction, then tombstone everything we added.
+    let mut sealed_count = 0u32;
+    for i in 0..12u32 {
+        match c
+            .call(
+                Request::Insert {
+                    entity: planted + 1 + i,
+                    vector: engine.source_vector(0),
+                },
+                0,
+            )
+            .expect("insert answers")
+        {
+            Response::Insert { sealed, .. } => sealed_count += u32::from(sealed),
+            other => panic!("expected Insert, got {other:?}"),
+        }
+    }
+    assert!(
+        sealed_count >= 2,
+        "a 4-row seal budget must seal several times over 12 inserts"
+    );
+    for i in 0..13u32 {
+        match c
+            .call(
+                Request::Remove {
+                    entity: planted + i,
+                },
+                0,
+            )
+            .expect("remove answers")
+        {
+            Response::Remove { existed, .. } => assert!(existed, "row {i} was live"),
+            other => panic!("expected Remove, got {other:?}"),
+        }
+    }
+    // Removing a tombstoned entity is acknowledged, not an error.
+    match c
+        .call(Request::Remove { entity: planted }, 0)
+        .expect("idempotent remove answers")
+    {
+        Response::Remove { existed, live_rows } => {
+            assert!(!existed);
+            assert_eq!(live_rows, baseline_rows);
+        }
+        other => panic!("expected Remove, got {other:?}"),
+    }
+
+    // Insert-then-remove leaves no trace: the post-cycle prediction is
+    // bit-identical to the pre-cycle one, across the seals and compactions
+    // the cycle caused.
+    assert_eq!(
+        predict(&mut c, 0),
+        baseline,
+        "full predict is bit-identical to the pre-mutation baseline"
+    );
+
+    // A wrong-width vector is a typed BadRequest, not a panic.
+    match c
+        .call(
+            Request::Insert {
+                entity: planted,
+                vector: vec![1.0; engine.dim() + 1],
+            },
+            0,
+        )
+        .expect("bad insert answers")
+    {
+        Response::BadRequest { message } => {
+            assert!(message.contains("dimension"), "got: {message}")
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    assert_eq!(handle.stats().panics, 0);
     handle.shutdown();
 }
 
